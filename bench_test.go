@@ -1,0 +1,253 @@
+// Benchmarks that regenerate every table and figure of the paper (run
+// with `go test -bench=. -benchmem`), plus micro-benchmarks of the
+// pipeline phases. The per-figure benchmarks report the headline
+// quantity of the corresponding experiment as a custom metric so a
+// bench run doubles as a results summary:
+//
+//	BenchmarkFigure7   ... base/improved@full(ear)
+//	BenchmarkTable4    ... min and max speedup percent
+package callcost_test
+
+import (
+	"io"
+	"testing"
+
+	"repro"
+	"repro/internal/benchprog"
+	"repro/internal/cfg"
+	"repro/internal/experiments"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+)
+
+// benchEnv caches compiled and profiled benchmarks across benchmarks.
+var benchEnv = experiments.NewEnv()
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("no experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchEnv, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the base-allocator cost decomposition of
+// eqntott and ear across the register sweep.
+func BenchmarkFigure2(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFigure6 regenerates the SC / SC+PR / SC+BS / SC+BS+PR
+// improvement ratios for the class-representative programs.
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates the improved-allocator decomposition and
+// reports the paper's headline ratio (base/improved at the full machine
+// for ear; the paper reports 45x).
+func BenchmarkFigure7(b *testing.B) {
+	runExperiment(b, "fig7")
+	base, err := experiments.CostDecomposition(benchEnv, "ear", callcost.Chaitin())
+	if err != nil {
+		b.Fatal(err)
+	}
+	impr, err := experiments.CostDecomposition(benchEnv, "ear", callcost.ImprovedAll())
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := len(base) - 1
+	b.ReportMetric(callcost.Ratio(base[last].Cost.Total(), impr[last].Cost.Total()), "base/improved@full(ear)")
+}
+
+// BenchmarkTable2 regenerates optimistic-vs-base with static estimates.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkTable3 regenerates optimistic-vs-base with profiles.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "tab3") }
+
+// BenchmarkFigure9 regenerates the fpppp static comparison.
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFigure10 regenerates priority-based vs improved Chaitin.
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFigure11 regenerates improved Chaitin vs CBH.
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkTable4 regenerates the execution-time speedups and reports
+// their range.
+func BenchmarkTable4(b *testing.B) {
+	runExperiment(b, "tab4")
+	rows, err := experiments.Speedups(benchEnv, experiments.Tab4Programs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	minS, maxS := rows[0].SpeedupPercent, rows[0].SpeedupPercent
+	for _, r := range rows {
+		if r.SpeedupPercent < minS {
+			minS = r.SpeedupPercent
+		}
+		if r.SpeedupPercent > maxS {
+			maxS = r.SpeedupPercent
+		}
+	}
+	b.ReportMetric(minS, "min-speedup-%")
+	b.ReportMetric(maxS, "max-speedup-%")
+}
+
+// BenchmarkAblationCalleeModel regenerates the §4 first-use vs shared
+// comparison.
+func BenchmarkAblationCalleeModel(b *testing.B) { runExperiment(b, "ablation-callee") }
+
+// BenchmarkAblationSimplifyKey regenerates the §5 key comparison.
+func BenchmarkAblationSimplifyKey(b *testing.B) { runExperiment(b, "ablation-key") }
+
+// BenchmarkAblationPriorityOrdering regenerates the §9.1 ordering
+// comparison.
+func BenchmarkAblationPriorityOrdering(b *testing.B) { runExperiment(b, "ablation-priority") }
+
+// BenchmarkAblationCoalescing regenerates the coalescing-mode ablation.
+func BenchmarkAblationCoalescing(b *testing.B) { runExperiment(b, "ablation-coalesce") }
+
+// BenchmarkAblationSpillHeuristic regenerates the spill-heuristic
+// ablation.
+func BenchmarkAblationSpillHeuristic(b *testing.B) { runExperiment(b, "ablation-spillheur") }
+
+// ---------------------------------------------------------------------
+// Pipeline micro-benchmarks
+
+// BenchmarkCompileSuite measures the front end over the whole suite.
+func BenchmarkCompileSuite(b *testing.B) {
+	progs := benchprog.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := callcost.Compile(p.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLiveness measures the dataflow solver on the suite's largest
+// functions.
+func BenchmarkLiveness(b *testing.B) {
+	prog := callcost.MustCompile(benchprog.ByName("tomcatv").Source)
+	fn := prog.IR.FuncByName["main"]
+	g := cfg.New(fn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		liveness.Compute(fn, g)
+	}
+}
+
+// BenchmarkInterferenceBuild measures graph construction.
+func BenchmarkInterferenceBuild(b *testing.B) {
+	prog := callcost.MustCompile(benchprog.ByName("fpppp").Source)
+	fn := prog.IR.FuncByName["twoel"]
+	g := cfg.New(fn)
+	live := liveness.Compute(fn, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interference.Build(fn, live, ir.ClassFloat)
+	}
+}
+
+// BenchmarkAllocateBase measures a whole-program base allocation.
+func BenchmarkAllocateBase(b *testing.B) {
+	benchAllocate(b, callcost.Chaitin())
+}
+
+// BenchmarkAllocateImproved measures a whole-program improved
+// allocation (the paper's contribution, all three techniques).
+func BenchmarkAllocateImproved(b *testing.B) {
+	benchAllocate(b, callcost.ImprovedAll())
+}
+
+func benchAllocate(b *testing.B, strat callcost.Strategy) {
+	b.Helper()
+	p, err := benchEnv.Get("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgRegs := callcost.NewConfig(8, 6, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Program.Allocate(strat, cfgRegs, p.Dynamic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineInterp measures executing allocated code on the
+// machine-level interpreter.
+func BenchmarkMachineInterp(b *testing.B) {
+	p, err := benchEnv.Get("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := p.Program.Allocate(callcost.ImprovedAll(), callcost.NewConfig(8, 6, 4, 4), p.Dynamic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alloc.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceInterp measures the reference interpreter on the
+// same workload, for comparison with BenchmarkMachineInterp.
+func BenchmarkReferenceInterp(b *testing.B) {
+	p, err := benchEnv.Get("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Program.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconstruction measures the driver with the paper's
+// graph-reconstruction phase (patching the interference graph after
+// spill insertion) against BenchmarkFullRebuild — the compile-time
+// claim of the framework. Both produce identical allocations (verified
+// by the test suite).
+func BenchmarkReconstruction(b *testing.B) { benchDriver(b, false) }
+
+// BenchmarkFullRebuild is the rebuild-from-scratch baseline for
+// BenchmarkReconstruction.
+func BenchmarkFullRebuild(b *testing.B) { benchDriver(b, true) }
+
+func benchDriver(b *testing.B, rebuild bool) {
+	b.Helper()
+	// fpppp at the minimum configuration spills across several rounds —
+	// the case where reconstruction pays.
+	p, err := benchEnv.Get("fpppp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn := p.Program.IR.FuncByName["twoel"]
+	ff := p.Dynamic.ByFunc["twoel"]
+	opts := regalloc.DefaultOptions()
+	opts.Rebuild = rebuild
+	cfgRegs := callcost.NewConfig(6, 4, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regalloc.AllocateFunc(fn, ff, cfgRegs, callcost.Chaitin(),
+			rewrite.InsertSpills, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

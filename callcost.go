@@ -1,0 +1,263 @@
+// Package callcost is the public API of this reproduction of
+// "Call-Cost Directed Register Allocation" (Lueh & Gross, PLDI 1997).
+//
+// It compiles MC (a small C-like language) to an IR, register-allocates
+// every function with a selectable coloring strategy on a parameterized
+// MIPS-like machine (two banks, configurable caller-save/callee-save
+// split), and measures the register-allocation overhead — spill,
+// caller-save, callee-save, and shuffle memory operations — both
+// analytically and by executing the allocated code on a machine-level
+// interpreter.
+//
+// A minimal session:
+//
+//	prog, _ := callcost.Compile(src)
+//	pf, _, _ := prog.Profile()                      // dynamic weights
+//	base, _ := prog.Allocate(callcost.Chaitin(), callcost.NewConfig(8, 6, 4, 4), pf)
+//	impr, _ := prog.Allocate(callcost.ImprovedAll(), callcost.NewConfig(8, 6, 4, 4), pf)
+//	fmt.Println(base.Overhead(pf).Total() / impr.Overhead(pf).Total())
+package callcost
+
+import (
+	"fmt"
+
+	"repro/internal/cbh"
+	"repro/internal/codegen"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/minterp"
+	"repro/internal/priority"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+)
+
+// Re-exported machine-model types and helpers.
+type (
+	// Config is a register-file configuration (Ri,Rf,Ei,Ef).
+	Config = machine.Config
+	// Overhead is the decomposed register-allocation cost.
+	Overhead = metrics.Overhead
+	// Strategy is a pluggable register-allocation approach.
+	Strategy = regalloc.Strategy
+	// FreqInfo is a program-wide execution-frequency table.
+	FreqInfo = freq.ProgramFreq
+)
+
+// NewConfig builds a configuration from the paper's (Ri,Rf,Ei,Ef)
+// notation: caller-save int/float, callee-save int/float.
+func NewConfig(ri, rf, ei, ef int) Config { return machine.NewConfig(ri, rf, ei, ef) }
+
+// FullMachine is the complete register file (26 int, 16 float).
+func FullMachine() Config { return machine.Full }
+
+// Sweep returns the register-pressure sweep used by the paper's
+// figures.
+func Sweep() []Config { return machine.Sweep() }
+
+// ---------------------------------------------------------------------
+// Strategies
+
+// Chaitin returns the base Chaitin-style allocator (the paper's §3.1
+// base model).
+func Chaitin() Strategy { return &regalloc.Chaitin{} }
+
+// Optimistic returns Briggs' optimistic coloring (§8).
+func Optimistic() Strategy { return &regalloc.Chaitin{Optimistic: true} }
+
+// Improved returns the enhanced Chaitin-style allocator with the given
+// techniques enabled: storage-class analysis, benefit-driven
+// simplification, and preference decision (§4-§6).
+func Improved(storageClass, benefitSimplify, preference bool) *core.Improved {
+	return &core.Improved{
+		StorageClass:    storageClass,
+		BenefitSimplify: benefitSimplify,
+		Preference:      preference,
+	}
+}
+
+// ImprovedAll returns the paper's headline SC+BS+PR configuration.
+func ImprovedAll() *core.Improved { return core.All() }
+
+// ImprovedOptimistic returns SC+BS+PR integrated with optimistic
+// coloring (§8, Figure 9).
+func ImprovedOptimistic() *core.Improved {
+	s := core.All()
+	s.Optimistic = true
+	return s
+}
+
+// PriorityOrdering selects the color ordering of the priority-based
+// allocator.
+type PriorityOrdering = priority.Ordering
+
+// The priority orderings of §9.1.
+const (
+	PrioritySorting               = priority.Sorting
+	PriorityRemovingUnconstrained = priority.RemovingUnconstrained
+	PrioritySortingUnconstrained  = priority.SortingUnconstrained
+)
+
+// Priority returns Chow's priority-based allocator (§9) with the given
+// ordering.
+func Priority(o PriorityOrdering) Strategy { return &priority.Chow{Ordering: o} }
+
+// CBH returns the Chaitin/Briggs-Hierarchical cost model (§10).
+func CBH() Strategy { return &cbh.CBH{} }
+
+// Strategies returns the named standard strategies, for tests and
+// sweeps.
+func Strategies() map[string]Strategy {
+	return map[string]Strategy{
+		"chaitin":    Chaitin(),
+		"optimistic": Optimistic(),
+		"improved":   ImprovedAll(),
+		"priority":   Priority(PrioritySorting),
+		"cbh":        CBH(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Programs
+
+// Program is a compiled MC program plus cached frequency information.
+type Program struct {
+	IR *ir.Program
+
+	staticFreq *freq.ProgramFreq
+}
+
+// Compile compiles MC source text.
+func Compile(src string) (*Program, error) {
+	p, err := compile.Source(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{IR: p}, nil
+}
+
+// MustCompile is Compile that panics on error, for tests and examples
+// with known-good sources.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run executes the program on the reference interpreter.
+func (p *Program) Run() (*interp.Result, error) {
+	return interp.Run(p.IR, interp.Options{})
+}
+
+// Profile runs the program with profiling and returns the dynamic
+// (profile-based) frequency table together with the run result.
+func (p *Program) Profile() (*freq.ProgramFreq, *interp.Result, error) {
+	res, err := interp.Run(p.IR, interp.Options{Profile: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return freq.FromProfile(p.IR, res.Profile), res, nil
+}
+
+// StaticFreq returns the estimated (compile-time) frequency table.
+func (p *Program) StaticFreq() *freq.ProgramFreq {
+	if p.staticFreq == nil {
+		p.staticFreq = freq.Static(p.IR)
+	}
+	return p.staticFreq
+}
+
+// ---------------------------------------------------------------------
+// Allocations
+
+// Allocation is a whole-program register allocation under one strategy
+// and one register configuration.
+type Allocation struct {
+	Program  *Program
+	Config   Config
+	Strategy string
+	Plans    map[string]*rewrite.FuncPlan
+}
+
+// AllocOptions re-exports the framework's tunables (coalescing mode,
+// graph reconstruction, round limits).
+type AllocOptions = regalloc.Options
+
+// DefaultAllocOptions returns the standard configuration: aggressive
+// coalescing, graph reconstruction between rounds.
+func DefaultAllocOptions() AllocOptions { return regalloc.DefaultOptions() }
+
+// Allocate register-allocates every function of the program with the
+// default framework options. pf supplies the cost weights (static
+// estimates or a profile).
+func (p *Program) Allocate(strat Strategy, config Config, pf *freq.ProgramFreq) (*Allocation, error) {
+	return p.AllocateWithOptions(strat, config, pf, regalloc.DefaultOptions())
+}
+
+// AllocateWithOptions is Allocate with explicit framework options.
+func (p *Program) AllocateWithOptions(strat Strategy, config Config, pf *freq.ProgramFreq, opts AllocOptions) (*Allocation, error) {
+	if !config.Valid() {
+		return nil, fmt.Errorf("callcost: configuration %s below the calling-convention minimum (%d,%d,0,0)",
+			config, machine.MinCallerInt, machine.MinCallerFloat)
+	}
+	a := &Allocation{
+		Program:  p,
+		Config:   config,
+		Strategy: strat.Name(),
+		Plans:    make(map[string]*rewrite.FuncPlan, len(p.IR.Funcs)),
+	}
+	for _, fn := range p.IR.Funcs {
+		ff := pf.ByFunc[fn.Name]
+		if ff == nil {
+			return nil, fmt.Errorf("callcost: no frequency info for %s", fn.Name)
+		}
+		fa, err := regalloc.AllocateFunc(fn, ff, config, strat, rewrite.InsertSpills, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := rewrite.Validate(fa); err != nil {
+			return nil, fmt.Errorf("callcost: %s produced an invalid allocation: %w", strat.Name(), err)
+		}
+		a.Plans[fn.Name] = rewrite.BuildPlan(fa)
+	}
+	return a, nil
+}
+
+// Overhead computes the analytic register-allocation cost of the
+// allocation under the given frequency table.
+func (a *Allocation) Overhead(pf *freq.ProgramFreq) Overhead {
+	return metrics.AnalyticProgram(a.Plans, pf)
+}
+
+// Execute runs the allocated program on the machine-level interpreter,
+// returning its result and the measured overhead counters.
+func (a *Allocation) Execute() (*minterp.Result, error) {
+	return minterp.Run(a.Program.IR, a.Plans, a.Config, minterp.Options{})
+}
+
+// MeasuredOverhead executes the allocation and returns the measured
+// overhead decomposition.
+func (a *Allocation) MeasuredOverhead() (Overhead, *minterp.Result, error) {
+	res, err := a.Execute()
+	if err != nil {
+		return Overhead{}, nil, err
+	}
+	return metrics.FromCounts(res.Counts), res, nil
+}
+
+// Assembly emits MIPS-flavored assembly for the allocated program:
+// spill code, caller-save save/restore around calls, and callee-save
+// save/restore in prologue/epilogue are all visible in the text.
+func (a *Allocation) Assembly() string {
+	return codegen.Program(a.Program.IR, a.Plans, a.Config)
+}
+
+// Ratio is the paper's headline metric: base overhead divided by
+// improved overhead (bigger is better for "improved").
+func Ratio(base, improved float64) float64 { return metrics.Ratio(base, improved) }

@@ -1,0 +1,303 @@
+package callcost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// testProgram exercises calls on hot paths, loops, both banks, globals,
+// arrays, and recursion — enough register pressure to force spills at
+// small configurations.
+const testProgram = `
+int table[64];
+float weights[32];
+int gcalls = 0;
+
+int leaf(int x) { gcalls = gcalls + 1; return x * 3 + 1; }
+
+float fleaf(float x, float y) { return x * y + 0.5; }
+
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+
+int hot(int n) {
+	int i; int acc = 0;
+	float facc = 0.0;
+	for (i = 0; i < n; i = i + 1) {
+		int a = i * 2; int b = a + i; int c = b * a - i;
+		int d = c % 7; int e = d + b;
+		acc = acc + leaf(e) + a - d;
+		facc = facc + fleaf(float(i), 0.25) * 0.5;
+		table[i % 64] = acc + c;
+	}
+	return acc + int(facc);
+}
+
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 8; i = i + 1) {
+		weights[i % 32] = float(i) * 1.5;
+		sum = sum + hot(24) + fib(8) + int(weights[i % 32]);
+	}
+	return sum + gcalls + table[5];
+}
+`
+
+func allStrategies() map[string]Strategy {
+	m := Strategies()
+	m["improved-sc"] = Improved(true, false, false)
+	m["improved-sc-bs"] = Improved(true, true, false)
+	m["improved-opt"] = ImprovedOptimistic()
+	m["priority-remove"] = Priority(PriorityRemovingUnconstrained)
+	m["priority-sortunc"] = Priority(PrioritySortingUnconstrained)
+	return m
+}
+
+// TestAllStrategiesPreserveSemantics is the master differential test:
+// for every strategy and several register configurations, the allocated
+// program executed at machine level must produce the reference result.
+func TestAllStrategiesPreserveSemantics(t *testing.T) {
+	prog := MustCompile(testProgram)
+	ref, err := prog.Run()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := machine.ShortSweep()
+	for name, strat := range allStrategies() {
+		for _, cfg := range configs {
+			alloc, err := prog.Allocate(strat, cfg, pf)
+			if err != nil {
+				t.Errorf("%s at %s: allocate: %v", name, cfg, err)
+				continue
+			}
+			res, err := alloc.Execute()
+			if err != nil {
+				t.Errorf("%s at %s: execute: %v", name, cfg, err)
+				continue
+			}
+			if res.RetInt != ref.RetInt {
+				t.Errorf("%s at %s: returned %d, reference %d", name, cfg, res.RetInt, ref.RetInt)
+			}
+		}
+	}
+}
+
+// TestAnalyticMatchesMeasured checks that the analytic cost model under
+// exact profile frequencies equals the overhead counted by actually
+// executing the allocation.
+func TestAnalyticMatchesMeasured(t *testing.T) {
+	prog := MustCompile(testProgram)
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, strat := range allStrategies() {
+		for _, cfg := range []Config{NewConfig(6, 4, 0, 0), NewConfig(8, 6, 4, 4), FullMachine()} {
+			alloc, err := prog.Allocate(strat, cfg, pf)
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, cfg, err)
+			}
+			analytic := alloc.Overhead(pf)
+			measured, _, err := alloc.MeasuredOverhead()
+			if err != nil {
+				t.Fatalf("%s at %s: execute: %v", name, cfg, err)
+			}
+			if !closeTo(analytic.Spill, measured.Spill) ||
+				!closeTo(analytic.Caller, measured.Caller) ||
+				!closeTo(analytic.Callee, measured.Callee) ||
+				!closeTo(analytic.Shuffle, measured.Shuffle) {
+				t.Errorf("%s at %s: analytic %v != measured %v", name, cfg, analytic, measured)
+			}
+		}
+	}
+}
+
+func closeTo(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(math.Abs(a)+math.Abs(b))+1e-9
+}
+
+// TestStaticFreqAllocationsAreValid runs every strategy under static
+// (estimated) weights too: costs differ but semantics must hold.
+func TestStaticFreqAllocationsAreValid(t *testing.T) {
+	prog := MustCompile(testProgram)
+	ref, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := prog.StaticFreq()
+	for name, strat := range allStrategies() {
+		alloc, err := prog.Allocate(strat, NewConfig(7, 5, 2, 2), pf)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		res, err := alloc.Execute()
+		if err != nil {
+			t.Errorf("%s: execute: %v", name, err)
+			continue
+		}
+		if res.RetInt != ref.RetInt {
+			t.Errorf("%s: returned %d, reference %d", name, res.RetInt, ref.RetInt)
+		}
+	}
+}
+
+// TestImprovedBeatsBase verifies the headline claim on a call-heavy
+// program: improved Chaitin (SC+BS+PR) produces no more overhead than
+// the base model, and strictly less somewhere in the sweep.
+func TestImprovedBeatsBase(t *testing.T) {
+	prog := MustCompile(testProgram)
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictly := false
+	for _, cfg := range machine.Sweep() {
+		base, err := prog.Allocate(Chaitin(), cfg, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impr, err := prog.Allocate(ImprovedAll(), cfg, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := base.Overhead(pf).Total()
+		m := impr.Overhead(pf).Total()
+		if m > b*1.05+1 {
+			t.Errorf("at %s improved overhead %.0f exceeds base %.0f", cfg, m, b)
+		}
+		if m < b*0.95 {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Error("improved allocator never strictly beat the base model across the sweep")
+	}
+}
+
+// TestSpillCostDropsWithMoreRegisters reproduces the Figure 2 shape:
+// the spill component of the base allocator falls as registers are
+// added.
+func TestSpillCostDropsWithMoreRegisters(t *testing.T) {
+	prog := MustCompile(testProgram)
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := prog.Allocate(Chaitin(), NewConfig(6, 4, 0, 0), pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := prog.Allocate(Chaitin(), FullMachine(), pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := small.Overhead(pf)
+	l := large.Overhead(pf)
+	if l.Spill > s.Spill {
+		t.Errorf("spill grew with registers: %.0f -> %.0f", s.Spill, l.Spill)
+	}
+	if l.Spill > 0 && s.Spill == 0 {
+		t.Errorf("full machine spills (%v) while minimum does not (%v)", l, s)
+	}
+}
+
+// TestVoidProgram exercises allocation of void functions and unused
+// results.
+func TestVoidProgram(t *testing.T) {
+	prog := MustCompile(`
+int acc = 0;
+void bump(int x) { acc = acc + x; }
+int probe() { return acc; }
+int main() {
+	int i;
+	for (i = 0; i < 10; i = i + 1) { bump(i); probe(); }
+	return probe();
+}`)
+	ref, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, strat := range Strategies() {
+		alloc, err := prog.Allocate(strat, NewConfig(6, 4, 2, 2), pf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := alloc.Execute()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.RetInt != ref.RetInt {
+			t.Errorf("%s: got %d, want %d", name, res.RetInt, ref.RetInt)
+		}
+	}
+}
+
+// TestFloatHeavyProgram pressures the float bank specifically.
+func TestFloatHeavyProgram(t *testing.T) {
+	prog := MustCompile(`
+float a[16];
+float kernel(float x, float y, float z) {
+	float p = x * y; float q = y * z; float r = x * z;
+	float s = p + q; float t = q + r; float u = p + r;
+	return s * t + u * p - q * r + (s - t) * (u - p);
+}
+int main() {
+	int i;
+	float acc = 0.0;
+	for (i = 0; i < 12; i = i + 1) {
+		a[i] = kernel(float(i), float(i + 1), 0.5) + acc;
+		acc = acc + a[i] * 0.25;
+	}
+	return int(acc);
+}`)
+	ref, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, strat := range Strategies() {
+		for _, cfg := range []Config{NewConfig(6, 4, 0, 0), NewConfig(6, 4, 3, 3)} {
+			alloc, err := prog.Allocate(strat, cfg, pf)
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, cfg, err)
+			}
+			res, err := alloc.Execute()
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, cfg, err)
+			}
+			if res.RetInt != ref.RetInt {
+				t.Errorf("%s at %s: got %d, want %d", name, cfg, res.RetInt, ref.RetInt)
+			}
+		}
+	}
+}
+
+// TestConfigValidation rejects register files below the calling
+// convention's minimum.
+func TestConfigValidation(t *testing.T) {
+	prog := MustCompile(`int main() { return 0; }`)
+	pf := prog.StaticFreq()
+	if _, err := prog.Allocate(Chaitin(), NewConfig(4, 4, 0, 0), pf); err == nil {
+		t.Error("expected rejection of (4,4,0,0)")
+	}
+	if _, err := prog.Allocate(Chaitin(), NewConfig(6, 2, 0, 0), pf); err == nil {
+		t.Error("expected rejection of (6,2,0,0)")
+	}
+}

@@ -1,0 +1,53 @@
+// Command experiments regenerates the paper's tables and figures over
+// the SPEC92 stand-in suite.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig2
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	all := flag.Bool("all", false, "run every experiment")
+	exp := flag.String("exp", "", "experiment id to run (see -list)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		env := experiments.NewEnv()
+		for _, e := range experiments.All() {
+			if err := e.Run(env, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *exp != "":
+		e := experiments.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := e.Run(experiments.NewEnv(), os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

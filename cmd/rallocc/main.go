@@ -1,0 +1,223 @@
+// Command rallocc is the compiler driver of the reproduction: it
+// compiles an MC source file, register-allocates it with a selectable
+// strategy on a selectable register configuration, and reports the
+// register-allocation overhead.
+//
+// Usage:
+//
+//	rallocc [flags] file.mc
+//
+//	-strategy  chaitin | optimistic | improved | sc | sc+bs | priority | cbh
+//	-config    Ri,Rf,Ei,Ef   (default 8,6,4,4)
+//	-static    use estimated frequencies instead of a profiling run
+//	-run       execute the allocated program and verify the result
+//	-ir        print the IR after allocation (with spill code)
+//	-S         emit MIPS-flavored assembly
+//	-explain   print per-live-range costs, benefits, and placements
+//	-sweep     report overhead across the paper's register sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/codegen"
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/rewrite"
+)
+
+// explainRanges prints the storage-class story of every live range: the
+// three candidate costs (memory, caller-save, callee-save), the benefit
+// functions the allocator compared, and where the range ended up.
+func explainRanges(plan *rewrite.FuncPlan, config callcost.Config) {
+	fa := plan.Alloc
+	fn := fa.Fn
+	type row struct {
+		rep  ir.Reg
+		name string
+	}
+	var rows []row
+	for rep := range fa.Ranges.Ranges {
+		name := fn.RegName(rep)
+		if name == "" {
+			name = fmt.Sprintf("v%d", int(rep))
+		}
+		rows = append(rows, row{rep, name})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return fa.Ranges.Ranges[rows[i].rep].SpillCost > fa.Ranges.Ranges[rows[j].rep].SpillCost
+	})
+	fmt.Printf("  %-12s %-6s %10s %10s %10s %8s %10s\n",
+		"range", "class", "spillcost", "callercost", "calleecost", "crosses", "placement")
+	for _, r := range rows {
+		rg := fa.Ranges.Ranges[r.rep]
+		place := "memory"
+		if col := fa.Colors[r.rep]; col != machine.NoPhysReg {
+			place = codegen.RegName(config, rg.Class, col)
+		}
+		crosses := "-"
+		if rg.CrossesCall {
+			crosses = "yes"
+		}
+		fmt.Printf("  %-12s %-6s %10.0f %10.0f %10.0f %8s %10s\n",
+			r.name, rg.Class, rg.SpillCost, rg.CallerCost, rg.CalleeCost, crosses, place)
+	}
+}
+
+func main() {
+	strategy := flag.String("strategy", "improved", "allocation strategy")
+	config := flag.String("config", "8,6,4,4", "register configuration Ri,Rf,Ei,Ef")
+	static := flag.Bool("static", false, "use static frequency estimates")
+	run := flag.Bool("run", false, "execute the allocated program")
+	printIR := flag.Bool("ir", false, "print the allocated IR")
+	printAsm := flag.Bool("S", false, "emit MIPS-flavored assembly")
+	explain := flag.Bool("explain", false, "print per-live-range costs, benefits, and placements")
+	sweep := flag.Bool("sweep", false, "report overhead across the register sweep")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rallocc [flags] file.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := mainErr(flag.Arg(0), *strategy, *config, *static, *run, *printIR, *printAsm, *explain, *sweep); err != nil {
+		fmt.Fprintf(os.Stderr, "rallocc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategy(name string) (callcost.Strategy, error) {
+	switch name {
+	case "chaitin", "base":
+		return callcost.Chaitin(), nil
+	case "optimistic":
+		return callcost.Optimistic(), nil
+	case "improved", "sc+bs+pr":
+		return callcost.ImprovedAll(), nil
+	case "sc":
+		return callcost.Improved(true, false, false), nil
+	case "sc+bs":
+		return callcost.Improved(true, true, false), nil
+	case "priority":
+		return callcost.Priority(callcost.PrioritySorting), nil
+	case "cbh":
+		return callcost.CBH(), nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+func parseConfig(s string) (callcost.Config, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return callcost.Config{}, fmt.Errorf("config must be Ri,Rf,Ei,Ef, got %q", s)
+	}
+	var v [4]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v[i]); err != nil {
+			return callcost.Config{}, fmt.Errorf("bad config element %q", p)
+		}
+	}
+	return callcost.NewConfig(v[0], v[1], v[2], v[3]), nil
+}
+
+func mainErr(path, stratName, configStr string, static, run, printIR, printAsm, explain, sweepAll bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := callcost.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	strat, err := parseStrategy(stratName)
+	if err != nil {
+		return err
+	}
+
+	var pf *freq.ProgramFreq
+	if static {
+		pf = prog.StaticFreq()
+	} else {
+		var err error
+		pf, _, err = prog.Profile()
+		if err != nil {
+			return fmt.Errorf("profiling run: %w", err)
+		}
+	}
+
+	if sweepAll {
+		fmt.Printf("%-14s %12s %12s %12s %12s %12s\n",
+			"(Ri,Rf,Ei,Ef)", "spill", "caller-save", "callee-save", "shuffle", "total")
+		for _, cfg := range machine.Sweep() {
+			alloc, err := prog.Allocate(strat, cfg, pf)
+			if err != nil {
+				return err
+			}
+			o := alloc.Overhead(pf)
+			fmt.Printf("%-14s %12.0f %12.0f %12.0f %12.0f %12.0f\n",
+				cfg, o.Spill, o.Caller, o.Callee, o.Shuffle, o.Total())
+		}
+		return nil
+	}
+
+	cfg, err := parseConfig(configStr)
+	if err != nil {
+		return err
+	}
+	alloc, err := prog.Allocate(strat, cfg, pf)
+	if err != nil {
+		return err
+	}
+
+	if printAsm {
+		fmt.Print(alloc.Assembly())
+		return nil
+	}
+
+	fmt.Printf("strategy %s, configuration %s\n\n", strat.Name(), cfg)
+	names := make([]string, 0, len(alloc.Plans))
+	for name := range alloc.Plans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total callcost.Overhead
+	for _, name := range names {
+		plan := alloc.Plans[name]
+		o := metrics.Analytic(plan, pf.ByFunc[name])
+		total = total.Add(o)
+		fmt.Printf("%-20s %s  (rounds=%d)\n", name, o, plan.Alloc.Rounds)
+		if explain {
+			explainRanges(plan, cfg)
+		}
+		if printIR {
+			fmt.Println(plan.Alloc.Fn.String())
+		}
+	}
+	fmt.Printf("%-20s %s\n", "program", total)
+
+	if run {
+		res, err := alloc.Execute()
+		if err != nil {
+			return err
+		}
+		ref, err := prog.Run()
+		if err != nil {
+			return err
+		}
+		status := "MATCHES reference"
+		if res.RetInt != ref.RetInt {
+			status = fmt.Sprintf("MISMATCH (reference %d)", ref.RetInt)
+		}
+		fmt.Printf("\nexecuted: result=%d %s\n", res.RetInt, status)
+		fmt.Printf("steps=%d cycles=%.0f measured-overhead=%.0f\n",
+			res.Counts.Steps, res.Counts.Cycles, res.Counts.OverheadOps())
+	}
+	return nil
+}

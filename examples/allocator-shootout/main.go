@@ -1,0 +1,77 @@
+// Allocator shootout: run all five register-allocation approaches of
+// the paper over the whole SPEC92 stand-in suite at one register
+// configuration and rank them, verifying every allocation by executing
+// it.
+//
+//	go run ./examples/allocator-shootout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/benchprog"
+)
+
+func main() {
+	config := callcost.NewConfig(8, 6, 4, 4)
+	strategies := []struct {
+		name  string
+		strat callcost.Strategy
+	}{
+		{"base Chaitin", callcost.Chaitin()},
+		{"optimistic", callcost.Optimistic()},
+		{"improved (SC+BS+PR)", callcost.ImprovedAll()},
+		{"priority-based", callcost.Priority(callcost.PrioritySorting)},
+		{"CBH", callcost.CBH()},
+	}
+
+	fmt.Printf("register-allocation overhead at %s (dynamic weights)\n\n", config)
+	fmt.Printf("%-10s", "program")
+	for _, s := range strategies {
+		fmt.Printf(" %20s", s.name)
+	}
+	fmt.Println()
+
+	wins := make(map[string]int)
+	for _, bp := range benchprog.All() {
+		prog, err := callcost.Compile(bp.Source)
+		if err != nil {
+			log.Fatalf("%s: %v", bp.Name, err)
+		}
+		pf, ref, err := prog.Profile()
+		if err != nil {
+			log.Fatalf("%s: %v", bp.Name, err)
+		}
+		fmt.Printf("%-10s", bp.Name)
+		best, bestVal := "", 0.0
+		for _, s := range strategies {
+			alloc, err := prog.Allocate(s.strat, config, pf)
+			if err != nil {
+				log.Fatalf("%s/%s: %v", bp.Name, s.name, err)
+			}
+			// Execute the allocated code: a wrong allocation would
+			// change the program's answer.
+			res, err := alloc.Execute()
+			if err != nil {
+				log.Fatalf("%s/%s: execute: %v", bp.Name, s.name, err)
+			}
+			if res.RetInt != ref.RetInt {
+				log.Fatalf("%s/%s: WRONG RESULT %d != %d", bp.Name, s.name, res.RetInt, ref.RetInt)
+			}
+			total := alloc.Overhead(pf).Total()
+			fmt.Printf(" %20.0f", total)
+			if best == "" || total < bestVal {
+				best, bestVal = s.name, total
+			}
+		}
+		wins[best]++
+		fmt.Println()
+	}
+
+	fmt.Println("\nfewest-overhead wins:")
+	for _, s := range strategies {
+		fmt.Printf("  %-20s %d\n", s.name, wins[s.name])
+	}
+}

@@ -1,0 +1,55 @@
+// Call-cost sweep: reproduce the paper's Figure 2 observation on a
+// call-heavy workload — spill cost vanishes as registers are added,
+// call cost persists, and giving the BASE allocator more registers can
+// make the program slower.
+//
+//	go run ./examples/callcost-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/benchprog"
+)
+
+func main() {
+	// ear is the suite's most call-dominated workload (an auditory
+	// filter bank calling tiny filters per sample per channel).
+	prog, err := callcost.Compile(benchprog.ByName("ear").Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf, _, err := prog.Profile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("base Chaitin allocator on `ear` across the register sweep")
+	fmt.Println("(watch spill fall while callee-save cost RISES with more registers)")
+	fmt.Printf("\n%-14s %10s %12s %12s %10s\n",
+		"(Ri,Rf,Ei,Ef)", "spill", "caller-save", "callee-save", "total")
+	for _, cfg := range callcost.Sweep() {
+		alloc, err := prog.Allocate(callcost.Chaitin(), cfg, pf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := alloc.Overhead(pf)
+		fmt.Printf("%-14s %10.0f %12.0f %12.0f %10.0f\n",
+			cfg, o.Spill, o.Caller, o.Callee, o.Total())
+	}
+
+	fmt.Println("\nand the improved allocator (SC+BS+PR) on the same sweep:")
+	fmt.Printf("\n%-14s %10s %12s %12s %10s\n",
+		"(Ri,Rf,Ei,Ef)", "spill", "caller-save", "callee-save", "total")
+	for _, cfg := range callcost.Sweep() {
+		alloc, err := prog.Allocate(callcost.ImprovedAll(), cfg, pf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := alloc.Overhead(pf)
+		fmt.Printf("%-14s %10.0f %12.0f %12.0f %10.0f\n",
+			cfg, o.Spill, o.Caller, o.Callee, o.Total())
+	}
+}

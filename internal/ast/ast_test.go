@@ -1,0 +1,122 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/irbuild"
+	"repro/internal/parser"
+	"repro/internal/randprog"
+	"repro/internal/types"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]ast.Type{
+		"int":      {Base: ast.IntType},
+		"float":    {Base: ast.FloatType},
+		"int[16]":  {Base: ast.IntType, ArrayLen: 16},
+		"float[3]": {Base: ast.FloatType, ArrayLen: 3},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type.String() = %q, want %q", got, want)
+		}
+	}
+	if ast.VoidType.String() != "void" {
+		t.Error("void spelling")
+	}
+}
+
+// lowerString compiles src to IR text, the semantic fingerprint used by
+// the round-trip tests.
+func lowerString(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v\n%s", err, src)
+	}
+	ir, err := irbuild.Build(prog, info)
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, src)
+	}
+	return ir.String()
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	sources := []string{
+		`int main() { return 2 + 3 * 4 - 6 / 2 % 5; }`,
+		`int main() { return (2 + 3) * 4; }`,
+		`int main() { return 10 - 4 - 3; }`,
+		`int main() { return -(-3) + !0; }`,
+		`int main() { return 1 < 2 && 3 >= 2 || !(4 == 5); }`,
+		`
+float w[8];
+int g = 3 * 7;
+float h = 2.5;
+void bump(int x) { g = g + x; if (x > 2) { return; } g = g * 2; }
+float mix(float a, int b) { return a * float(b) + w[b % 8]; }
+int main() {
+	int i;
+	float acc = 0.0;
+	for (i = 0; i < 8; i = i + 1) {
+		w[i] = float(i) * h;
+		acc = acc + mix(h, i);
+		if (i % 3 == 0) { bump(i); } else if (i % 3 == 1) { bump(0 - i); } else { continue; }
+		while (g > 100) { g = g / 2; }
+		do { g = g + 1; } while (g % 7 != 0);
+	}
+	{ int shadow = g; acc = acc + float(shadow); }
+	return int(acc) + g;
+}`,
+	}
+	for _, src := range sources {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		printed := ast.Print(prog)
+		if lowerString(t, src) != lowerString(t, printed) {
+			t.Errorf("round trip changed semantics:\n--- original ---\n%s\n--- printed ---\n%s", src, printed)
+		}
+		// Printing must be a fixpoint after one round.
+		prog2, err := parser.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed source does not reparse: %v\n%s", err, printed)
+		}
+		if again := ast.Print(prog2); again != printed {
+			t.Errorf("printer not idempotent:\n%s\nvs\n%s", printed, again)
+		}
+	}
+}
+
+func TestPrintRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		printed := ast.Print(prog)
+		if lowerString(t, src) != lowerString(t, printed) {
+			t.Fatalf("seed %d: round trip changed semantics\n%s", seed, printed)
+		}
+	}
+}
+
+func TestPrintShape(t *testing.T) {
+	prog, err := parser.Parse(`int f(int a, float b) { return a; } int x = 3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ast.Print(prog)
+	for _, want := range []string{"int x = 3;", "int f(int a, float b) {", "return a;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the program back to MC source. The output reparses to
+// an equivalent program (the round-trip property is tested), which
+// makes it useful for normalizing generated programs and for dumping
+// the AST in bug reports.
+func Print(p *Program) string {
+	pr := &printer{}
+	for _, g := range p.Globals {
+		pr.varDecl(g, 0)
+	}
+	if len(p.Globals) > 0 && len(p.Funcs) > 0 {
+		pr.b.WriteByte('\n')
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			pr.b.WriteByte('\n')
+		}
+		pr.funcDecl(f)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b strings.Builder
+}
+
+func (p *printer) indent(level int) {
+	for i := 0; i < level; i++ {
+		p.b.WriteByte('\t')
+	}
+}
+
+func (p *printer) varDecl(d *VarDecl, level int) {
+	p.indent(level)
+	p.b.WriteString(d.Type.Base.String())
+	p.b.WriteByte(' ')
+	p.b.WriteString(d.Name)
+	if d.Type.IsArray() {
+		fmt.Fprintf(&p.b, "[%d]", d.Type.ArrayLen)
+	}
+	if d.Init != nil {
+		p.b.WriteString(" = ")
+		p.expr(d.Init, 0)
+	}
+	p.b.WriteString(";\n")
+}
+
+func (p *printer) funcDecl(f *FuncDecl) {
+	fmt.Fprintf(&p.b, "%s %s(", f.Result, f.Name)
+	for i, param := range f.Params {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		fmt.Fprintf(&p.b, "%s %s", param.Type, param.Name)
+	}
+	p.b.WriteString(") ")
+	p.block(f.Body, 0)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) block(b *BlockStmt, level int) {
+	p.b.WriteString("{\n")
+	for _, s := range b.List {
+		p.stmt(s, level+1)
+	}
+	p.indent(level)
+	p.b.WriteByte('}')
+}
+
+func (p *printer) stmt(s Stmt, level int) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.indent(level)
+		p.block(s, level)
+		p.b.WriteByte('\n')
+	case *DeclStmt:
+		p.varDecl(s.Decl, level)
+	case *AssignStmt:
+		p.indent(level)
+		p.assign(s)
+		p.b.WriteString(";\n")
+	case *ExprStmt:
+		p.indent(level)
+		p.expr(s.X, 0)
+		p.b.WriteString(";\n")
+	case *IfStmt:
+		p.indent(level)
+		p.ifChain(s, level)
+		p.b.WriteByte('\n')
+	case *WhileStmt:
+		p.indent(level)
+		p.b.WriteString("while (")
+		p.expr(s.Cond, 0)
+		p.b.WriteString(") ")
+		p.block(s.Body, level)
+		p.b.WriteByte('\n')
+	case *DoWhileStmt:
+		p.indent(level)
+		p.b.WriteString("do ")
+		p.block(s.Body, level)
+		p.b.WriteString(" while (")
+		p.expr(s.Cond, 0)
+		p.b.WriteString(");\n")
+	case *ForStmt:
+		p.indent(level)
+		p.b.WriteString("for (")
+		if s.Init != nil {
+			p.assign(s.Init)
+		}
+		p.b.WriteString("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond, 0)
+		}
+		p.b.WriteString("; ")
+		if s.Post != nil {
+			p.assign(s.Post)
+		}
+		p.b.WriteString(") ")
+		p.block(s.Body, level)
+		p.b.WriteByte('\n')
+	case *ReturnStmt:
+		p.indent(level)
+		p.b.WriteString("return")
+		if s.Value != nil {
+			p.b.WriteByte(' ')
+			p.expr(s.Value, 0)
+		}
+		p.b.WriteString(";\n")
+	case *BreakStmt:
+		p.indent(level)
+		p.b.WriteString("break;\n")
+	case *ContinueStmt:
+		p.indent(level)
+		p.b.WriteString("continue;\n")
+	}
+}
+
+// ifChain prints if/else-if chains flat instead of nesting.
+func (p *printer) ifChain(s *IfStmt, level int) {
+	p.b.WriteString("if (")
+	p.expr(s.Cond, 0)
+	p.b.WriteString(") ")
+	p.block(s.Then, level)
+	switch els := s.Else.(type) {
+	case nil:
+	case *IfStmt:
+		p.b.WriteString(" else ")
+		p.ifChain(els, level)
+	case *BlockStmt:
+		p.b.WriteString(" else ")
+		p.block(els, level)
+	default:
+		p.b.WriteString(" else { /* ? */ }")
+	}
+}
+
+func (p *printer) assign(s *AssignStmt) {
+	p.b.WriteString(s.Target.Name)
+	if s.Target.Index != nil {
+		p.b.WriteByte('[')
+		p.expr(s.Target.Index, 0)
+		p.b.WriteByte(']')
+	}
+	p.b.WriteString(" = ")
+	p.expr(s.Value, 0)
+}
+
+// expr prints e, parenthesizing when its binding is at or below the
+// surrounding precedence (conservative but reparse-faithful).
+func (p *printer) expr(e Expr, outerPrec int) {
+	switch e := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(&p.b, "%d", e.Value)
+	case *FloatLit:
+		p.b.WriteString(formatFloat(e.Value))
+	case *Ident:
+		p.b.WriteString(e.Name)
+	case *IndexExpr:
+		p.b.WriteString(e.Name)
+		p.b.WriteByte('[')
+		p.expr(e.Index, 0)
+		p.b.WriteByte(']')
+	case *CallExpr:
+		p.b.WriteString(e.Name)
+		p.b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.b.WriteByte(')')
+	case *CastExpr:
+		p.b.WriteString(e.To.String())
+		p.b.WriteByte('(')
+		p.expr(e.X, 0)
+		p.b.WriteByte(')')
+	case *UnaryExpr:
+		if outerPrec > 0 {
+			p.b.WriteByte('(')
+		}
+		p.b.WriteString(e.Op.String())
+		// Parenthesize the operand of unary minus/not unless atomic.
+		p.expr(e.X, 7)
+		if outerPrec > 0 {
+			p.b.WriteByte(')')
+		}
+	case *BinaryExpr:
+		prec := e.Op.Precedence()
+		if prec <= outerPrec {
+			p.b.WriteByte('(')
+		}
+		p.expr(e.X, prec-1) // left-assoc: equal precedence on the left is fine
+		fmt.Fprintf(&p.b, " %s ", e.Op)
+		p.expr(e.Y, prec)
+		if prec <= outerPrec {
+			p.b.WriteByte(')')
+		}
+	}
+}
+
+// formatFloat renders a float so the lexer reads it back as FLOATLIT.
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	// The MC lexer has no leading '-' in literals; negatives appear as
+	// unary minus, but e.g. 1e-07 is fine.
+	if strings.HasPrefix(s, "-") {
+		// Callers only hold nonnegative literals (the parser folds the
+		// sign into UnaryExpr), but be safe.
+		s = "0.0 - " + s[1:]
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+// Package benchprog is the workload suite of the reproduction: one MC
+// program per SPEC92 program the paper evaluates, engineered to match
+// the workload character the paper documents for it — call intensity,
+// loop structure, register-bank pressure, and the resulting response
+// class (§7):
+//
+//	class 1: every technique contributes          — nasa7, ear
+//	class 2: storage-class analysis dominates     — li, sc, matrix300
+//	class 3: preference decision adds nothing     — eqntott, espresso,
+//	                                                 compress, spice,
+//	                                                 fpppp, doduc
+//	class 4: nothing matters (one big function,
+//	          no calls)                            — tomcatv
+//
+// SPEC92 sources and inputs are not available; the allocators only see
+// live ranges, costs, and an interference graph, so any program with
+// the same call/loop/pressure profile exercises the same decisions.
+package benchprog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Program is one benchmark workload.
+type Program struct {
+	// Name matches the SPEC92 program it stands in for.
+	Name string
+	// Description summarizes the workload character being mimicked.
+	Description string
+	// Class is the paper's §7 response class (1-4), 0 when the paper
+	// does not classify the program.
+	Class int
+	// Source is the MC program text.
+	Source string
+}
+
+var registry = map[string]*Program{}
+
+func register(p *Program) {
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("duplicate benchmark %s", p.Name))
+	}
+	registry[p.Name] = p
+}
+
+// All returns every benchmark, sorted by name.
+func All() []*Program {
+	out := make([]*Program, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the benchmark names, sorted.
+func Names() []string {
+	ps := All()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the named benchmark or nil.
+func ByName(name string) *Program { return registry[name] }

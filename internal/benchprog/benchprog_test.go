@@ -1,0 +1,106 @@
+package benchprog_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"alvinn", "compress", "doduc", "ear", "eqntott", "espresso",
+		"fpppp", "gcc", "li", "matrix300", "nasa7", "sc", "spice",
+		"tomcatv",
+	}
+	got := benchprog.Names()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d programs, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("program %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if benchprog.ByName("ear") == nil {
+		t.Error("ByName(ear) = nil")
+	}
+	if benchprog.ByName("nope") != nil {
+		t.Error("ByName(nope) != nil")
+	}
+}
+
+func TestAllProgramsCompileAndRun(t *testing.T) {
+	for _, p := range benchprog.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := callcost.Compile(p.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := interp.Run(prog.IR, interp.Options{MaxSteps: 30_000_000, Profile: true})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			// Deterministic and re-runnable.
+			res2, err := interp.Run(prog.IR, interp.Options{MaxSteps: 30_000_000})
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if res.RetInt != res2.RetInt {
+				t.Fatalf("nondeterministic result: %d vs %d", res.RetInt, res2.RetInt)
+			}
+			// Enough work to be a meaningful workload, small enough for
+			// fast experiments.
+			if res.Steps < 10_000 {
+				t.Errorf("only %d steps; workload too small", res.Steps)
+			}
+			if res.Steps > 20_000_000 {
+				t.Errorf("%d steps; workload too slow for the experiment sweeps", res.Steps)
+			}
+		})
+	}
+}
+
+// TestProgramsHaveCharacter spot-checks the workload axes the suite was
+// designed around: tomcatv has no calls outside main-level setup,
+// ear/li are call-dominated, fpppp pressures the float bank.
+func TestProgramsHaveCharacter(t *testing.T) {
+	steps := func(name string) (*interp.Result, *callcost.Program) {
+		p := benchprog.ByName(name)
+		prog, err := callcost.Compile(p.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := interp.Run(prog.IR, interp.Options{MaxSteps: 30_000_000, Profile: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res, prog
+	}
+
+	// tomcatv: main only; one function in the whole program.
+	_, tom := steps("tomcatv")
+	if len(tom.IR.Funcs) != 1 {
+		t.Errorf("tomcatv has %d functions, want 1 (single big call-free function)", len(tom.IR.Funcs))
+	}
+
+	// ear: calls per executed instruction should be high.
+	earRes, _ := steps("ear")
+	earCalls := 0.0
+	for name, n := range earRes.Profile.Entries {
+		if name != "main" {
+			earCalls += n
+		}
+	}
+	if earCalls < 1000 {
+		t.Errorf("ear makes only %.0f calls; should be call-dominated", earCalls)
+	}
+
+	// li: recursive evaluator must re-enter eval many times.
+	liRes, _ := steps("li")
+	if liRes.Profile.Entries["eval"] < 1000 {
+		t.Errorf("li eval entered %.0f times; should be deeply recursive", liRes.Profile.Entries["eval"])
+	}
+}

@@ -1,0 +1,421 @@
+package benchprog
+
+func init() {
+	register(&Program{
+		Name: "alvinn",
+		Description: "neural-net training: float-bank pressure in nested " +
+			"loops, a small activation helper on the inner path; packing " +
+			"matters at few registers, calls are cheap enough that both " +
+			"improved Chaitin and priority coloring do equally well",
+		Class: 0,
+		Source: `
+float input[32];
+float hidden[16];
+float wIH[512];
+float wHO[16];
+float target = 0.75;
+int epochs = 40;
+
+float act(float x) {
+	// rational sigmoid-like activation
+	if (x < 0.0) { return x / (1.0 - x) * 0.5 + 0.5; }
+	return x / (1.0 + x) * 0.5 + 0.5;
+}
+
+float forward() {
+	int h; int i;
+	float out = 0.0;
+	for (h = 0; h < 16; h = h + 1) {
+		float sum = 0.0;
+		for (i = 0; i < 32; i = i + 1) {
+			sum = sum + input[i] * wIH[h * 32 + i];
+		}
+		hidden[h] = act(sum);
+		out = out + hidden[h] * wHO[h];
+	}
+	return act(out);
+}
+
+void backward(float err) {
+	int h; int i;
+	float rate = 0.05;
+	for (h = 0; h < 16; h = h + 1) {
+		float gradO = err * hidden[h];
+		wHO[h] = wHO[h] + rate * gradO;
+		float gradH = err * wHO[h] * hidden[h] * (1.0 - hidden[h]);
+		for (i = 0; i < 32; i = i + 1) {
+			wIH[h * 32 + i] = wIH[h * 32 + i] + rate * gradH * input[i];
+		}
+	}
+}
+
+int main() {
+	int e; int i;
+	for (i = 0; i < 32; i = i + 1) { input[i] = float(i % 7) * 0.125; }
+	for (i = 0; i < 512; i = i + 1) { wIH[i] = float(i % 11) * 0.01 - 0.05; }
+	for (i = 0; i < 16; i = i + 1) { wHO[i] = float(i % 5) * 0.02; }
+	float err = 0.0;
+	for (e = 0; e < epochs; e = e + 1) {
+		float out = forward();
+		err = target - out;
+		backward(err);
+	}
+	return int(err * 100000.0) + int(wHO[3] * 1000.0);
+}
+`,
+	})
+
+	register(&Program{
+		Name: "tomcatv",
+		Description: "mesh generation: one big call-free function of nested " +
+			"float loops — no call cost at all, so no technique changes " +
+			"anything (the paper's class 4)",
+		Class: 4,
+		Source: `
+float xm[600];
+float ym[600];
+float rxm[600];
+float rym[600];
+
+int main() {
+	int iter; int i; int j;
+	for (i = 0; i < 600; i = i + 1) {
+		xm[i] = float(i % 25) * 0.04;
+		ym[i] = float(i % 24) * 0.04;
+	}
+	float resid = 0.0;
+	for (iter = 0; iter < 30; iter = iter + 1) {
+		resid = 0.0;
+		for (i = 1; i < 23; i = i + 1) {
+			for (j = 1; j < 23; j = j + 1) {
+				int p = i * 24 + j;
+				float xx = xm[p + 1] - xm[p - 1];
+				float yx = ym[p + 1] - ym[p - 1];
+				float xy = xm[p + 24] - xm[p - 24];
+				float yy = ym[p + 24] - ym[p - 24];
+				float a = 0.25 * (xy * xy + yy * yy);
+				float b = 0.25 * (xx * xx + yx * yx);
+				float c = 0.125 * (xx * xy + yx * yy);
+				float qi = a * (xm[p + 1] + xm[p - 1]) + b * (xm[p + 24] + xm[p - 24])
+					- c * (xm[p + 25] - xm[p - 23] - xm[p + 23] + xm[p - 25]);
+				float qj = a * (ym[p + 1] + ym[p - 1]) + b * (ym[p + 24] + ym[p - 24])
+					- c * (ym[p + 25] - ym[p - 23] - ym[p + 23] + ym[p - 25]);
+				float d = 2.0 * (a + b);
+				rxm[p] = qi / d - xm[p];
+				rym[p] = qj / d - ym[p];
+				resid = resid + rxm[p] * rxm[p] + rym[p] * rym[p];
+			}
+		}
+		for (i = 1; i < 23; i = i + 1) {
+			for (j = 1; j < 23; j = j + 1) {
+				int p = i * 24 + j;
+				xm[p] = xm[p] + 0.7 * rxm[p];
+				ym[p] = ym[p] + 0.7 * rym[p];
+			}
+		}
+	}
+	return int(resid * 100000.0) + int(xm[100] * 1000.0);
+}
+`,
+	})
+
+	register(&Program{
+		Name: "matrix300",
+		Description: "dense matrix multiply: call-free triple loops with a " +
+			"setup/driver split; storage-class analysis alone removes the " +
+			"wrong-kind penalty (class 2); CBH needs extra callee-save " +
+			"registers to catch up",
+		Class: 2,
+		Source: `
+float am[400];
+float bm[400];
+float cm[400];
+int nsize = 20;
+
+void clearm() {
+	int i;
+	for (i = 0; i < 400; i = i + 1) { cm[i] = 0.0; }
+}
+
+float mxm() {
+	int i; int j; int k;
+	float trace = 0.0;
+	for (i = 0; i < nsize; i = i + 1) {
+		for (j = 0; j < nsize; j = j + 1) {
+			float sum = 0.0;
+			for (k = 0; k < nsize; k = k + 1) {
+				sum = sum + am[i * 20 + k] * bm[k * 20 + j];
+			}
+			cm[i * 20 + j] = sum;
+		}
+		trace = trace + cm[i * 20 + i];
+	}
+	return trace;
+}
+
+void rotate() {
+	int i;
+	for (i = 0; i < 400; i = i + 1) {
+		am[i] = bm[i] * 0.5 + cm[i] * 0.25;
+		bm[i] = cm[i] - am[i];
+	}
+}
+
+int main() {
+	int i; int pass;
+	for (i = 0; i < 400; i = i + 1) {
+		am[i] = float(i % 13) * 0.125;
+		bm[i] = float(i % 7) * 0.25;
+	}
+	float acc = 0.0;
+	for (pass = 0; pass < 12; pass = pass + 1) {
+		clearm();
+		acc = acc + mxm();
+		rotate();
+	}
+	return int(acc * 100.0);
+}
+`,
+	})
+
+	register(&Program{
+		Name: "fpppp",
+		Description: "quantum chemistry two-electron integrals: enormous " +
+			"straight-line float blocks with extreme simultaneous pressure " +
+			"and few calls; optimistic coloring helps at few registers, the " +
+			"improvements take over as registers grow (Figure 9)",
+		Class: 3,
+		Source: `
+float gout[128];
+float geom[64];
+
+float norm(float v) { return v * 0.5 + 0.125; }
+
+float twoel(int base) {
+	// Big straight-line float block: more simultaneously-live values
+	// than the small float banks hold (optimistic coloring recovers
+	// some spills there), absorbed once the bank grows. The cold
+	// renormalization tail crosses calls, so at large configurations
+	// the base model wastes float callee-save registers on it — where
+	// the improved allocator keeps winning.
+	float r1 = geom[base];
+	float r2 = geom[base + 1];
+	float r3 = geom[base + 2];
+	float r4 = geom[base + 3];
+	float r5 = geom[base + 4];
+	float r6 = geom[base + 5];
+	float t1 = r1 * r2 + r3 * r4;
+	float t2 = r1 * r3 - r2 * r4;
+	float t3 = r5 * r6 + r1 * r2;
+	float t4 = r5 * r2 - r6 * r3;
+	float u1 = t1 * t3 - t2 * t4;
+	float u2 = t1 * t4 + t2 * t3;
+	float u3 = r1 + r5 - t1;
+	float v1 = u1 * u2 - u3 * r4;
+	float v2 = u1 * u3 + u2 * r6;
+	float w1 = v1 * t1 + v2 * u1 + r2;
+	float w2 = v1 * v2 - u2 * t2 + r5;
+	float den = 1.0 + v1 * v1 + v2 * v2;
+	float res = (w1 * w2 + u1 * u2 + t3 * t4 + r3 * r6) / den;
+	if (res > 1000000000.0) {
+		float z1 = res * 0.5;
+		float z2 = w1 - res;
+		float z3 = w2 * res;
+		float z4 = den + res;
+		z1 = norm(z1) + z2;
+		z2 = norm(z2) + z3 + z1;
+		z3 = norm(z3) + z4 + z2;
+		z4 = norm(z4) + z1 + z3;
+		res = z1 + z2 + z3 + z4;
+	}
+	return res;
+}
+
+int main() {
+	int i; int pass;
+	for (i = 0; i < 64; i = i + 1) { geom[i] = float(i % 9) * 0.11 + 0.3; }
+	float total = 0.0;
+	for (pass = 0; pass < 120; pass = pass + 1) {
+		for (i = 0; i < 56; i = i + 1) {
+			gout[i] = twoel(i) * 0.5 + gout[i] * 0.5;
+			total = total + gout[i];
+		}
+	}
+	return int(total * 10.0);
+}
+`,
+	})
+
+	register(&Program{
+		Name: "doduc",
+		Description: "monte-carlo reactor simulation: large mixed float " +
+			"expressions, irregular branches in loops, moderate calls; " +
+			"preference decision adds nothing (class 3)",
+		Class: 3,
+		Source: `
+float state[48];
+int seed = 12345;
+
+int rnd() {
+	seed = (seed * 1103 + 12345) % 65536;
+	if (seed < 0) { seed = 0 - seed; }
+	return seed;
+}
+
+float jiggle(float v) { return v * 0.98 + 0.01; }
+
+float refine(float x, int which) {
+	// The paper's §4 example, live in the workload: two sequential
+	// ranges (a then b) each cross two hot calls but are referenced
+	// barely once per entry, so each has negative benefit_callee on its
+	// own. Under the first-use model both spill; under the shared model
+	// they split one callee-save register's cost and keeping them wins.
+	float a = x * 0.5;
+	float t = jiggle(x);
+	t = jiggle(t + 0.1);
+	if (which % 3 == 0) { t = t + a; }
+	float b = t * 0.25;
+	t = jiggle(t + 0.2);
+	t = jiggle(t - 0.3);
+	if (which % 3 == 1) { t = t + b; }
+	return t;
+}
+
+float advance(float x, float y, float z) {
+	float a = x * y + z * 0.5;
+	float b = y * z - x * 0.25;
+	float c = z * x + y * 0.125;
+	float d = a * b - c;
+	float e = b * c + a;
+	if (d > e) { return d * 0.5 + e * 0.25 + a * 0.125; }
+	return e * 0.5 - d * 0.25 + c * 0.125;
+}
+
+int main() {
+	int step; int i;
+	for (i = 0; i < 48; i = i + 1) { state[i] = float(i % 11) * 0.2 + 0.1; }
+	float energy = 0.0;
+	for (step = 0; step < 220; step = step + 1) {
+		int cell = rnd() % 46;
+		if (cell < 1) { cell = 1; }
+		float x = state[cell - 1];
+		float y = state[cell];
+		float z = state[cell + 1];
+		float nx = advance(x, y, z);
+		nx = refine(nx, cell);
+		float decay = (x + y + z) / 3.0;
+		if (rnd() % 4 == 0) {
+			state[cell] = nx * 0.9 + decay * 0.1;
+		} else {
+			if (nx > decay) {
+				state[cell] = nx - decay * 0.5;
+			} else {
+				state[cell] = nx + decay * 0.25;
+			}
+		}
+		energy = energy + state[cell] * 0.01;
+	}
+	return int(energy * 10000.0) + seed % 100;
+}
+`,
+	})
+
+	register(&Program{
+		Name: "nasa7",
+		Description: "seven numeric kernels with helper calls between and " +
+			"inside loops: every technique contributes (class 1); improved " +
+			"Chaitin clearly beats priority-based in the static case",
+		Class: 1,
+		Source: `
+float va[128];
+float vb[128];
+float vc[128];
+float scratch = 0.0;
+
+float dot(int n) {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < n; i = i + 1) { s = s + va[i] * vb[i]; }
+	return s;
+}
+
+void saxpy(float alpha, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) { vc[i] = vc[i] + alpha * va[i]; }
+}
+
+float butterfly(int stride, int n) {
+	int i;
+	float s = 0.0;
+	for (i = 0; i + stride < n; i = i + 1) {
+		float even = va[i] + va[i + stride];
+		float odd = va[i] - va[i + stride];
+		vb[i] = even * 0.5;
+		vb[i + stride] = odd * 0.5;
+		s = s + even * odd;
+	}
+	return s;
+}
+
+float cholesky_step(int k, int n) {
+	int i;
+	float pivot = vc[k];
+	if (pivot < 0.01) { pivot = 0.01; }
+	float s = 0.0;
+	for (i = k + 1; i < n; i = i + 1) {
+		vc[i] = vc[i] - va[i] * va[k] / pivot;
+		s = s + vc[i];
+	}
+	return s;
+}
+
+float gmtry(int n) {
+	int i;
+	float s = 0.0;
+	for (i = 1; i < n; i = i + 1) {
+		float d = va[i] - va[i - 1];
+		s = s + d * d + dot(8) * 0.001;
+	}
+	return s;
+}
+
+float emit(float x) { scratch = scratch + x; return scratch * 0.125; }
+
+float runpass(int pass, float seed) {
+	// The per-pass driver: several accumulators stay live across the
+	// seven kernel calls, competing for the scarce callee-save
+	// registers — the class-1 situation where storage-class analysis,
+	// benefit-driven simplification, AND preference decision all
+	// contribute.
+	float acc = seed;
+	float checksum = seed * 0.5;
+	float residual = 0.0;
+	float drift = float(pass) * 0.01;
+	acc = acc + dot(128);
+	checksum = checksum + acc * 0.001;
+	saxpy(0.25, 128);
+	acc = acc + butterfly(4, 128);
+	residual = residual + acc * 0.0001 + drift;
+	acc = acc + cholesky_step(pass % 100, 120);
+	checksum = checksum + residual;
+	acc = acc + gmtry(24);
+	acc = acc + emit(acc * 0.0001);
+	return acc + checksum * 0.25 + residual - drift;
+}
+
+int main() {
+	int pass; int i;
+	for (i = 0; i < 128; i = i + 1) {
+		va[i] = float(i % 17) * 0.1;
+		vb[i] = float(i % 13) * 0.2;
+		vc[i] = float(i % 7) * 0.3 + 1.0;
+	}
+	float acc = 0.0;
+	for (pass = 0; pass < 14; pass = pass + 1) {
+		acc = runpass(pass, acc);
+	}
+	return int(acc);
+}
+`,
+	})
+}

@@ -1,0 +1,534 @@
+package benchprog
+
+func init() {
+	register(&Program{
+		Name: "ear",
+		Description: "human auditory model: a cascade of tiny filter " +
+			"functions called for every sample of every channel — the " +
+			"classic call-cost-dominated program; the paper reports a 45x " +
+			"overhead reduction (55x in the conclusion) for improved " +
+			"Chaitin (class 1)",
+		Class: 1,
+		Source: `
+float fstate[64];
+float outacc[16];
+int samples = 120;
+
+float recal(float v) { return v * 0.5 + 0.01; }
+
+int rescale(int v) { return v % 97 + 1; }
+
+float secondOrder(int ch, float x) {
+	// Hottest leaf (one entry per sample per channel). The cold
+	// overflow tail keeps several float values live across calls: the
+	// base model burns float callee-save registers on them, paying
+	// this function's entry/exit save on every single sample.
+	float s0 = fstate[ch * 2];
+	float s1 = fstate[ch * 2 + 1];
+	float y = x * 0.2 + s0 * 0.7 - s1 * 0.1;
+	if (y > 1000000.0) {
+		float a = y * 0.5;
+		float b = s0 - 1.0;
+		float c = s1 * y;
+		float d = y + 2.0;
+		float e = s0 * 0.25;
+		float f = s1 - 0.5;
+		a = recal(a);
+		b = recal(b) + a;
+		c = recal(c) + b;
+		d = recal(d) + c + a;
+		e = recal(e) + d + b;
+		f = recal(f) + e + c;
+		y = a + b + c + d + e + f;
+	}
+	fstate[ch * 2] = y;
+	fstate[ch * 2 + 1] = s0;
+	return y;
+}
+
+float rectify(float x) {
+	if (x < 0.0) { return 0.0 - x * 0.5; }
+	return x;
+}
+
+float agc(int ch, float x) {
+	// Same failure mode in the integer bank: cold crossing int ranges.
+	float g = outacc[ch];
+	int code = ch * 2 + 1;
+	if (g > 1000000.0) {
+		int n1 = code * 3;
+		int n2 = ch + 7;
+		int n3 = code - ch;
+		int n4 = code * code;
+		n1 = rescale(n1) + n2;
+		n2 = rescale(n2) + n3 + n1;
+		n3 = rescale(n3) + n4 + n2;
+		n4 = rescale(n4) + n1 + n3;
+		outacc[0] = outacc[0] + float(n1 + n2 + n3 + n4) * 0.000001;
+	}
+	return x / (1.0 + g * 0.01) + float(code % 2) * 0.0001;
+}
+
+float accumulate(int ch, float y) {
+	outacc[ch] = outacc[ch] * 0.99 + y * 0.01;
+	return y;
+}
+
+float processSample(float x) {
+	// Mid-frequency driver (once per sample): the channel loop keeps
+	// more call-crossing accumulators live than the float bank has
+	// callee-save registers, so the preference decision must pick which
+	// of them deserve the scarce callee-save registers — the others are
+	// cheaper in caller-save registers (they cross fewer calls).
+	int ch;
+	float sum = 0.0;
+	float env = 0.0;
+	float peak = 0.0;
+	float energy = 0.0;
+	float wobble = 0.125;
+	for (ch = 0; ch < 16; ch = ch + 1) {
+		float y = secondOrder(ch, x);
+		y = rectify(y);
+		y = agc(ch, y);
+		y = accumulate(ch, y);
+		env = env * 0.9 + y * 0.1;
+		if (y > peak) { peak = y; }
+		energy = energy + y * y * wobble;
+		sum = sum + y + env * 0.001;
+		x = x * 0.95;
+	}
+	return sum + peak * 0.01 + energy * 0.001 + wobble;
+}
+
+int main() {
+	int s; int ch;
+	for (ch = 0; ch < 16; ch = ch + 1) { outacc[ch] = 0.1; }
+	float total = 0.0;
+	for (s = 0; s < samples; s = s + 1) {
+		float x = float(s % 17) * 0.125 - 1.0;
+		total = total + processSample(x) * 0.01;
+	}
+	for (ch = 0; ch < 16; ch = ch + 1) { total = total + outacc[ch]; }
+	return int(total * 100000.0);
+}
+`,
+	})
+
+	register(&Program{
+		Name: "eqntott",
+		Description: "truth-table construction: a comparison function " +
+			"called from the inner loop of a sort — frequent tiny calls " +
+			"with integer pressure; the paper reports a 66x overhead " +
+			"reduction; preference decision adds nothing (class 3)",
+		Class: 3,
+		Source: `
+int terms[256];
+int perm[256];
+int nterm = 256;
+
+int checkrange(int v) { return v % 211; }
+
+int cmppt(int a, int b) {
+	// The hottest function of the program, entered tens of thousands
+	// of times. Its inputs stay live across a cold diagnostic tail
+	// that contains calls: the base model sees "crosses a call",
+	// prefers callee-save registers, and pays this function's
+	// entry/exit save for every comparison — the paper's headline
+	// failure mode. Storage-class analysis sees that the caller-save
+	// cost is nearly zero (the crossed calls never execute) and keeps
+	// everything in caller-save registers for free.
+	int x = terms[a];
+	int y = terms[b];
+	if (x > 100000) {
+		int c1 = a * 3;
+		int c2 = b * 5;
+		int c3 = x + a;
+		int c4 = y - b;
+		int c5 = a + b;
+		c1 = checkrange(c1) + c2;
+		c2 = checkrange(c2) + c3 + c1;
+		c3 = checkrange(c3) + c4 + c2;
+		c4 = checkrange(c4) + c5 + c3;
+		c5 = checkrange(c5) + c1 + c4;
+		terms[0] = (c1 + c2 + c3 + c4 + c5) % 199;
+	}
+	if (x % 4 != y % 4) { return x % 4 - y % 4; }
+	if (x < y) { return 0 - 1; }
+	if (x > y) { return 1; }
+	return 0;
+}
+
+void shiftDown(int v, int hi) {
+	// Mid-frequency helper (once per element): its control state
+	// crossing the hot cmppt calls is the program's irreducible
+	// register-allocation overhead.
+	int j = hi - 1;
+	while (j >= 0 && cmppt(perm[j], v) > 0) {
+		perm[j + 1] = perm[j];
+		j = j - 1;
+	}
+	perm[j + 1] = v;
+}
+
+void sortpt() {
+	int i;
+	for (i = 1; i < nterm; i = i + 1) {
+		shiftDown(perm[i], i);
+	}
+}
+
+int buildtt() {
+	// Many simultaneously-live accumulators: exceeds the minimum
+	// integer bank, so the base allocator must spill here at
+	// (6,4,0,0) and stops spilling as registers are added.
+	int i;
+	int ones = 0;
+	int zeros = 0;
+	int dcs = 0;
+	int parity = 0;
+	int runs = 0;
+	int weight = 0;
+	int prev = 0;
+	int span = 1;
+	for (i = 0; i < nterm; i = i + 1) {
+		int t = terms[perm[i]];
+		int bit = (t / 8) % 2;
+		int low = t % 4;
+		if (bit == 1 || t % 3 == 0) { ones = ones + 1; } else { zeros = zeros + 1; }
+		if (low == 3) { dcs = dcs + 1; }
+		parity = (parity + bit + low) % 2;
+		if (bit != prev) { runs = runs + 1; span = 1; } else { span = span + 1; }
+		weight = weight + bit * span + low * runs - parity;
+		prev = bit;
+	}
+	return ones * 3 + zeros + dcs * 2 + parity + runs + weight % 1000;
+}
+
+int main() {
+	int i; int pass;
+	int check = 0;
+	for (pass = 0; pass < 3; pass = pass + 1) {
+		for (i = 0; i < nterm; i = i + 1) {
+			terms[i] = (i * 37 + pass * 11) % 199;
+			perm[i] = i;
+		}
+		sortpt();
+		check = check + buildtt();
+	}
+	return check + perm[10] + terms[perm[200]];
+}
+`,
+	})
+
+	register(&Program{
+		Name: "espresso",
+		Description: "two-level logic minimization: set operations over " +
+			"bit vectors in int arrays, helper functions with moderate " +
+			"call frequency; no clear winner between improved Chaitin and " +
+			"priority coloring (class 3)",
+		Class: 3,
+		Source: `
+int cubesA[128];
+int cubesB[128];
+int cover[128];
+int width = 128;
+
+int countOnes(int w) {
+	int c = 0;
+	while (w > 0) {
+		c = c + w % 2;
+		w = w / 2;
+	}
+	return c;
+}
+
+int setAnd(int i) { return (cubesA[i] / 1) % 1024 * (cubesB[i] % 2) + (cubesA[i] % 512) * ((cubesB[i] / 2) % 2); }
+
+int distance(int i, int j) {
+	int d = cubesA[i] - cubesB[j];
+	if (d < 0) { d = 0 - d; }
+	return countOnes(d % 256);
+}
+
+int consensus(int i, int j) {
+	if (distance(i, j) == 1) { return (cubesA[i] + cubesB[j]) % 512; }
+	return 0;
+}
+
+int main() {
+	int i; int j; int pass;
+	int size = 0;
+	for (i = 0; i < width; i = i + 1) {
+		cubesA[i] = (i * 73 + 11) % 509;
+		cubesB[i] = (i * 131 + 7) % 503;
+		cover[i] = 0;
+	}
+	for (pass = 0; pass < 6; pass = pass + 1) {
+		for (i = 0; i < width; i = i + 1) {
+			int best = 0;
+			for (j = 0; j < 16; j = j + 1) {
+				int c = consensus(i, (i + j) % width);
+				if (c > best) { best = c; }
+			}
+			cover[i] = (cover[i] + best + setAnd(i)) % 1021;
+			size = size + countOnes(cover[i] % 64);
+		}
+	}
+	return size + cover[9];
+}
+`,
+	})
+
+	register(&Program{
+		Name: "compress",
+		Description: "LZW compression: hash-table probing in the hot loop " +
+			"with small code-output helpers; storage-class analysis gives " +
+			"most of the win and CBH lags when using profiles",
+		Class: 3,
+		Source: `
+int htab[512];
+int codetab[512];
+int outbits = 0;
+int outcount = 0;
+
+int hash(int ent, int c) { return (ent * 31 + c * 7 + 1) % 509; }
+
+void output(int code) {
+	outbits = (outbits + code) % 65536;
+	outcount = outcount + 1;
+}
+
+int probe(int h, int key) {
+	// Hot hash probe; the cold rehash tail keeps values live across
+	// calls, so the base model pays this function's callee-save
+	// entry/exit cost on every probe.
+	int d = 1;
+	int i = h;
+	while (htab[i] != 0 && htab[i] != key) {
+		i = (i + d) % 509;
+		d = d + 2;
+		if (d > 17) { return 0 - 1; }
+	}
+	if (htab[i] > 100000000) {
+		int r1 = i * 3;
+		int r2 = key - i;
+		int r3 = d + h;
+		r1 = hash(r1, r2) + r2;
+		r2 = hash(r2, r3) + r3 + r1;
+		r3 = hash(r3, r1) + r1 + r2;
+		htab[0] = (r1 + r2 + r3) % 509;
+	}
+	return i;
+}
+
+int encodeByte(int ent, int c, int next) {
+	// Mid-frequency driver (once per input byte): ent/c/next crossing
+	// the probe and output calls are the irreducible overhead.
+	int key = ent * 64 + c;
+	int slot = probe(hash(ent, c), key);
+	if (slot >= 0 && htab[slot] == key) {
+		return codetab[slot] * 1024 + next;
+	}
+	output(ent);
+	if (slot >= 0 && next < 500) {
+		htab[slot] = key;
+		codetab[slot] = next;
+		return c * 1024 + next + 1;
+	}
+	return c * 1024 + next;
+}
+
+int main() {
+	int pos; int i;
+	int ent = 1;
+	int nextcode = 3;
+	for (i = 0; i < 512; i = i + 1) { htab[i] = 0; codetab[i] = 0; }
+	for (pos = 0; pos < 900; pos = pos + 1) {
+		int c = (pos * 17 + pos / 9) % 64 + 1;
+		int packed = encodeByte(ent, c, nextcode);
+		ent = packed / 1024;
+		nextcode = packed % 1024;
+	}
+	output(ent);
+	return outbits + outcount * 3 + nextcode;
+}
+`,
+	})
+
+	register(&Program{
+		Name: "sc",
+		Description: "spreadsheet recalculation: per-cell formula helpers " +
+			"called from the evaluation sweep, mixed int/float cells; " +
+			"storage-class analysis alone is a big win (class 2) and " +
+			"improved Chaitin beats priority-based",
+		Class: 2,
+		Source: `
+float cells[240];
+int kinds[240];
+int ncell = 240;
+
+float getc(int r, int c) {
+	// The hottest function of the spreadsheet. Its cold clamp tail
+	// keeps values live across calls, so the base model pays its
+	// entry/exit callee-save cost on every single cell read.
+	if (r < 0 || c < 0) { return 0.0; }
+	if (r >= 12 || c >= 20) { return 0.0; }
+	float v = cells[r * 20 + c];
+	if (v > 1000000000.0) {
+		int e1 = r * 20 + c;
+		int e2 = r + c;
+		int e3 = r - c;
+		float e4 = v * 0.5;
+		e1 = clampidx(e1) + e2;
+		e2 = clampidx(e2) + e3 + e1;
+		e3 = clampidx(e3) + e1 + e2;
+		e4 = e4 + float(e1 + e2 + e3);
+		cells[0] = e4 * 0.000001;
+	}
+	return v;
+}
+
+int clampidx(int i) {
+	if (i < 0) { return 0; }
+	if (i >= 240) { return 239; }
+	return i;
+}
+
+float fsum(int r, int c) { return getc(r - 1, c) + getc(r, c - 1); }
+
+float favg(int r, int c) {
+	// Accumulator with several references crossing the getc calls:
+	// spill cost exceeds the callee-save cost, so a callee-save
+	// register is the right choice for every allocator.
+	float acc = getc(r - 1, c);
+	acc = acc + getc(r + 1, c);
+	acc = acc + getc(r, c - 1);
+	acc = acc + getc(r, c + 1);
+	return acc / 4.0;
+}
+
+float fmax2(int r, int c) {
+	float a = getc(r - 1, c);
+	float b = getc(r, c - 1);
+	if (a > b) { return a; }
+	return b;
+}
+
+int recalc() {
+	int r; int c;
+	int changed = 0;
+	for (r = 0; r < 12; r = r + 1) {
+		for (c = 0; c < 20; c = c + 1) {
+			int idx = r * 20 + c;
+			float old = cells[idx];
+			int k = kinds[idx];
+			if (k == 1) { cells[idx] = fsum(r, c) * 0.5 + old * 0.5; }
+			if (k == 2) { cells[idx] = favg(r, c); }
+			if (k == 3) { cells[idx] = fmax2(r, c) * 0.9; }
+			float d = cells[idx] - old;
+			if (d > 0.0001 || d < (0.0 - 0.0001)) { changed = changed + 1; }
+		}
+	}
+	return changed;
+}
+
+int main() {
+	int i; int pass;
+	int work = 0;
+	for (i = 0; i < ncell; i = i + 1) {
+		cells[i] = float(i % 23) * 0.5;
+		kinds[i] = i % 4;
+	}
+	for (pass = 0; pass < 18; pass = pass + 1) {
+		work = work + recalc();
+	}
+	return work + int(cells[125] * 100.0);
+}
+`,
+	})
+
+	register(&Program{
+		Name: "spice",
+		Description: "analog circuit simulation: matrix stamping and a " +
+			"Gauss-Seidel sweep with device-model helpers, mixed banks; " +
+			"the techniques help modestly and PR adds nothing (class 3)",
+		Class: 3,
+		Source: `
+float gmat[144];
+float rhs[12];
+float volt[12];
+int nnode = 12;
+
+float shape(float e) { return e * 0.001; }
+
+float diode(float v) {
+	// Hot device model; the cold overflow tail crosses calls.
+	float x = v * 2.0;
+	float e = 1.0 + x + x * x * 0.5 + x * x * x * 0.1666;
+	if (e < 0.01) { e = 0.01; }
+	if (e > 100000000.0) {
+		float w1 = e * 0.5;
+		float w2 = x - e;
+		float w3 = x * e;
+		w1 = shape(w1) + w2;
+		w2 = shape(w2) + w3 + w1;
+		w3 = shape(w3) + w1 + w2;
+		gmat[0] = gmat[0] + (w1 + w2 + w3) * 0.000001;
+	}
+	return shape(e);
+}
+
+void stamp(int a, int b, float g) {
+	gmat[a * 12 + a] = gmat[a * 12 + a] + g;
+	gmat[b * 12 + b] = gmat[b * 12 + b] + g;
+	gmat[a * 12 + b] = gmat[a * 12 + b] - g;
+	gmat[b * 12 + a] = gmat[b * 12 + a] - g;
+}
+
+float sweep() {
+	int i; int j;
+	float delta = 0.0;
+	for (i = 0; i < nnode; i = i + 1) {
+		float sum = rhs[i];
+		for (j = 0; j < nnode; j = j + 1) {
+			if (j != i) { sum = sum - gmat[i * 12 + j] * volt[j]; }
+		}
+		float d = gmat[i * 12 + i];
+		if (d < 0.001) { d = 0.001; }
+		float nv = sum / d;
+		float ch = nv - volt[i];
+		if (ch < 0.0) { ch = 0.0 - ch; }
+		delta = delta + ch;
+		volt[i] = nv;
+	}
+	return delta;
+}
+
+float newton(int it) {
+	// Mid-frequency Newton iteration: its loop state crosses the
+	// diode/stamp/sweep calls.
+	int i;
+	float damp = 1.0 / (1.0 + float(it) * 0.01);
+	float total = 0.0;
+	for (i = 0; i < 11; i = i + 1) {
+		float g = diode(volt[i]);
+		stamp(i, (i + 2) % 12, g * 0.05 * damp);
+		total = total + g;
+	}
+	return total * 0.001 + sweep();
+}
+
+int main() {
+	int it; int i;
+	for (i = 0; i < 144; i = i + 1) { gmat[i] = 0.0; }
+	for (i = 0; i < nnode; i = i + 1) { rhs[i] = float(i % 5) * 0.1; volt[i] = 0.0; }
+	for (i = 0; i < 11; i = i + 1) { stamp(i, i + 1, 0.5 + float(i % 3) * 0.1); }
+	float total = 0.0;
+	for (it = 0; it < 40; it = it + 1) {
+		total = total + newton(it);
+	}
+	return int(total * 1000.0) + int(volt[5] * 10000.0);
+}
+`,
+	})
+}

@@ -1,0 +1,178 @@
+package benchprog
+
+func init() {
+	register(&Program{
+		Name: "gcc",
+		Description: "compiler workload: a recursive-descent evaluator " +
+			"over an encoded token stream — deep call chains, irregular " +
+			"branching, integer pressure; both improved Chaitin and " +
+			"priority-based do equally well",
+		Class: 0,
+		Source: `
+int toks[512];
+int ntok = 512;
+int pos = 0;
+int folded = 0;
+
+int peek() {
+	if (pos >= ntok) { return 0; }
+	return toks[pos];
+}
+
+int advance() {
+	int t = peek();
+	pos = pos + 1;
+	return t;
+}
+
+int parsePrimary() {
+	int t = advance();
+	if (t % 5 == 4 && pos < ntok - 2) {
+		// "parenthesized": nested expression, consume a closer
+		int v = parseExpr(2);
+		advance();
+		return v;
+	}
+	return t % 97;
+}
+
+int parseUnary() {
+	if (peek() % 7 == 3) {
+		advance();
+		return 0 - parsePrimary();
+	}
+	return parsePrimary();
+}
+
+int parseExpr(int depth) {
+	int left = parseUnary();
+	while (pos < ntok && peek() % 3 == 1 && depth > 0) {
+		int op = advance();
+		int right = parseUnary();
+		if (op % 2 == 0) {
+			left = left + right;
+			folded = folded + 1;
+		} else {
+			left = left * (right % 13 + 1);
+		}
+		left = left % 10007;
+	}
+	return left;
+}
+
+int constProp(int v) {
+	if (v % 2 == 0) { return v / 2; }
+	return v * 3 + 1;
+}
+
+int main() {
+	int i; int pass;
+	int sum = 0;
+	for (pass = 0; pass < 10; pass = pass + 1) {
+		for (i = 0; i < ntok; i = i + 1) {
+			toks[i] = (i * 29 + pass * 13 + 5) % 211;
+		}
+		pos = 0;
+		while (pos < ntok - 4) {
+			int v = parseExpr(6);
+			sum = (sum + constProp(v)) % 100003;
+		}
+	}
+	return sum + folded % 1000;
+}
+`,
+	})
+
+	register(&Program{
+		Name: "li",
+		Description: "lisp interpreter: cons cells in parallel arrays, " +
+			"deeply recursive eval with calls on every path — live ranges " +
+			"on the hottest paths cross call sites constantly; " +
+			"storage-class analysis dominates (class 2) and CBH falls " +
+			"behind with profile weights",
+		Class: 2,
+		Source: `
+int carA[512];
+int cdrA[512];
+int tagA[512];
+int freep = 1;
+int gcount = 0;
+
+int cons(int a, int d) {
+	if (freep >= 511) { freep = 1; gcount = gcount + 1; }
+	carA[freep] = a;
+	cdrA[freep] = d;
+	tagA[freep] = 0;
+	freep = freep + 1;
+	return freep - 1;
+}
+
+int mknum(int v) {
+	int c = cons(v, 0);
+	tagA[c] = 1;
+	return c;
+}
+
+int isnum(int c) { return tagA[c] == 1; }
+
+int numval(int c) { return carA[c]; }
+
+int eval(int expr, int depth) {
+	if (depth <= 0) { return mknum(1); }
+	if (isnum(expr)) { return expr; }
+	// op, args, av, r are hot and referenced several times per entry
+	// while crossing the recursive calls: a callee-save register is the
+	// right (and cheapest) home for them.
+	int op = carA[expr];
+	int args = cdrA[expr];
+	int a = eval(carA[args], depth - 1);
+	int av = numval(a);
+	int r = av % 9973;
+	if (op % 3 == 0) {
+		int b = eval(cdrA[args], depth - 1);
+		r = (av + numval(b)) % 9973;
+	}
+	if (op % 3 == 1) { r = (av * 2 + op) % 9973; }
+	if (op % 3 == 2) {
+		if (av % 2 == 0) { r = av / 2 + args % 3; } else { r = av * 3 + 1; }
+	}
+	if (r > 2000000000) {
+		// Cold error path: values live across calls that never run. The
+		// base model burns callee-save registers on them at every eval
+		// entry; storage-class analysis spills them for free.
+		int d1 = op * 3 + r;
+		int d2 = args + depth;
+		int d3 = r - av;
+		int d4 = op + av;
+		d1 = numval(mknum(d1)) + d2;
+		d2 = numval(mknum(d2)) + d3 + d1;
+		d3 = numval(mknum(d3)) + d4 + d2;
+		d4 = numval(mknum(d4)) + d1 + d3;
+		gcount = gcount + (d1 + d2 + d3 + d4) % 7;
+	}
+	return mknum(r);
+}
+
+int build(int n) {
+	if (n <= 0) { return mknum(n + 7); }
+	int left = build(n - 1);
+	int right = mknum(n * 5 % 97);
+	return cons(n, cons(left, right));
+}
+
+int main() {
+	int pass; int rep;
+	int acc = 0;
+	for (pass = 0; pass < 60; pass = pass + 1) {
+		freep = 1;
+		int tree = build(10);
+		for (rep = 0; rep < 3; rep = rep + 1) {
+			int r = eval(tree, 14);
+			acc = (acc + numval(r) + gcount) % 100003;
+		}
+	}
+	return acc + freep % 97;
+}
+`,
+	})
+}

@@ -1,0 +1,163 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Has(64) after Remove")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("Clear left elements")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// refSet is the oracle implementation for the property tests.
+type refSet map[int]bool
+
+func buildBoth(elems []uint16, n int) (*Set, refSet) {
+	s := New(n)
+	r := refSet{}
+	for _, e := range elems {
+		i := int(e) % n
+		s.Add(i)
+		r[i] = true
+	}
+	return s, r
+}
+
+func TestQuickAddHasCount(t *testing.T) {
+	f := func(elems []uint16) bool {
+		const n = 300
+		s, r := buildBoth(elems, n)
+		if s.Count() != len(r) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Has(i) != r[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionDiff(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		const n = 300
+		sa, ra := buildBoth(a, n)
+		sb, rb := buildBoth(b, n)
+
+		union := sa.Clone()
+		union.UnionWith(sb)
+		diff := sa.Clone()
+		diff.DiffWith(sb)
+		for i := 0; i < n; i++ {
+			if union.Has(i) != (ra[i] || rb[i]) {
+				return false
+			}
+			if diff.Has(i) != (ra[i] && !rb[i]) {
+				return false
+			}
+		}
+		// UnionWith reports change correctly: a second identical union
+		// must be a no-op.
+		if union.UnionWith(sb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(a []uint16, extra uint16) bool {
+		const n = 256
+		s, _ := buildBoth(a, n)
+		c := s.Clone()
+		if !c.Equal(s) {
+			return false
+		}
+		i := int(extra) % n
+		c.Add(i)
+		c.Remove((i + 1) % n)
+		// s unchanged where c changed.
+		return s.Has(i) == (func() bool { var r bool; s.ForEach(func(j int) { r = r || j == i }); return r })()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndCopy(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Add(5)
+	a.Add(99)
+	if a.Equal(b) {
+		t.Error("different sets compare equal")
+	}
+	b.Copy(a)
+	if !a.Equal(b) {
+		t.Error("Copy did not make sets equal")
+	}
+	c := New(164)
+	if a.Equal(c) {
+		t.Error("different capacities compare equal")
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(4096)
+	y := New(4096)
+	for i := 0; i < 1000; i++ {
+		x.Add(rng.Intn(4096))
+		y.Add(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}

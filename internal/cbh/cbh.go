@@ -1,0 +1,219 @@
+// Package cbh implements the CBH (Chaitin/Briggs-Hierarchical) cost
+// model the paper compares against in §10, the calling-convention
+// extension of Chaitin-style coloring adopted by several production
+// compilers of the era (and by hierarchical coloring in the Tera
+// compiler):
+//
+//   - a live range that crosses a call interferes with every
+//     caller-save register, so it can only receive a callee-save
+//     register or spill;
+//
+//   - every callee-save register is represented by a
+//     callee-save-register live range spanning the whole function, with
+//     two references (the save at entry and the restore at exit), hence
+//     spill cost 2 × entry frequency. While such a register range is
+//     unspilled it owns its register; spilling it means paying the
+//     entry/exit save/restore, after which the register becomes
+//     available to ordinary live ranges.
+//
+// When simplification blocks, the cheapest candidate — ordinary or
+// register range — spills, so the allocator effectively asks: is
+// saving/restoring one more callee-save register cheaper than spilling
+// any remaining live range?
+package cbh
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+)
+
+// CBH is the strategy.
+type CBH struct {
+	// Optimistic applies Briggs' optimistic push to ordinary live
+	// ranges when simplification blocks and no candidate is cheaper
+	// than unlocking a register.
+	Optimistic bool
+}
+
+// Name implements regalloc.Strategy.
+func (s *CBH) Name() string { return "cbh" }
+
+// Allocate implements regalloc.Strategy.
+func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
+	res := regalloc.NewClassResult()
+	n := ctx.N()
+	nCaller := ctx.Config.Caller[ctx.Class]
+	calleeRegs := ctx.Config.CalleeSaveRegs(ctx.Class)
+
+	nodes := ctx.Nodes()
+	nodeSet := make(map[ir.Reg]bool, len(nodes))
+	for _, r := range nodes {
+		nodeSet[r] = true
+	}
+	crosses := func(rep ir.Reg) bool {
+		rg := ctx.RangeOf(rep)
+		return rg != nil && rg.CrossesCall
+	}
+
+	// Graph degrees among ordinary nodes.
+	deg := make(map[ir.Reg]int, len(nodes))
+	for _, r := range nodes {
+		d := 0
+		ctx.Graph.Neighbors(r, func(nb ir.Reg) {
+			if nodeSet[nb] {
+				d++
+			}
+		})
+		deg[r] = d
+	}
+
+	// Callee-save-register live ranges: initially all locked (they own
+	// their registers). Spilling one unlocks the register for ordinary
+	// ranges at the price of the entry/exit save/restore.
+	locked := len(calleeRegs)
+	unlocked := make(map[machine.PhysReg]bool)
+	regRangeCost := 2 * ctx.Ranges.EntryFreq
+
+	// Effective degree: ordinary neighbors still in the graph, plus the
+	// locked register ranges (they span the whole function and so
+	// conflict with everything), plus — for ranges crossing calls — all
+	// caller-save registers.
+	removed := make(map[ir.Reg]bool, len(nodes))
+	remaining := len(nodes)
+	effDeg := func(r ir.Reg) int {
+		d := deg[r] + locked
+		if crosses(r) {
+			d += nCaller
+		}
+		return d
+	}
+	removeNode := func(r ir.Reg) {
+		removed[r] = true
+		remaining--
+		ctx.Graph.Neighbors(r, func(nb ir.Reg) {
+			if nodeSet[nb] && !removed[nb] {
+				deg[nb]--
+			}
+		})
+	}
+
+	stack := &regalloc.ColorStack{}
+	for remaining > 0 {
+		// Remove any node with a guaranteed color.
+		progressed := false
+		for _, r := range nodes {
+			if removed[r] || effDeg(r) >= n {
+				continue
+			}
+			removeNode(r)
+			stack.Push(r)
+			progressed = true
+		}
+		if progressed {
+			continue
+		}
+
+		// Blocked: following the paper's description of CBH, the
+		// candidate with the LEAST spill cost is chosen from the
+		// remaining live ranges including the callee-save-register
+		// ranges — spilling a register range means its entry/exit
+		// save/restore is cheaper than spilling any ordinary range.
+		candReg := ir.NoReg
+		candKey := 0.0
+		for _, r := range nodes {
+			if removed[r] {
+				continue
+			}
+			rg := ctx.RangeOf(r)
+			if rg == nil || rg.NoSpill {
+				continue
+			}
+			k := rg.SpillCost
+			if candReg == ir.NoReg || k < candKey || (k == candKey && r < candReg) {
+				candReg, candKey = r, k
+			}
+		}
+		regRangeKey := regRangeCost
+
+		if locked > 0 && (candReg == ir.NoReg || regRangeKey <= candKey) {
+			// Spill a callee-save-register live range: unlock the next
+			// locked register.
+			for _, pr := range calleeRegs {
+				if !unlocked[pr] {
+					unlocked[pr] = true
+					break
+				}
+			}
+			locked--
+			continue
+		}
+		if candReg == ir.NoReg {
+			// Only unspillable temporaries remain and no register range
+			// is left to unlock; push the lowest-degree one.
+			for _, r := range nodes {
+				if !removed[r] && (candReg == ir.NoReg || effDeg(r) < effDeg(candReg)) {
+					candReg = r
+				}
+			}
+			removeNode(candReg)
+			stack.Push(candReg)
+			continue
+		}
+		removeNode(candReg)
+		if s.Optimistic {
+			stack.Push(candReg)
+		} else {
+			res.Spilled = append(res.Spilled, candReg)
+		}
+	}
+
+	// Color assignment: ordinary Chaitin popping, with the CBH
+	// universe: crossing ranges may only use unlocked callee-save
+	// registers; others may use caller-save or unlocked callee-save.
+	for {
+		rep, ok := stack.Pop()
+		if !ok {
+			break
+		}
+		free := ctx.FreeColors(res.Colors, rep)
+		var usable []machine.PhysReg
+		for _, pr := range free {
+			if ctx.Config.IsCalleeSave(ctx.Class, pr) {
+				if unlocked[pr] {
+					usable = append(usable, pr)
+				}
+				continue
+			}
+			if !crosses(rep) {
+				usable = append(usable, pr)
+			}
+		}
+		if len(usable) == 0 {
+			rg := ctx.RangeOf(rep)
+			if rg != nil && rg.NoSpill && len(free) > 0 {
+				// A spill temporary crossing no call always has a
+				// caller-save register available in practice; if the
+				// universe is empty (degenerate), fall back to any free
+				// register rather than looping forever.
+				res.Colors[rep] = free[0]
+				continue
+			}
+			res.Spilled = append(res.Spilled, rep)
+			continue
+		}
+		// Prefer callee-save for crossing ranges (the only choice),
+		// caller-save otherwise, like the base model.
+		choice := usable[0]
+		if !crosses(rep) {
+			for _, pr := range usable {
+				if ctx.Config.IsCallerSave(ctx.Class, pr) {
+					choice = pr
+					break
+				}
+			}
+		}
+		res.Colors[rep] = choice
+	}
+	return res
+}

@@ -1,0 +1,145 @@
+package cbh_test
+
+import (
+	"testing"
+
+	"repro/internal/cbh"
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/liverange"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+)
+
+func context(t *testing.T, src, fn string, config machine.Config, class ir.Class) *regalloc.ClassContext {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	f := prog.FuncByName[fn]
+	g := cfg.New(f)
+	live := liveness.Compute(f, g)
+	var graphs [ir.NumClasses]*interference.Graph
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		graphs[c] = interference.Build(f, live, c)
+		graphs[c].Coalesce(false, config.Total(c))
+	}
+	ranges := liverange.Analyze(f, live, &graphs, pf.ByFunc[fn], nil)
+	return &regalloc.ClassContext{
+		Fn: f, Class: class, Graph: graphs[class], Ranges: ranges, Config: config,
+	}
+}
+
+const crossSrc = `
+int helper(int v) { return v + 1; }
+int hot(int a, int b) {
+	int keep = a * 3;
+	int more = b * 5;
+	int r = helper(a);
+	r = r + helper(b);
+	return keep + more + r;
+}
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 50; i = i + 1) { s = s + hot(i, i + 1); }
+	return s;
+}`
+
+func TestCrossingRangesNeverInCallerSave(t *testing.T) {
+	// The defining CBH constraint: a live range crossing a call
+	// interferes with every caller-save register.
+	for _, cfgRegs := range []machine.Config{
+		machine.NewConfig(6, 4, 2, 2),
+		machine.NewConfig(6, 4, 6, 6),
+		machine.NewConfig(10, 8, 4, 4),
+	} {
+		ctx := context(t, crossSrc, "hot", cfgRegs, ir.ClassInt)
+		res := (&cbh.CBH{}).Allocate(ctx)
+		for rep, col := range res.Colors {
+			rg := ctx.RangeOf(rep)
+			if rg != nil && rg.CrossesCall && cfgRegs.IsCallerSave(ir.ClassInt, col) {
+				t.Errorf("%s: crossing range v%d in caller-save register %d", cfgRegs, rep, col)
+			}
+		}
+	}
+}
+
+func TestCrossingRangesSpillWithoutCalleeRegs(t *testing.T) {
+	// With zero callee-save registers, crossing ranges have nowhere to
+	// go: CBH must spill them (the over-constraining the paper
+	// criticizes).
+	cfgRegs := machine.NewConfig(6, 4, 0, 0)
+	ctx := context(t, crossSrc, "hot", cfgRegs, ir.ClassInt)
+	res := (&cbh.CBH{}).Allocate(ctx)
+	spilledCrossing := 0
+	for _, rep := range res.Spilled {
+		if rg := ctx.RangeOf(rep); rg != nil && rg.CrossesCall {
+			spilledCrossing++
+		}
+	}
+	if spilledCrossing == 0 {
+		t.Error("expected crossing ranges to spill with no callee-save registers")
+	}
+}
+
+func TestCalleeRegistersUnlockOnDemand(t *testing.T) {
+	// With callee-save registers available and hot crossing ranges,
+	// CBH should unlock (pay for) registers rather than spill hot
+	// ranges.
+	cfgRegs := machine.NewConfig(6, 4, 4, 4)
+	ctx := context(t, crossSrc, "hot", cfgRegs, ir.ClassInt)
+	res := (&cbh.CBH{}).Allocate(ctx)
+	colored := 0
+	for rep, col := range res.Colors {
+		rg := ctx.RangeOf(rep)
+		if rg != nil && rg.CrossesCall && cfgRegs.IsCalleeSave(ir.ClassInt, col) {
+			colored++
+		}
+	}
+	if colored == 0 {
+		t.Error("no crossing range received a callee-save register despite supply")
+	}
+}
+
+func TestCompleteAndConflictFree(t *testing.T) {
+	for _, cfgRegs := range machine.ShortSweep() {
+		ctx := context(t, crossSrc, "hot", cfgRegs, ir.ClassInt)
+		res := (&cbh.CBH{}).Allocate(ctx)
+		for _, n := range ctx.Nodes() {
+			_, colored := res.Colors[n]
+			spilled := false
+			for _, s := range res.Spilled {
+				if s == n {
+					spilled = true
+				}
+			}
+			if colored == spilled {
+				t.Errorf("%s: node v%d not exactly-once accounted", cfgRegs, n)
+			}
+		}
+		for a, ca := range res.Colors {
+			for b, cb := range res.Colors {
+				if a < b && ca == cb && ctx.Graph.Interfere(a, b) {
+					t.Errorf("%s: v%d and v%d interfere but share %d", cfgRegs, a, b, ca)
+				}
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if (&cbh.CBH{}).Name() != "cbh" {
+		t.Error("name")
+	}
+}

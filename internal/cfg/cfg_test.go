@@ -1,0 +1,235 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func graphOf(t *testing.T, src, fn string) (*ir.Func, *cfg.Graph) {
+	t.Helper()
+	prog := build(t, src)
+	f := prog.FuncByName[fn]
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	return f, cfg.New(f)
+}
+
+func TestStraightLine(t *testing.T) {
+	f, g := graphOf(t, `int main() { int x = 1; return x; }`, "main")
+	if len(f.Blocks) != 1 {
+		t.Fatalf("expected 1 block, got %d", len(f.Blocks))
+	}
+	if g.LoopDepth[0] != 0 {
+		t.Errorf("loop depth = %d, want 0", g.LoopDepth[0])
+	}
+	if g.Idom[0] != -1 {
+		t.Errorf("entry idom = %d, want -1", g.Idom[0])
+	}
+}
+
+func TestPredsMatchSuccs(t *testing.T) {
+	_, g := graphOf(t, `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 9; i = i + 1) {
+		if (i % 2 == 0) { s = s + i; } else { s = s - i; }
+	}
+	while (s > 0) { s = s - 3; }
+	return s;
+}`, "main")
+	for b := range g.Succs {
+		for _, s := range g.Succs[b] {
+			if !contains(g.Preds[s], b) {
+				t.Errorf("b%d -> b%d missing from preds", b, s)
+			}
+		}
+		for _, p := range g.Preds[b] {
+			if !contains(g.Succs[p], b) {
+				t.Errorf("pred b%d of b%d missing the edge", p, b)
+			}
+		}
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEntryDominatesAll(t *testing.T) {
+	_, g := graphOf(t, `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 5; i = i + 1) {
+		if (i > 2) { s = s + 2; }
+	}
+	return s;
+}`, "main")
+	for _, b := range g.RPO {
+		if !g.Dominates(0, b) {
+			t.Errorf("entry does not dominate b%d", b)
+		}
+		if !g.Dominates(b, b) {
+			t.Errorf("b%d does not dominate itself", b)
+		}
+	}
+}
+
+func TestIdomIsDominator(t *testing.T) {
+	_, g := graphOf(t, `
+int main() {
+	int i; int j; int s = 0;
+	for (i = 0; i < 5; i = i + 1) {
+		for (j = 0; j < 5; j = j + 1) {
+			if (s % 2 == 0) { s = s + 1; }
+		}
+	}
+	return s;
+}`, "main")
+	for _, b := range g.RPO[1:] {
+		id := g.Idom[b]
+		if id == -1 {
+			t.Errorf("reachable b%d has no idom", b)
+			continue
+		}
+		if !g.Dominates(id, b) {
+			t.Errorf("idom b%d of b%d does not dominate it", id, b)
+		}
+	}
+}
+
+func TestLoopDepths(t *testing.T) {
+	f, g := graphOf(t, `
+int main() {
+	int i; int j; int k; int s = 0;
+	s = s + 1000;
+	for (i = 0; i < 3; i = i + 1) {
+		s = s + 100;
+		for (j = 0; j < 3; j = j + 1) {
+			s = s + 10;
+			for (k = 0; k < 3; k = k + 1) {
+				s = s + 1;
+			}
+		}
+	}
+	return s;
+}`, "main")
+	maxDepth := 0
+	for _, d := range g.LoopDepth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 3 {
+		t.Errorf("max loop depth = %d, want 3", maxDepth)
+	}
+	if g.LoopDepth[0] != 0 {
+		t.Errorf("entry depth = %d, want 0", g.LoopDepth[0])
+	}
+	// The return block is outside all loops.
+	last := -1
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpRet {
+			last = b.ID
+		}
+	}
+	if last == -1 {
+		t.Fatal("no return block")
+	}
+	if g.LoopDepth[last] != 0 {
+		t.Errorf("return block depth = %d, want 0", g.LoopDepth[last])
+	}
+}
+
+func TestWhileLoopHeader(t *testing.T) {
+	_, g := graphOf(t, `
+int main() {
+	int i = 0;
+	while (i < 10) { i = i + 1; }
+	return i;
+}`, "main")
+	headers := 0
+	for _, h := range g.LoopHead {
+		if h {
+			headers++
+		}
+	}
+	if headers != 1 {
+		t.Errorf("loop headers = %d, want 1", headers)
+	}
+}
+
+func TestDoWhileIsLoop(t *testing.T) {
+	_, g := graphOf(t, `
+int main() {
+	int i = 0;
+	do { i = i + 1; } while (i < 10);
+	return i;
+}`, "main")
+	found := false
+	for _, d := range g.LoopDepth {
+		if d > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("do-while produced no loop")
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	_, g := graphOf(t, `
+int main() {
+	int x = 0;
+	if (x == 0) { x = 1; } else { x = 2; }
+	return x;
+}`, "main")
+	if len(g.RPO) == 0 || g.RPO[0] != 0 {
+		t.Fatalf("RPO = %v, want to start at 0", g.RPO)
+	}
+	// RPO visits each reachable block exactly once.
+	seen := map[int]bool{}
+	for _, b := range g.RPO {
+		if seen[b] {
+			t.Errorf("block b%d appears twice in RPO", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestBreakDoesNotExtendLoop(t *testing.T) {
+	f, g := graphOf(t, `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		if (i == 5) { break; }
+		s = s + i;
+	}
+	return s;
+}`, "main")
+	// The block containing the return must not be in the loop.
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpRet {
+			if g.LoopDepth[b.ID] != 0 {
+				t.Errorf("return block b%d has loop depth %d", b.ID, g.LoopDepth[b.ID])
+			}
+		}
+	}
+}

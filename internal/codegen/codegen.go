@@ -1,0 +1,364 @@
+// Package codegen emits MIPS-flavored assembly for register-allocated
+// programs: the final stage a compiler built on this allocator would
+// ship. The output makes every cost the allocator reasoned about
+// visible in the text — spill loads/stores against frame slots,
+// caller-save saves/restores bracketing calls, callee-save
+// saves/restores in prologue/epilogue — so a reader can audit an
+// allocation decision by looking at the assembly.
+//
+// Register naming follows the MIPS convention adapted to the
+// parameterized register file:
+//
+//	$t0..$tN    caller-save integer registers (allocated)
+//	$s0..$sN    callee-save integer registers (allocated)
+//	$ft*/$fs*   the float bank, same split
+//	$a0..$a5    integer argument registers, $f12.. float arguments
+//	$v0 / $fv0  integer / float results
+//	$at, $fat   assembler temporaries (address computation)
+//
+// A few pseudo-instructions keep the text readable (li.s, seq/sne/...,
+// mov.s); a real MIPS assembler expands each to a short fixed sequence.
+// The output is documentation-quality assembly: semantics are executed
+// and verified by the machine-level interpreter (package minterp), not
+// by assembling this text.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/rewrite"
+)
+
+// Program emits assembly for every function of prog under plans (as
+// produced by one Allocation), preceded by a data section for the
+// globals.
+func Program(prog *ir.Program, plans map[string]*rewrite.FuncPlan, config machine.Config) string {
+	var b strings.Builder
+	b.WriteString("\t.data\n")
+	for _, g := range prog.Globals {
+		emitGlobal(&b, g)
+	}
+	b.WriteString("\n\t.text\n")
+	names := make([]string, 0, len(plans))
+	for name := range plans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		Func(&b, plans[name], config)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func emitGlobal(b *strings.Builder, g *ir.Symbol) {
+	if g.IsArray() {
+		fmt.Fprintf(b, "%s:\t.space %d\t# %s[%d]\n", g.Name, g.Size*4, g.Class, g.Size)
+		return
+	}
+	if g.Class == ir.ClassFloat {
+		fmt.Fprintf(b, "%s:\t.float %g\n", g.Name, g.InitFloat)
+		return
+	}
+	fmt.Fprintf(b, "%s:\t.word %d\n", g.Name, g.InitInt)
+}
+
+// RegName renders physical register pr of bank c under config.
+func RegName(config machine.Config, c ir.Class, pr machine.PhysReg) string {
+	if c == ir.ClassFloat {
+		if config.IsCallerSave(c, pr) {
+			return fmt.Sprintf("$ft%d", int(pr))
+		}
+		return fmt.Sprintf("$fs%d", int(pr)-config.Caller[c])
+	}
+	if config.IsCallerSave(c, pr) {
+		return fmt.Sprintf("$t%d", int(pr))
+	}
+	return fmt.Sprintf("$s%d", int(pr)-config.Caller[c])
+}
+
+// frame lays out a function's stack frame: spill slots and local
+// arrays, the callee-save area, and per-call caller-save areas (one
+// shared area sized for the largest call).
+type frame struct {
+	size      int
+	slotOff   map[*ir.Symbol]int
+	calleeOff int // start of the callee-save area
+	callerOff int // start of the caller-save area
+	raOff     int
+}
+
+func layoutFrame(plan *rewrite.FuncPlan) *frame {
+	f := &frame{slotOff: make(map[*ir.Symbol]int)}
+	off := 0
+	for _, l := range plan.Alloc.Fn.Locals {
+		f.slotOff[l] = off
+		n := l.Size
+		if n == 0 {
+			n = 1
+		}
+		off += n * 4
+	}
+	f.calleeOff = off
+	off += 4 * (len(plan.CalleeUsed[ir.ClassInt]) + len(plan.CalleeUsed[ir.ClassFloat]))
+	maxSave := 0
+	for _, cs := range plan.CallSaves {
+		if n := cs.Count(); n > maxSave {
+			maxSave = n
+		}
+	}
+	f.callerOff = off
+	off += 4 * maxSave
+	f.raOff = off
+	off += 4
+	// Align to 8.
+	f.size = (off + 7) &^ 7
+	return f
+}
+
+type emitter struct {
+	b      *strings.Builder
+	plan   *rewrite.FuncPlan
+	config machine.Config
+	fn     *ir.Func
+	frame  *frame
+}
+
+// Func emits one function.
+func Func(b *strings.Builder, plan *rewrite.FuncPlan, config machine.Config) {
+	e := &emitter{
+		b:      b,
+		plan:   plan,
+		config: config,
+		fn:     plan.Alloc.Fn,
+		frame:  layoutFrame(plan),
+	}
+	e.emit()
+}
+
+func (e *emitter) reg(r ir.Reg) string {
+	return RegName(e.config, e.fn.RegClass(r), e.plan.Alloc.Colors[r])
+}
+
+func (e *emitter) ins(format string, args ...interface{}) {
+	fmt.Fprintf(e.b, "\t%s\n", fmt.Sprintf(format, args...))
+}
+
+func (e *emitter) label(blockID int) string {
+	return fmt.Sprintf(".L%s_%d", e.fn.Name, blockID)
+}
+
+func (e *emitter) emit() {
+	fn := e.fn
+	fmt.Fprintf(e.b, "\t.globl %s\n%s:\n", fn.Name, fn.Name)
+
+	// Prologue: frame, return address, callee-save area, arguments.
+	e.ins("addiu $sp, $sp, -%d", e.frame.size)
+	e.ins("sw $ra, %d($sp)", e.frame.raOff)
+	off := e.frame.calleeOff
+	for _, pr := range e.plan.CalleeUsed[ir.ClassInt] {
+		e.ins("sw %s, %d($sp)\t# callee-save", RegName(e.config, ir.ClassInt, pr), off)
+		off += 4
+	}
+	for _, pr := range e.plan.CalleeUsed[ir.ClassFloat] {
+		e.ins("s.s %s, %d($sp)\t# callee-save", RegName(e.config, ir.ClassFloat, pr), off)
+		off += 4
+	}
+	ai, af := 0, 0
+	for _, p := range fn.Params {
+		if fn.RegClass(p) == ir.ClassFloat {
+			if e.plan.Alloc.Colors[p] != machine.NoPhysReg {
+				e.ins("mov.s %s, $f%d", e.reg(p), 12+af)
+			}
+			af++
+		} else {
+			if e.plan.Alloc.Colors[p] != machine.NoPhysReg {
+				e.ins("move %s, $a%d", e.reg(p), ai)
+			}
+			ai++
+		}
+	}
+
+	for _, blk := range fn.Blocks {
+		fmt.Fprintf(e.b, "%s:\n", e.label(blk.ID))
+		for i := range blk.Instrs {
+			e.instr(blk, i, &blk.Instrs[i])
+		}
+	}
+}
+
+func (e *emitter) epilogue() {
+	off := e.frame.calleeOff
+	for _, pr := range e.plan.CalleeUsed[ir.ClassInt] {
+		e.ins("lw %s, %d($sp)\t# callee-restore", RegName(e.config, ir.ClassInt, pr), off)
+		off += 4
+	}
+	for _, pr := range e.plan.CalleeUsed[ir.ClassFloat] {
+		e.ins("l.s %s, %d($sp)\t# callee-restore", RegName(e.config, ir.ClassFloat, pr), off)
+		off += 4
+	}
+	e.ins("lw $ra, %d($sp)", e.frame.raOff)
+	e.ins("addiu $sp, $sp, %d", e.frame.size)
+	e.ins("jr $ra")
+}
+
+// address renders the memory operand of a load/store and emits index
+// scaling when needed; it returns the operand text.
+func (e *emitter) address(in *ir.Instr) string {
+	sym := in.Sym
+	if sym.Local {
+		base := e.frame.slotOff[sym]
+		if !sym.IsArray() {
+			return fmt.Sprintf("%d($sp)", base)
+		}
+		e.ins("sll $at, %s, 2", e.reg(in.Args[0]))
+		e.ins("addu $at, $at, $sp")
+		return fmt.Sprintf("%d($at)", base)
+	}
+	if !sym.IsArray() {
+		return sym.Name
+	}
+	e.ins("sll $at, %s, 2", e.reg(in.Args[0]))
+	return fmt.Sprintf("%s($at)", sym.Name)
+}
+
+var intOps = map[ir.Op]string{
+	ir.OpAdd: "addu", ir.OpSub: "subu", ir.OpMul: "mul",
+	ir.OpDiv: "div", ir.OpRem: "rem",
+}
+
+var floatOps = map[ir.Op]string{
+	ir.OpFAdd: "add.s", ir.OpFSub: "sub.s", ir.OpFMul: "mul.s", ir.OpFDiv: "div.s",
+}
+
+var condOps = map[ir.Cond]string{
+	ir.CondEQ: "seq", ir.CondNE: "sne", ir.CondLT: "slt",
+	ir.CondLE: "sle", ir.CondGT: "sgt", ir.CondGE: "sge",
+}
+
+func (e *emitter) instr(blk *ir.Block, idx int, in *ir.Instr) {
+	switch in.Op {
+	case ir.OpNop:
+		e.ins("nop")
+	case ir.OpConstInt:
+		e.ins("li %s, %d", e.reg(in.Dst), in.IntVal)
+	case ir.OpConstFloat:
+		e.ins("li.s %s, %g", e.reg(in.Dst), in.FloatVal)
+	case ir.OpMove:
+		if e.reg(in.Dst) == e.reg(in.Args[0]) {
+			return // coalesced away
+		}
+		if e.fn.RegClass(in.Dst) == ir.ClassFloat {
+			e.ins("mov.s %s, %s", e.reg(in.Dst), e.reg(in.Args[0]))
+		} else {
+			e.ins("move %s, %s", e.reg(in.Dst), e.reg(in.Args[0]))
+		}
+	case ir.OpI2F:
+		e.ins("mtc1 %s, %s", e.reg(in.Args[0]), e.reg(in.Dst))
+		e.ins("cvt.s.w %s, %s", e.reg(in.Dst), e.reg(in.Dst))
+	case ir.OpF2I:
+		e.ins("trunc.w.s $fat, %s", e.reg(in.Args[0]))
+		e.ins("mfc1 %s, $fat", e.reg(in.Dst))
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem:
+		e.ins("%s %s, %s, %s", intOps[in.Op], e.reg(in.Dst), e.reg(in.Args[0]), e.reg(in.Args[1]))
+	case ir.OpNeg:
+		e.ins("negu %s, %s", e.reg(in.Dst), e.reg(in.Args[0]))
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		e.ins("%s %s, %s, %s", floatOps[in.Op], e.reg(in.Dst), e.reg(in.Args[0]), e.reg(in.Args[1]))
+	case ir.OpFNeg:
+		e.ins("neg.s %s, %s", e.reg(in.Dst), e.reg(in.Args[0]))
+	case ir.OpICmp:
+		e.ins("%s %s, %s, %s", condOps[in.Cond], e.reg(in.Dst), e.reg(in.Args[0]), e.reg(in.Args[1]))
+	case ir.OpFCmp:
+		e.ins("%s.s %s, %s, %s", condOps[in.Cond], e.reg(in.Dst), e.reg(in.Args[0]), e.reg(in.Args[1]))
+	case ir.OpLoad:
+		mem := e.address(in)
+		if in.Sym.Class == ir.ClassFloat {
+			e.ins("l.s %s, %s%s", e.reg(in.Dst), mem, spillComment(in))
+		} else {
+			e.ins("lw %s, %s%s", e.reg(in.Dst), mem, spillComment(in))
+		}
+	case ir.OpStore:
+		mem := e.address(in)
+		val := in.Args[len(in.Args)-1]
+		if in.Sym.Class == ir.ClassFloat {
+			e.ins("s.s %s, %s%s", e.reg(val), mem, spillComment(in))
+		} else {
+			e.ins("sw %s, %s%s", e.reg(val), mem, spillComment(in))
+		}
+	case ir.OpCall:
+		e.call(blk, idx, in)
+	case ir.OpRet:
+		if len(in.Args) == 1 {
+			if e.fn.ResultClass == ir.ClassFloat {
+				e.ins("mov.s $fv0, %s", e.reg(in.Args[0]))
+			} else {
+				e.ins("move $v0, %s", e.reg(in.Args[0]))
+			}
+		}
+		e.epilogue()
+	case ir.OpBr:
+		e.ins("bnez %s, %s", e.reg(in.Args[0]), e.label(in.Then))
+		e.ins("j %s", e.label(in.Else))
+	case ir.OpJmp:
+		e.ins("j %s", e.label(in.Then))
+	}
+}
+
+func spillComment(in *ir.Instr) string {
+	if in.Sym.Spill {
+		return "\t# spill"
+	}
+	return ""
+}
+
+func (e *emitter) call(blk *ir.Block, idx int, in *ir.Instr) {
+	cs := e.plan.CallSaves[[2]int{blk.ID, idx}]
+	// Caller-save saves.
+	off := e.frame.callerOff
+	if cs != nil {
+		for _, pr := range cs.Regs[ir.ClassInt] {
+			e.ins("sw %s, %d($sp)\t# caller-save", RegName(e.config, ir.ClassInt, pr), off)
+			off += 4
+		}
+		for _, pr := range cs.Regs[ir.ClassFloat] {
+			e.ins("s.s %s, %d($sp)\t# caller-save", RegName(e.config, ir.ClassFloat, pr), off)
+			off += 4
+		}
+	}
+	// Arguments.
+	ai, af := 0, 0
+	for _, a := range in.Args {
+		if e.fn.RegClass(a) == ir.ClassFloat {
+			e.ins("mov.s $f%d, %s", 12+af, e.reg(a))
+			af++
+		} else {
+			e.ins("move $a%d, %s", ai, e.reg(a))
+			ai++
+		}
+	}
+	e.ins("jal %s", in.Callee)
+	// Caller-save restores.
+	if cs != nil {
+		off = e.frame.callerOff
+		for _, pr := range cs.Regs[ir.ClassInt] {
+			e.ins("lw %s, %d($sp)\t# caller-restore", RegName(e.config, ir.ClassInt, pr), off)
+			off += 4
+		}
+		for _, pr := range cs.Regs[ir.ClassFloat] {
+			e.ins("l.s %s, %d($sp)\t# caller-restore", RegName(e.config, ir.ClassFloat, pr), off)
+			off += 4
+		}
+	}
+	if in.HasDst() {
+		if e.fn.RegClass(in.Dst) == ir.ClassFloat {
+			e.ins("mov.s %s, $fv0", e.reg(in.Dst))
+		} else {
+			e.ins("move %s, $v0", e.reg(in.Dst))
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package codegen_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/codegen"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden pins the full assembly of a small program under a fixed
+// strategy and configuration. The pipeline is deterministic, so any
+// diff is a real change in allocation or emission behavior; run with
+// -update to accept an intentional one.
+func TestGolden(t *testing.T) {
+	const src = `
+int g = 5;
+float fscale = 1.5;
+int grid[4];
+
+int helper(int v, float w) { return v * 2 + int(w); }
+
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 4; i = i + 1) {
+		grid[i] = helper(i, fscale) + g;
+		sum = sum + grid[i];
+	}
+	return sum;
+}`
+	prog, err := callcost.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := prog.Allocate(callcost.ImprovedAll(), callcost.NewConfig(6, 4, 2, 2), pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := codegen.Program(prog.IR, alloc.Plans, alloc.Config)
+
+	golden := filepath.Join("testdata", "quickstart.s")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("assembly differs from golden file; run with -update if intentional\n--- got ---\n%s", got)
+	}
+}

@@ -1,0 +1,65 @@
+	.data
+g:	.word 5
+fscale:	.float 1.5
+grid:	.space 16	# int[4]
+
+	.text
+	.globl helper
+helper:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	move $t1, $a0
+	mov.s $ft0, $f12
+.Lhelper_0:
+	li $t0, 2
+	mul $t1, $t1, $t0
+	trunc.w.s $fat, $ft0
+	mfc1 $t0, $fat
+	addu $t0, $t1, $t0
+	move $v0, $t0
+	lw $ra, 0($sp)
+	addiu $sp, $sp, 8
+	jr $ra
+
+	.globl main
+main:
+	addiu $sp, $sp, -16
+	sw $ra, 8($sp)
+	sw $s0, 0($sp)	# callee-save
+	sw $s1, 4($sp)	# callee-save
+.Lmain_0:
+	li $s1, 0
+	li $s0, 0
+	li $s1, 0
+	j .Lmain_1
+.Lmain_1:
+	li $t0, 4
+	slt $t0, $s1, $t0
+	bnez $t0, .Lmain_2
+	j .Lmain_4
+.Lmain_2:
+	l.s $ft0, fscale
+	move $a0, $s1
+	mov.s $f12, $ft0
+	jal helper
+	move $t1, $v0
+	lw $t0, g
+	addu $t0, $t1, $t0
+	sll $at, $s1, 2
+	sw $t0, grid($at)
+	sll $at, $s1, 2
+	lw $t0, grid($at)
+	addu $s0, $s0, $t0
+	j .Lmain_3
+.Lmain_3:
+	li $t0, 1
+	addu $s1, $s1, $t0
+	j .Lmain_1
+.Lmain_4:
+	move $v0, $s0
+	lw $s0, 0($sp)	# callee-restore
+	lw $s1, 4($sp)	# callee-restore
+	lw $ra, 8($sp)
+	addiu $sp, $sp, 16
+	jr $ra
+

@@ -1,0 +1,29 @@
+// Package compile bundles the MC front end into one call: parse, type
+// check, and lower to IR. Higher layers (the allocation pipeline, the
+// benchmark suite, tests) all enter through here.
+package compile
+
+import (
+	"repro/internal/ir"
+	"repro/internal/irbuild"
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+// Source compiles MC source text to IR.
+func Source(src string) (*ir.Program, error) {
+	return File("", src)
+}
+
+// File is Source with a file name attached to diagnostics.
+func File(filename, src string) (*ir.Program, error) {
+	prog, err := parser.ParseFile(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return irbuild.Build(prog, info)
+}

@@ -1,0 +1,42 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+func TestSourceSuccess(t *testing.T) {
+	prog, err := compile.Source(`int main() { return 42; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.FuncByName["main"] == nil {
+		t.Fatal("main missing")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrorPropagates(t *testing.T) {
+	_, err := compile.Source(`int main( { return 0; }`)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestTypeErrorPropagates(t *testing.T) {
+	_, err := compile.Source(`int main() { return nope; }`)
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFileAttachesName(t *testing.T) {
+	_, err := compile.File("box.mc", `int main( { return 0; }`)
+	if err == nil || !strings.Contains(err.Error(), "box.mc:") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package core implements the paper's contribution: a Chaitin-style
+// register allocator improved with the three call-cost directed
+// techniques of §4-§6.
+//
+//   - Storage-class analysis (SC): each live range has two benefit
+//     functions, benefit_caller = spill_cost − caller_save_cost and
+//     benefit_callee = spill_cost − callee_save_cost. Color assignment
+//     prefers the kind of register with the larger benefit, and spills
+//     by choice when keeping the range in the only kind available would
+//     cost more than spilling it — registers may go unused on purpose.
+//     Two models of callee-save cost are provided: the first user of a
+//     callee-save register pays the whole entry/exit save cost
+//     (FirstUse), or all ranges packed into the register share it
+//     (Shared, the paper's better-performing default), decided after
+//     the whole bank is colored.
+//
+//   - Benefit-driven simplification (BS): when more than one node is
+//     unconstrained, the one with the smallest key is removed first, so
+//     large-key ranges end up near the top of the color stack where
+//     both kinds of register are still free. The default key is the
+//     paper's strategy 2 — the penalty delta |benefit_caller −
+//     benefit_callee| when both benefits are nonnegative, otherwise
+//     max(benefit_caller, benefit_callee) — because what matters for a
+//     Chaitin-style allocator is the penalty of getting the wrong KIND
+//     of register, not the magnitude of the savings (strategy 1, kept
+//     for the ablation experiment).
+//
+//   - Preference decision (PR): before assignment, call sites are
+//     visited in decreasing weighted frequency. When L live ranges
+//     crossing a call prefer callee-save registers but only M < L
+//     callee-save registers exist, the L−M ranges with the smallest
+//     keys (caller_cost if benefit_caller > 0, else spill_cost) are
+//     re-annotated to prefer caller-save, keeping the scarce callee-save
+//     registers for the ranges that need them most.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+)
+
+// CalleeCostModel selects how storage-class analysis charges the
+// callee-save entry/exit cost (paper §4).
+type CalleeCostModel int
+
+const (
+	// SharedCost spreads a callee-save register's save/restore cost
+	// over all live ranges that share it; the spill decision for the
+	// register's users is made after color assignment. The paper's
+	// experiments favor this model.
+	SharedCost CalleeCostModel = iota
+	// FirstUseCost charges the whole cost to the first live range that
+	// uses each callee-save register; later users ride for free.
+	FirstUseCost
+)
+
+// SimplifyKey selects the benefit-driven simplification key (paper §5).
+type SimplifyKey int
+
+const (
+	// KeyDelta is strategy 2: the penalty delta between the two kinds
+	// of register when both placements beat memory, otherwise the best
+	// benefit. This is the paper's choice for Chaitin-style coloring.
+	KeyDelta SimplifyKey = iota
+	// KeyMax is strategy 1, the priority-style max(benefit_caller,
+	// benefit_callee); kept for the ablation.
+	KeyMax
+)
+
+// Improved is the enhanced Chaitin-style strategy. The three booleans
+// toggle the paper's techniques independently (its Figure 6 compares
+// SC, SC+BS, and SC+BS+PR against the base allocator).
+type Improved struct {
+	StorageClass    bool // SC (§4)
+	BenefitSimplify bool // BS (§5)
+	Preference      bool // PR (§6)
+
+	// CalleeModel selects the callee-save cost model (default
+	// SharedCost).
+	CalleeModel CalleeCostModel
+	// Key selects the simplification key (default KeyDelta).
+	Key SimplifyKey
+	// Optimistic integrates optimistic coloring (§8): blocked nodes are
+	// pushed optimistically instead of spilled during simplification.
+	Optimistic bool
+}
+
+// All returns the paper's headline configuration: SC+BS+PR with the
+// shared callee-cost model.
+func All() *Improved {
+	return &Improved{StorageClass: true, BenefitSimplify: true, Preference: true}
+}
+
+// Name implements regalloc.Strategy.
+func (im *Improved) Name() string {
+	n := "improved["
+	sep := ""
+	add := func(s string) { n += sep + s; sep = "+" }
+	if im.StorageClass {
+		add("SC")
+	}
+	if im.BenefitSimplify {
+		add("BS")
+	}
+	if im.Preference {
+		add("PR")
+	}
+	if im.Optimistic {
+		add("OPT")
+	}
+	if sep == "" {
+		add("none")
+	}
+	return n + "]"
+}
+
+// Allocate implements regalloc.Strategy.
+func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
+	res := regalloc.NewClassResult()
+
+	prefersCallee := im.preferenceFunc(ctx)
+
+	// Color ordering: benefit-driven simplification.
+	simp := regalloc.NewSimplifier(ctx)
+	opts := regalloc.SimplifyOptions{Optimistic: im.Optimistic}
+	if im.BenefitSimplify {
+		opts.Key = func(rep ir.Reg) float64 { return im.simplifyKey(ctx, rep) }
+	}
+	stack, spilled := simp.Run(opts)
+	res.Spilled = append(res.Spilled, spilled...)
+
+	// Color assignment with storage-class analysis.
+	usedCallee := make(map[machine.PhysReg]bool)
+	calleeUsers := make(map[machine.PhysReg][]ir.Reg)
+	for {
+		rep, ok := stack.Pop()
+		if !ok {
+			break
+		}
+		free := ctx.FreeColors(res.Colors, rep)
+		if len(free) == 0 {
+			res.Spilled = append(res.Spilled, rep) // optimistic push failed
+			continue
+		}
+		caller, callee := ctx.SplitFree(free)
+		rg := ctx.RangeOf(rep)
+
+		wantCallee := prefersCallee(rep)
+		var color machine.PhysReg
+		kindCallee := false
+		switch {
+		case wantCallee && len(callee) > 0:
+			color, kindCallee = pickCallee(callee, usedCallee), true
+		case wantCallee:
+			color = caller[0]
+		case len(caller) > 0:
+			color = caller[0]
+		default:
+			color, kindCallee = pickCallee(callee, usedCallee), true
+		}
+
+		if im.StorageClass && rg != nil && !rg.NoSpill {
+			// Spill-by-choice: a register that costs more than memory
+			// is declined (§4).
+			if !kindCallee && rg.BenefitCaller < 0 {
+				res.Spilled = append(res.Spilled, rep)
+				continue
+			}
+			if kindCallee && im.CalleeModel == FirstUseCost && !usedCallee[color] && rg.BenefitCallee < 0 {
+				res.Spilled = append(res.Spilled, rep)
+				continue
+			}
+			// SharedCost defers the decision to the post-pass below.
+		}
+
+		res.Colors[rep] = color
+		if kindCallee {
+			usedCallee[color] = true
+			calleeUsers[color] = append(calleeUsers[color], rep)
+		}
+	}
+
+	// Shared callee-save cost model: a register whose users' combined
+	// spill cost is below the save/restore cost was not worth
+	// occupying; spill all of its users (§4).
+	if im.StorageClass && im.CalleeModel == SharedCost {
+		calleeCost := 2 * ctx.Ranges.EntryFreq
+		regs := make([]machine.PhysReg, 0, len(calleeUsers))
+		for r := range calleeUsers {
+			regs = append(regs, r)
+		}
+		sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+		for _, r := range regs {
+			users := calleeUsers[r]
+			sum := 0.0
+			spillable := true
+			for _, u := range users {
+				rg := ctx.RangeOf(u)
+				if rg == nil || rg.NoSpill {
+					spillable = false
+					break
+				}
+				sum += rg.SpillCost
+			}
+			if spillable && sum < calleeCost {
+				for _, u := range users {
+					delete(res.Colors, u)
+					res.Spilled = append(res.Spilled, u)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// pickCallee chooses a callee-save register, preferring one already in
+// use so that its entry/exit cost is shared (and, under the first-use
+// model, free for this range).
+func pickCallee(callee []machine.PhysReg, used map[machine.PhysReg]bool) machine.PhysReg {
+	for _, r := range callee {
+		if used[r] {
+			return r
+		}
+	}
+	return callee[0]
+}
+
+// simplifyKey computes the benefit-driven simplification key (§5).
+func (im *Improved) simplifyKey(ctx *regalloc.ClassContext, rep ir.Reg) float64 {
+	rg := ctx.RangeOf(rep)
+	if rg == nil {
+		return 0
+	}
+	bc, be := rg.BenefitCaller, rg.BenefitCallee
+	if im.Key == KeyMax {
+		return max2(bc, be)
+	}
+	// Strategy 2: both kinds beat memory — only the wrong-kind penalty
+	// matters; otherwise fall back to the best benefit.
+	if bc >= 0 && be > 0 {
+		d := bc - be
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	return max2(bc, be)
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// preferenceFunc returns the "prefers callee-save" predicate for this
+// bank, applying the preference-decision pre-pass when enabled (§6).
+func (im *Improved) preferenceFunc(ctx *regalloc.ClassContext) func(ir.Reg) bool {
+	base := func(rep ir.Reg) bool {
+		rg := ctx.RangeOf(rep)
+		if rg == nil {
+			return false
+		}
+		if im.StorageClass {
+			return rg.PrefersCallee()
+		}
+		return rg.CrossesCall
+	}
+	if !im.Preference {
+		return base
+	}
+
+	forcedCaller := make(map[ir.Reg]bool)
+	m := ctx.Config.Callee[ctx.Class]
+
+	// Call sites in decreasing weighted frequency (ties broken by
+	// program order for determinism).
+	calls := make([]int, len(ctx.Ranges.Calls))
+	for i := range calls {
+		calls[i] = i
+	}
+	sort.SliceStable(calls, func(a, b int) bool {
+		return ctx.Ranges.Calls[calls[a]].Freq > ctx.Ranges.Calls[calls[b]].Freq
+	})
+
+	for _, ci := range calls {
+		site := &ctx.Ranges.Calls[ci]
+		var wantCallee []ir.Reg
+		for _, rep := range site.Crossing[ctx.Class] {
+			if !forcedCaller[rep] && base(rep) {
+				wantCallee = append(wantCallee, rep)
+			}
+		}
+		l := len(wantCallee)
+		if l <= m {
+			continue
+		}
+		// At least L−M of these must end up caller-save; force the ones
+		// with the smallest keys (§6: caller_cost when benefit_caller >
+		// 0, else spill_cost — the penalty for not getting a
+		// callee-save register).
+		key := func(rep ir.Reg) float64 {
+			rg := ctx.RangeOf(rep)
+			if rg == nil {
+				return 0
+			}
+			if rg.BenefitCaller > 0 {
+				return rg.CallerCost
+			}
+			return rg.SpillCost
+		}
+		sort.SliceStable(wantCallee, func(a, b int) bool {
+			ka, kb := key(wantCallee[a]), key(wantCallee[b])
+			if ka != kb {
+				return ka < kb
+			}
+			return wantCallee[a] < wantCallee[b]
+		})
+		for _, rep := range wantCallee[:l-m] {
+			forcedCaller[rep] = true
+		}
+	}
+
+	return func(rep ir.Reg) bool {
+		if forcedCaller[rep] {
+			return false
+		}
+		return base(rep)
+	}
+}

@@ -1,0 +1,147 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§7-§11) over the SPEC92 stand-in suite, plus the
+// ablations DESIGN.md calls out. Each experiment prints the same rows
+// or series the paper reports; EXPERIMENTS.md records how the measured
+// shapes compare to the published ones.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro"
+	"repro/internal/benchprog"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+// Env caches compiled benchmark programs and their profiles; compiling
+// and profiling once is what makes the full experiment sweep fast.
+type Env struct {
+	mu    sync.Mutex
+	cache map[string]*Prepared
+}
+
+// Prepared is one benchmark ready for allocation experiments.
+type Prepared struct {
+	Name    string
+	Program *callcost.Program
+	// Dynamic is the profile-based frequency table; Static the
+	// estimated one.
+	Dynamic *freq.ProgramFreq
+	Static  *freq.ProgramFreq
+	// RefInt is the reference result, for optional re-verification.
+	RefInt int64
+	// Steps is the profiled instruction count.
+	Steps int64
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{cache: make(map[string]*Prepared)} }
+
+// Get compiles and profiles the named benchmark (cached).
+func (e *Env) Get(name string) (*Prepared, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.cache[name]; ok {
+		return p, nil
+	}
+	bp := benchprog.ByName(name)
+	if bp == nil {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	prog, err := callcost.Compile(bp.Source)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compile %s: %w", name, err)
+	}
+	res, err := interp.Run(prog.IR, interp.Options{Profile: true, MaxSteps: 50_000_000})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profile %s: %w", name, err)
+	}
+	p := &Prepared{
+		Name:    name,
+		Program: prog,
+		Dynamic: freq.FromProfile(prog.IR, res.Profile),
+		Static:  prog.StaticFreq(),
+		RefInt:  res.RetInt,
+		Steps:   res.Steps,
+	}
+	e.cache[name] = p
+	return p, nil
+}
+
+// Overhead allocates prog with strat at cfg under weights pf and
+// returns the analytic overhead decomposition under the same weights.
+func (p *Prepared) Overhead(strat callcost.Strategy, cfg callcost.Config, pf *freq.ProgramFreq) (callcost.Overhead, error) {
+	alloc, err := p.Program.Allocate(strat, cfg, pf)
+	if err != nil {
+		return callcost.Overhead{}, fmt.Errorf("%s: %s at %s: %w", p.Name, strat.Name(), cfg, err)
+	}
+	return alloc.Overhead(pf), nil
+}
+
+// Freq selects the dynamic or static table.
+func (p *Prepared) Freq(dynamic bool) *freq.ProgramFreq {
+	if dynamic {
+		return p.Dynamic
+	}
+	return p.Static
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the flag value (e.g. "fig2", "tab3").
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Run executes the experiment, printing its table to w.
+	Run func(env *Env, w io.Writer) error
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in registration order.
+func All() []*Experiment {
+	out := append([]*Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Shared formatting and sweeps
+
+// sweep is the standard register sweep of the figures.
+func sweep() []callcost.Config { return machine.Sweep() }
+
+// header prints the experiment banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	for i := 0; i < len(title); i++ {
+		fmt.Fprint(w, "=")
+	}
+	fmt.Fprintln(w)
+}
+
+// ratioCell formats a base/variant overhead ratio like the paper's
+// tables (two decimals).
+func ratioCell(base, variant float64) string {
+	return fmt.Sprintf("%6.2f", callcost.Ratio(base, variant))
+}

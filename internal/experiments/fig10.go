@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// Fig10Row compares improved Chaitin and priority-based coloring
+// against the base allocator at one configuration.
+type Fig10Row struct {
+	Config   callcost.Config
+	Improved float64
+	Priority float64
+}
+
+// PriorityComparison computes Figure 10 for one program under one
+// weight model; the priority allocator uses the paper's chosen
+// "sorting" ordering.
+func PriorityComparison(env *Env, program string, dynamic bool) ([]Fig10Row, error) {
+	p, err := env.Get(program)
+	if err != nil {
+		return nil, err
+	}
+	pf := p.Freq(dynamic)
+	var rows []Fig10Row
+	for _, cfg := range sweep() {
+		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		impr, err := p.Overhead(callcost.ImprovedAll(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		prio, err := p.Overhead(callcost.Priority(callcost.PrioritySorting), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{
+			Config:   cfg,
+			Improved: callcost.Ratio(base.Total(), impr.Total()),
+			Priority: callcost.Ratio(base.Total(), prio.Total()),
+		})
+	}
+	return rows, nil
+}
+
+// Fig10Programs are shown in the paper's Figure 10; the rest of the
+// suite is printed too for completeness.
+var Fig10Programs = []string{"alvinn", "nasa7", "fpppp", "espresso", "gcc", "ear", "tomcatv", "li"}
+
+func init() {
+	register(&Experiment{
+		ID: "fig10",
+		Title: "Figure 10: priority-based versus improved Chaitin-style " +
+			"coloring (both over base), static and dynamic — three " +
+			"outcome classes: tie, improved wins, no clear winner",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Figure 10 — improved Chaitin vs priority-based (ratios over base Chaitin)")
+			for _, prog := range Fig10Programs {
+				fmt.Fprintf(w, "\n%s\n%-14s %18s %18s %18s %18s\n", prog,
+					"(Ri,Rf,Ei,Ef)", "improved(static)", "priority(static)",
+					"improved(dyn)", "priority(dyn)")
+				stat, err := PriorityComparison(env, prog, false)
+				if err != nil {
+					return err
+				}
+				dyn, err := PriorityComparison(env, prog, true)
+				if err != nil {
+					return err
+				}
+				for i := range stat {
+					fmt.Fprintf(w, "%-14s %18.2f %18.2f %18.2f %18.2f\n",
+						stat[i].Config, stat[i].Improved, stat[i].Priority,
+						dyn[i].Improved, dyn[i].Priority)
+				}
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// Fig11Row compares improved Chaitin and the CBH model against the
+// base allocator at one configuration.
+type Fig11Row struct {
+	Config   callcost.Config
+	Improved float64
+	CBH      float64
+}
+
+// CBHComparison computes Figure 11 for one program under one weight
+// model.
+func CBHComparison(env *Env, program string, dynamic bool) ([]Fig11Row, error) {
+	p, err := env.Get(program)
+	if err != nil {
+		return nil, err
+	}
+	pf := p.Freq(dynamic)
+	var rows []Fig11Row
+	for _, cfg := range sweep() {
+		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		impr, err := p.Overhead(callcost.ImprovedAll(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		cbh, err := p.Overhead(callcost.CBH(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig11Row{
+			Config:   cfg,
+			Improved: callcost.Ratio(base.Total(), impr.Total()),
+			CBH:      callcost.Ratio(base.Total(), cbh.Total()),
+		})
+	}
+	return rows, nil
+}
+
+// Fig11Programs are shown in the paper's Figure 11.
+var Fig11Programs = []string{"alvinn", "ear", "li", "matrix300", "nasa7", "gcc", "fpppp", "tomcatv"}
+
+func init() {
+	register(&Experiment{
+		ID: "fig11",
+		Title: "Figure 11: improved Chaitin-style versus the CBH cost " +
+			"model (both over base) — CBH forbids caller-save registers " +
+			"to ranges crossing calls, starving them until enough " +
+			"callee-save registers exist",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Figure 11 — improved Chaitin vs CBH (ratios over base Chaitin)")
+			for _, prog := range Fig11Programs {
+				fmt.Fprintf(w, "\n%s\n%-14s %18s %18s %18s %18s\n", prog,
+					"(Ri,Rf,Ei,Ef)", "improved(static)", "cbh(static)",
+					"improved(dyn)", "cbh(dyn)")
+				stat, err := CBHComparison(env, prog, false)
+				if err != nil {
+					return err
+				}
+				dyn, err := CBHComparison(env, prog, true)
+				if err != nil {
+					return err
+				}
+				for i := range stat {
+					fmt.Fprintf(w, "%-14s %18.2f %18.2f %18.2f %18.2f\n",
+						stat[i].Config, stat[i].Improved, stat[i].CBH,
+						dyn[i].Improved, dyn[i].CBH)
+				}
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// Fig2Row is one register configuration's cost decomposition.
+type Fig2Row struct {
+	Config callcost.Config
+	Cost   callcost.Overhead
+}
+
+// CostDecomposition runs the Figure 2/Figure 7 measurement: the
+// overhead decomposition of one strategy across the register sweep
+// under dynamic weights.
+func CostDecomposition(env *Env, program string, strat callcost.Strategy) ([]Fig2Row, error) {
+	p, err := env.Get(program)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig2Row
+	for _, cfg := range sweep() {
+		o, err := p.Overhead(strat, cfg, p.Dynamic)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig2Row{Config: cfg, Cost: o})
+	}
+	return rows, nil
+}
+
+func printDecomposition(w io.Writer, program string, rows []Fig2Row) {
+	fmt.Fprintf(w, "\n%s (dynamic weights; overhead memory operations)\n", program)
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s %12s\n",
+		"(Ri,Rf,Ei,Ef)", "spill", "caller-save", "callee-save", "shuffle", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.0f %12.0f %12.0f %12.0f %12.0f\n",
+			r.Config, r.Cost.Spill, r.Cost.Caller, r.Cost.Callee, r.Cost.Shuffle, r.Cost.Total())
+	}
+}
+
+func init() {
+	register(&Experiment{
+		ID: "fig2",
+		Title: "Figure 2: register-allocation cost of the base Chaitin " +
+			"allocator vs register configuration (eqntott, ear) — spill " +
+			"cost vanishes with more registers while call cost persists " +
+			"and can even grow",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Figure 2 — base Chaitin cost decomposition")
+			for _, prog := range []string{"eqntott", "ear"} {
+				rows, err := CostDecomposition(env, prog, callcost.Chaitin())
+				if err != nil {
+					return err
+				}
+				printDecomposition(w, prog, rows)
+			}
+			return nil
+		},
+	})
+
+	register(&Experiment{
+		ID: "fig7",
+		Title: "Figure 7: register overhead of improved Chaitin-style " +
+			"allocation (SC+BS+PR) for ear and eqntott — the counterpart " +
+			"to Figure 2, tens of times less overhead",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Figure 7 — improved Chaitin (SC+BS+PR) cost decomposition")
+			for _, prog := range []string{"eqntott", "ear"} {
+				rows, err := CostDecomposition(env, prog, callcost.ImprovedAll())
+				if err != nil {
+					return err
+				}
+				printDecomposition(w, prog, rows)
+				base, err := CostDecomposition(env, prog, callcost.Chaitin())
+				if err != nil {
+					return err
+				}
+				// Headline ratio at the largest configuration.
+				last := len(rows) - 1
+				fmt.Fprintf(w, "base/improved at %s: %s\n",
+					rows[last].Config, ratioCell(base[last].Cost.Total(), rows[last].Cost.Total()))
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// Fig6Combos are the technique combinations of Figure 6, compared
+// against the base allocator.
+var Fig6Combos = []struct {
+	Label string
+	Strat func() callcost.Strategy
+}{
+	{"SC", func() callcost.Strategy { return callcost.Improved(true, false, false) }},
+	{"SC+PR", func() callcost.Strategy { return callcost.Improved(true, false, true) }},
+	{"SC+BS", func() callcost.Strategy { return callcost.Improved(true, true, false) }},
+	{"SC+BS+PR", func() callcost.Strategy { return callcost.Improved(true, true, true) }},
+}
+
+// Fig6Row is base/improved for each combination at one configuration.
+type Fig6Row struct {
+	Config callcost.Config
+	Ratio  []float64 // indexed like Fig6Combos
+}
+
+// ImprovementRatios computes Figure 6 for one program under the given
+// weights.
+func ImprovementRatios(env *Env, program string, dynamic bool) ([]Fig6Row, error) {
+	p, err := env.Get(program)
+	if err != nil {
+		return nil, err
+	}
+	pf := p.Freq(dynamic)
+	var rows []Fig6Row
+	for _, cfg := range sweep() {
+		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig6Row{Config: cfg}
+		for _, combo := range Fig6Combos {
+			o, err := p.Overhead(combo.Strat(), cfg, pf)
+			if err != nil {
+				return nil, err
+			}
+			row.Ratio = append(row.Ratio, callcost.Ratio(base.Total(), o.Total()))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Programs are the programs shown in the paper's Figure 6, plus
+// tomcatv as the flat class-4 witness.
+var Fig6Programs = []string{"nasa7", "ear", "li", "sc", "eqntott", "espresso", "tomcatv"}
+
+func init() {
+	register(&Experiment{
+		ID: "fig6",
+		Title: "Figure 6: improvement of SC / SC+BS / SC+BS+PR over base " +
+			"Chaitin as a function of register pressure (ratios > 1 mean " +
+			"less overhead); programs fall into the paper's four classes",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Figure 6 — improvement ratios over base Chaitin (dynamic weights)")
+			for _, prog := range Fig6Programs {
+				rows, err := ImprovementRatios(env, prog, true)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "\n%s\n%-14s", prog, "(Ri,Rf,Ei,Ef)")
+				for _, c := range Fig6Combos {
+					fmt.Fprintf(w, " %8s", c.Label)
+				}
+				fmt.Fprintln(w)
+				for _, r := range rows {
+					fmt.Fprintf(w, "%-14s", r.Config)
+					for _, v := range r.Ratio {
+						fmt.Fprintf(w, " %8.2f", v)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+			return nil
+		},
+	})
+}

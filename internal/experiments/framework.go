@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+	"repro/internal/benchprog"
+	"repro/internal/regalloc"
+)
+
+// CoalescingRow compares the framework's coalescing modes for one
+// program at one configuration: the paper's framework coalesces
+// aggressively (Chaitin), and the shuffle component is what coalescing
+// exists to remove.
+type CoalescingRow struct {
+	Program    string
+	Config     callcost.Config
+	Aggressive callcost.Overhead
+	Briggs     callcost.Overhead
+	None       callcost.Overhead
+}
+
+// CoalescingAblation measures the three coalescing modes under the
+// improved allocator.
+func CoalescingAblation(env *Env) ([]CoalescingRow, error) {
+	var rows []CoalescingRow
+	for _, name := range benchprog.Names() {
+		p, err := env.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range []callcost.Config{callcost.NewConfig(6, 4, 2, 2), callcost.FullMachine()} {
+			measure := func(opts callcost.AllocOptions) (callcost.Overhead, error) {
+				alloc, err := p.Program.AllocateWithOptions(callcost.ImprovedAll(), cfg, p.Dynamic, opts)
+				if err != nil {
+					return callcost.Overhead{}, err
+				}
+				return alloc.Overhead(p.Dynamic), nil
+			}
+			aggressive := callcost.DefaultAllocOptions()
+			briggs := callcost.DefaultAllocOptions()
+			briggs.ConservativeCoalesce = true
+			off := callcost.DefaultAllocOptions()
+			off.Coalesce = false
+			a, err := measure(aggressive)
+			if err != nil {
+				return nil, err
+			}
+			b, err := measure(briggs)
+			if err != nil {
+				return nil, err
+			}
+			n, err := measure(off)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, CoalescingRow{
+				Program: name, Config: cfg,
+				Aggressive: a, Briggs: b, None: n,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SpillHeuristicRow compares blocked-spill choice rules under the base
+// allocator at a small configuration (where spilling actually happens).
+type SpillHeuristicRow struct {
+	Program       string
+	Config        callcost.Config
+	CostOverDeg   float64
+	Plain         float64
+	CostOverDegSq float64
+}
+
+// SpillHeuristicAblation measures the three spill heuristics.
+func SpillHeuristicAblation(env *Env) ([]SpillHeuristicRow, error) {
+	var rows []SpillHeuristicRow
+	for _, name := range benchprog.Names() {
+		p, err := env.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := callcost.NewConfig(6, 4, 0, 0)
+		measure := func(h regalloc.SpillHeuristic) (float64, error) {
+			alloc, err := p.Program.Allocate(&regalloc.Chaitin{Heuristic: h}, cfg, p.Dynamic)
+			if err != nil {
+				return 0, err
+			}
+			return alloc.Overhead(p.Dynamic).Total(), nil
+		}
+		cd, err := measure(regalloc.CostOverDegree)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := measure(regalloc.PlainCost)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := measure(regalloc.CostOverDegreeSq)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpillHeuristicRow{
+			Program: name, Config: cfg,
+			CostOverDeg: cd, Plain: pl, CostOverDegSq: sq,
+		})
+	}
+	return rows, nil
+}
+
+func init() {
+	register(&Experiment{
+		ID: "ablation-coalesce",
+		Title: "framework ablation: aggressive (Chaitin) vs conservative " +
+			"(Briggs) vs no coalescing under the improved allocator — " +
+			"coalescing removes the shuffle component",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Ablation — coalescing modes")
+			rows, err := CoalescingAblation(env)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %-14s %22s %22s %22s\n",
+				"program", "(Ri,Rf,Ei,Ef)", "aggressive(tot/shuf)", "briggs(tot/shuf)", "none(tot/shuf)")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%-10s %-14s %14.0f /%6.0f %14.0f /%6.0f %14.0f /%6.0f\n",
+					r.Program, r.Config,
+					r.Aggressive.Total(), r.Aggressive.Shuffle,
+					r.Briggs.Total(), r.Briggs.Shuffle,
+					r.None.Total(), r.None.Shuffle)
+			}
+			return nil
+		},
+	})
+	register(&Experiment{
+		ID: "ablation-spillheur",
+		Title: "framework ablation: blocked-spill heuristics (cost/degree " +
+			"— Chaitin's — vs plain cost vs cost/degree²) on the base " +
+			"allocator at the minimum configuration",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Ablation — spill heuristics at (6,4,0,0)")
+			rows, err := SpillHeuristicAblation(env)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %14s %14s %14s\n", "program", "cost/degree", "cost", "cost/degree2")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%-10s %14.0f %14.0f %14.0f\n",
+					r.Program, r.CostOverDeg, r.Plain, r.CostOverDegSq)
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+	"repro/internal/benchprog"
+)
+
+// OptimisticRatio computes Base-Chaitin/Optimistic for one program at
+// one configuration (the entries of Tables 2 and 3: shaded below 1.00
+// when optimistic coloring HURTS once call cost is counted).
+func OptimisticRatio(env *Env, program string, cfg callcost.Config, dynamic bool) (float64, error) {
+	p, err := env.Get(program)
+	if err != nil {
+		return 0, err
+	}
+	pf := p.Freq(dynamic)
+	base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
+	if err != nil {
+		return 0, err
+	}
+	opt, err := p.Overhead(callcost.Optimistic(), cfg, pf)
+	if err != nil {
+		return 0, err
+	}
+	return callcost.Ratio(base.Total(), opt.Total()), nil
+}
+
+// tab23Configs is the (smaller) configuration subset the paper's
+// tables print as columns.
+func tab23Configs() []callcost.Config {
+	return []callcost.Config{
+		callcost.NewConfig(6, 4, 0, 0),
+		callcost.NewConfig(6, 4, 2, 2),
+		callcost.NewConfig(6, 4, 4, 4),
+		callcost.NewConfig(8, 6, 2, 2),
+		callcost.NewConfig(8, 6, 6, 6),
+		callcost.NewConfig(10, 8, 4, 4),
+		callcost.FullMachine(),
+	}
+}
+
+func runOptimisticTable(env *Env, w io.Writer, dynamic bool) error {
+	kind := "static"
+	if dynamic {
+		kind = "dynamic"
+	}
+	fmt.Fprintf(w, "\nBase-Chaitin/Optimistic overhead ratio (%s information)\n", kind)
+	fmt.Fprintf(w, "entries < 1.00: optimistic coloring INCREASED the overhead\n\n")
+	cfgs := tab23Configs()
+	fmt.Fprintf(w, "%-10s", "program")
+	for _, c := range cfgs {
+		fmt.Fprintf(w, " %13s", c.String())
+	}
+	fmt.Fprintln(w)
+	for _, name := range benchprog.Names() {
+		fmt.Fprintf(w, "%-10s", name)
+		for _, cfg := range cfgs {
+			r, err := OptimisticRatio(env, name, cfg, dynamic)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %13.2f", r)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig9Row is one configuration of Figure 9 (fpppp, static): the
+// improvement ratio of optimistic, improved, and their integration over
+// base Chaitin.
+type Fig9Row struct {
+	Config     callcost.Config
+	Optimistic float64
+	Improved   float64
+	Both       float64
+}
+
+// Fig9 computes the fpppp static comparison.
+func Fig9(env *Env) ([]Fig9Row, error) {
+	p, err := env.Get("fpppp")
+	if err != nil {
+		return nil, err
+	}
+	pf := p.Static
+	var rows []Fig9Row
+	for _, cfg := range sweep() {
+		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := p.Overhead(callcost.Optimistic(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		impr, err := p.Overhead(callcost.ImprovedAll(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		both, err := p.Overhead(callcost.ImprovedOptimistic(), cfg, pf)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{
+			Config:     cfg,
+			Optimistic: callcost.Ratio(base.Total(), opt.Total()),
+			Improved:   callcost.Ratio(base.Total(), impr.Total()),
+			Both:       callcost.Ratio(base.Total(), both.Total()),
+		})
+	}
+	return rows, nil
+}
+
+func init() {
+	register(&Experiment{
+		ID: "tab2",
+		Title: "Table 2: optimistic coloring versus base Chaitin using " +
+			"static execution estimates — optimistic rarely helps and " +
+			"often hurts once call cost is part of the overhead",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Table 2 — optimistic vs Chaitin (static)")
+			return runOptimisticTable(env, w, false)
+		},
+	})
+	register(&Experiment{
+		ID: "tab3",
+		Title: "Table 3: optimistic coloring versus base Chaitin using " +
+			"profile (dynamic) information",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Table 3 — optimistic vs Chaitin (dynamic)")
+			return runOptimisticTable(env, w, true)
+		},
+	})
+	register(&Experiment{
+		ID: "fig9",
+		Title: "Figure 9: fpppp (static) — optimistic coloring wins at " +
+			"few registers, improved Chaitin wins at many, and their " +
+			"integration follows the upper envelope",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Figure 9 — fpppp, static information (ratios over base Chaitin)")
+			rows, err := Fig9(env)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-14s %10s %10s %16s\n", "(Ri,Rf,Ei,Ef)", "optimistic", "improved", "improved+optim.")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%-14s %10.2f %10.2f %16.2f\n", r.Config, r.Optimistic, r.Improved, r.Both)
+			}
+			return nil
+		},
+	})
+}

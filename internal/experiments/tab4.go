@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// Tab4Row is the execution-time speedup of improved Chaitin over
+// optimistic coloring with the full register file, measured in
+// machine-interpreter cycles (the paper's Table 4 measured wall time on
+// a DECstation 5000).
+type Tab4Row struct {
+	Program          string
+	OptimisticCycles float64
+	ImprovedCycles   float64
+	SpeedupPercent   float64
+}
+
+// Tab4Programs are the programs of the paper's Table 4.
+var Tab4Programs = []string{"compress", "eqntott", "li", "sc", "spice"}
+
+// Speedups measures Table 4.
+func Speedups(env *Env, programs []string) ([]Tab4Row, error) {
+	var rows []Tab4Row
+	for _, name := range programs {
+		p, err := env.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := callcost.FullMachine()
+		cycles := func(strat callcost.Strategy) (float64, error) {
+			alloc, err := p.Program.Allocate(strat, cfg, p.Dynamic)
+			if err != nil {
+				return 0, err
+			}
+			res, err := alloc.Execute()
+			if err != nil {
+				return 0, err
+			}
+			if res.RetInt != p.RefInt {
+				return 0, fmt.Errorf("%s: %s computed %d, reference %d",
+					name, strat.Name(), res.RetInt, p.RefInt)
+			}
+			return res.Counts.Cycles, nil
+		}
+		opt, err := cycles(callcost.Optimistic())
+		if err != nil {
+			return nil, err
+		}
+		impr, err := cycles(callcost.ImprovedAll())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Tab4Row{
+			Program:          name,
+			OptimisticCycles: opt,
+			ImprovedCycles:   impr,
+			SpeedupPercent:   (opt - impr) / impr * 100,
+		})
+	}
+	return rows, nil
+}
+
+func init() {
+	register(&Experiment{
+		ID: "tab4",
+		Title: "Table 4: execution-time speedup of the three enhancements " +
+			"over optimistic coloring with all registers (26 int, 16 " +
+			"float) — the paper reports 1.0%-4.4% on a DECstation 5000",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Table 4 — execution-time speedup, full register file")
+			rows, err := Speedups(env, Tab4Programs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %16s %16s %10s\n", "program", "optimistic(cyc)", "improved(cyc)", "speedup%")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%-10s %16.0f %16.0f %9.1f%%\n",
+					r.Program, r.OptimisticCycles, r.ImprovedCycles, r.SpeedupPercent)
+			}
+			return nil
+		},
+	})
+}

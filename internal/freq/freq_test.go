@@ -1,0 +1,168 @@
+package freq_test
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func TestStaticLoopMultiplier(t *testing.T) {
+	prog := build(t, `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 100; i = i + 1) { s = s + i; }
+	return s;
+}`)
+	pf := freq.Static(prog)
+	ff := pf.Of(prog.FuncByName["main"])
+	if ff.Entry != 1 {
+		t.Fatalf("main entry = %v, want 1", ff.Entry)
+	}
+	// Some block (the loop body) should have frequency near 9-10x the
+	// entry block.
+	maxW := 0.0
+	for _, w := range ff.Block {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW < 5 || maxW > 20 {
+		t.Errorf("hottest block weight = %v, want ~9-10", maxW)
+	}
+}
+
+func TestStaticNestedLoops(t *testing.T) {
+	prog := build(t, `
+int main() {
+	int i; int j; int s = 0;
+	for (i = 0; i < 9; i = i + 1) {
+		for (j = 0; j < 9; j = j + 1) { s = s + 1; }
+	}
+	return s;
+}`)
+	pf := freq.Static(prog)
+	ff := pf.Of(prog.FuncByName["main"])
+	maxW := 0.0
+	for _, w := range ff.Block {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	// Two nested loops: ~10 * ~10 = ~100.
+	if maxW < 40 || maxW > 250 {
+		t.Errorf("hottest block weight = %v, want ~100", maxW)
+	}
+}
+
+func TestStaticCallPropagation(t *testing.T) {
+	prog := build(t, `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) + leaf(x + 1); }
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 50; i = i + 1) { s = s + mid(i); }
+	return s;
+}`)
+	pf := freq.Static(prog)
+	midF := pf.ByFunc["mid"]
+	leafF := pf.ByFunc["leaf"]
+	if midF.Entry <= 1 {
+		t.Errorf("mid entry = %v, want > 1 (called in a loop)", midF.Entry)
+	}
+	// leaf is called twice per mid call.
+	ratio := leafF.Entry / midF.Entry
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("leaf/mid entry ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestStaticRecursionIsBounded(t *testing.T) {
+	prog := build(t, `
+int f(int n) { if (n <= 0) { return 0; } return f(n - 1) + 1; }
+int main() { return f(10); }`)
+	pf := freq.Static(prog)
+	e := pf.ByFunc["f"].Entry
+	if e <= 0 {
+		t.Fatalf("recursive f entry = %v, want > 0", e)
+	}
+	if e > 1e12 {
+		t.Fatalf("recursive f entry = %v, not clamped", e)
+	}
+}
+
+func TestStaticDeadFunctionHasZeroFreq(t *testing.T) {
+	prog := build(t, `
+int unused(int x) { return x * 2; }
+int main() { return 1; }`)
+	pf := freq.Static(prog)
+	if e := pf.ByFunc["unused"].Entry; e != 0 {
+		t.Errorf("dead function entry = %v, want 0", e)
+	}
+}
+
+func TestFromProfileMatchesInterpreter(t *testing.T) {
+	prog := build(t, `
+int work(int n) { return n * n; }
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 13; i = i + 1) { s = s + work(i); }
+	return s;
+}`)
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	if e := pf.ByFunc["work"].Entry; e != 13 {
+		t.Errorf("work entry = %v, want 13", e)
+	}
+	if e := pf.ByFunc["main"].Entry; e != 1 {
+		t.Errorf("main entry = %v, want 1", e)
+	}
+	// Block counts must be non-negative and the entry block count 1.
+	mainF := pf.ByFunc["main"]
+	if mainF.Block[0] != 1 {
+		t.Errorf("main entry block = %v, want 1", mainF.Block[0])
+	}
+	workF := pf.ByFunc["work"]
+	total := 0.0
+	for _, c := range workF.Block {
+		total += c
+	}
+	if total < 13 {
+		t.Errorf("work total block executions = %v, want >= 13", total)
+	}
+}
+
+func TestBranchHalving(t *testing.T) {
+	prog := build(t, `
+int main() {
+	int x = 3;
+	if (x > 0) { x = x + 1; } else { x = x - 1; }
+	return x;
+}`)
+	pf := freq.Static(prog)
+	ff := pf.Of(prog.FuncByName["main"])
+	// Entry block weight 1; then/else ~0.5 each; join 1.
+	half := 0
+	for _, w := range ff.Block {
+		if w > 0.4 && w < 0.6 {
+			half++
+		}
+	}
+	if half != 2 {
+		t.Errorf("got %d blocks with ~0.5 weight, want 2 (then/else): %v", half, ff.Block)
+	}
+}

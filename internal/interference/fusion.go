@@ -1,0 +1,156 @@
+package interference
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Region is a set of blocks that fusion-style graph construction
+// treats as a unit (paper Table 1: fusion-style coloring "identifies
+// regions, constructs the interference graph for each region, and then
+// fuses graphs together to get the interference graph of the
+// function"). Regions here are the natural-loop nesting: innermost
+// loops first, then their enclosing loops, then the remaining blocks.
+type Region struct {
+	Blocks []int
+	// Depth is the loop depth of the region (0 = straight-line rest).
+	Depth int
+}
+
+// Regions partitions fn's blocks by loop-nesting depth, deepest first —
+// the order fusion processes them, so the hottest code's interference
+// structure is in place before colder context is fused around it.
+func Regions(g *cfg.Graph) []Region {
+	byDepth := map[int][]int{}
+	maxDepth := 0
+	for b, d := range g.LoopDepth {
+		byDepth[d] = append(byDepth[d], b)
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	var out []Region
+	for d := maxDepth; d >= 0; d-- {
+		if blocks, ok := byDepth[d]; ok {
+			sort.Ints(blocks)
+			out = append(out, Region{Blocks: blocks, Depth: d})
+		}
+	}
+	return out
+}
+
+// BuildFused constructs the function's interference graph
+// region-by-region and fuses the partial graphs, reproducing the
+// fusion-style graph-construction phase of the framework. Without
+// live-range splitting (which the paper excludes), the fused result is
+// identical to a monolithic Build — the test suite holds the two equal
+// — so its value is construction locality, not allocation quality.
+func BuildFused(fn *ir.Func, g *cfg.Graph, live *liveness.Info, class ir.Class) *Graph {
+	fused := &Graph{
+		Fn:     fn,
+		Class:  class,
+		parent: make([]ir.Reg, fn.NumRegs()),
+		adj:    make([]map[ir.Reg]struct{}, fn.NumRegs()),
+		occurs: make([]bool, fn.NumRegs()),
+	}
+	for i := range fused.parent {
+		fused.parent[i] = ir.Reg(i)
+	}
+	for _, region := range Regions(g) {
+		partial := buildRegion(fn, live, class, region.Blocks)
+		fuse(fused, partial)
+	}
+	// Parameters are defined simultaneously at entry; the entry block
+	// belongs to some region, but the parameter clique is a
+	// whole-function property, added at the final fuse like Build does.
+	mine := func(r ir.Reg) bool { return fn.RegClass(r) == class }
+	params := make([]ir.Reg, 0, len(fn.Params))
+	for _, p := range fn.Params {
+		if mine(p) {
+			params = append(params, p)
+			if live.In[0].Has(int(p)) {
+				fused.occurs[p] = true
+			}
+		}
+	}
+	for i, p := range params {
+		for _, q := range params[i+1:] {
+			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
+				fused.addEdge(p, q)
+			}
+		}
+	}
+	return fused
+}
+
+// buildRegion builds the partial graph contributed by one region's
+// blocks: occurrences and definition-point edges within those blocks.
+// Liveness is the function-global solution — a value live into the
+// region from outside keeps its edges, which is exactly what makes the
+// later fusion a plain union.
+func buildRegion(fn *ir.Func, live *liveness.Info, class ir.Class, blocks []int) *Graph {
+	p := &Graph{
+		Fn:     fn,
+		Class:  class,
+		parent: make([]ir.Reg, fn.NumRegs()),
+		adj:    make([]map[ir.Reg]struct{}, fn.NumRegs()),
+		occurs: make([]bool, fn.NumRegs()),
+	}
+	for i := range p.parent {
+		p.parent[i] = ir.Reg(i)
+	}
+	mine := func(r ir.Reg) bool { return fn.RegClass(r) == class }
+	for _, id := range blocks {
+		b := fn.Blocks[id]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.HasDst() && mine(in.Dst) {
+				p.occurs[in.Dst] = true
+			}
+			for _, a := range in.Args {
+				if mine(a) {
+					p.occurs[a] = true
+				}
+			}
+		}
+		live.WalkBlock(b, func(in *ir.Instr, after *bitset.Set) {
+			if !in.HasDst() || !mine(in.Dst) {
+				return
+			}
+			d := in.Dst
+			var moveSrc ir.Reg = ir.NoReg
+			if in.Op == ir.OpMove {
+				moveSrc = in.Args[0]
+			}
+			after.ForEach(func(ri int) {
+				r := ir.Reg(ri)
+				if r == d || r == moveSrc || !mine(r) {
+					return
+				}
+				p.addEdge(d, r)
+			})
+		})
+	}
+	return p
+}
+
+// fuse merges the partial graph src into dst: node occurrences and
+// edges are unioned.
+func fuse(dst, src *Graph) {
+	for r := range src.occurs {
+		if src.occurs[r] {
+			dst.occurs[r] = true
+		}
+	}
+	for r, adj := range src.adj {
+		for n := range adj {
+			if ir.Reg(r) < n { // each edge once
+				dst.addEdge(ir.Reg(r), n)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package interference_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/randprog"
+)
+
+// TestFusedEqualsMonolithic is the oracle for fusion-style graph
+// construction: without live-range splitting, fusing per-region graphs
+// must yield exactly the monolithic interference graph (the paper's
+// Table 1 models fusion as differing only in the construction phase).
+func TestFusedEqualsMonolithic(t *testing.T) {
+	sources := []string{
+		`
+int f(int n) {
+	int acc = 0;
+	int i = 0;
+	while (i < n) {
+		int j = 0;
+		while (j < n) { acc = acc + i * j; j = j + 1; }
+		i = i + 1;
+	}
+	return acc;
+}
+int main() { return f(5); }`,
+		`
+int g(int v) { return v + 1; }
+int f(int a, int b) {
+	int keep = a * 3;
+	int r = g(b);
+	if (r > 5) { r = r + keep; } else { r = r - keep; }
+	return r + a;
+}
+int main() { return f(2, 3); }`,
+	}
+	for _, src := range sources {
+		prog, err := compile.Source(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range prog.Funcs {
+			g := cfg.New(fn)
+			live := liveness.Compute(fn, g)
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				mono := interference.Build(fn, live, c)
+				fused := interference.BuildFused(fn, g, live, c)
+				if !interference.EdgesEqual(mono, fused) {
+					t.Errorf("%s/%v: fused graph differs from monolithic build", fn.Name, c)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedEqualsMonolithicRandom extends the oracle over generated
+// programs.
+func TestFusedEqualsMonolithicRandom(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := compile.Source(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, fn := range prog.Funcs {
+			g := cfg.New(fn)
+			live := liveness.Compute(fn, g)
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				mono := interference.Build(fn, live, c)
+				fused := interference.BuildFused(fn, g, live, c)
+				if !interference.EdgesEqual(mono, fused) {
+					t.Fatalf("seed %d %s/%v: fused differs from monolithic\n%s", seed, fn.Name, c, src)
+				}
+			}
+		}
+	}
+}
+
+// TestRegionsPartitionBlocks: every block appears in exactly one
+// region, deepest regions first.
+func TestRegionsPartitionBlocks(t *testing.T) {
+	prog, err := compile.Source(`
+int main() {
+	int i; int j; int s = 0;
+	for (i = 0; i < 4; i = i + 1) {
+		for (j = 0; j < 4; j = j + 1) { s = s + 1; }
+	}
+	while (s > 0) { s = s - 3; }
+	return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.FuncByName["main"]
+	g := cfg.New(fn)
+	regions := interference.Regions(g)
+	seen := map[int]bool{}
+	prevDepth := 1 << 30
+	for _, r := range regions {
+		if r.Depth > prevDepth {
+			t.Error("regions not ordered deepest-first")
+		}
+		prevDepth = r.Depth
+		for _, b := range r.Blocks {
+			if seen[b] {
+				t.Errorf("block %d in two regions", b)
+			}
+			seen[b] = true
+			if g.LoopDepth[b] != r.Depth {
+				t.Errorf("block %d depth %d in region of depth %d", b, g.LoopDepth[b], r.Depth)
+			}
+		}
+	}
+	if len(seen) != len(fn.Blocks) {
+		t.Errorf("regions cover %d of %d blocks", len(seen), len(fn.Blocks))
+	}
+	if regions[0].Depth != 2 {
+		t.Errorf("deepest region depth %d, want 2", regions[0].Depth)
+	}
+}

@@ -1,0 +1,275 @@
+// Package interference builds and maintains the interference graph of a
+// function, one graph per register bank. Nodes are live ranges
+// (virtual registers merged by coalescing); an edge joins two ranges
+// that are simultaneously live somewhere, i.e. that cannot share a
+// physical register.
+//
+// The construction is Chaitin's: walking each block backwards, a
+// definition interferes with everything live after it — except, for a
+// move, the move's source, which is what makes copy coalescing possible.
+// Function parameters are all defined at entry simultaneously, so the
+// parameters live into the entry block mutually interfere.
+//
+// The graph embeds a union-find so that coalescing (merging the two
+// ends of a copy) updates interference in place; Find maps any virtual
+// register to the representative of its live range.
+package interference
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Graph is the interference graph of one register bank of one function.
+type Graph struct {
+	Fn    *ir.Func
+	Class ir.Class
+
+	parent []ir.Reg
+	adj    []map[ir.Reg]struct{}
+	occurs []bool // vreg appears in the code (def, use, or live param)
+}
+
+// Build constructs the graph for the given bank from liveness info.
+func Build(fn *ir.Func, live *liveness.Info, class ir.Class) *Graph {
+	n := fn.NumRegs()
+	g := &Graph{
+		Fn:     fn,
+		Class:  class,
+		parent: make([]ir.Reg, n),
+		adj:    make([]map[ir.Reg]struct{}, n),
+		occurs: make([]bool, n),
+	}
+	for i := range g.parent {
+		g.parent[i] = ir.Reg(i)
+	}
+
+	mine := func(r ir.Reg) bool { return fn.RegClass(r) == class }
+
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.HasDst() && mine(in.Dst) {
+				g.occurs[in.Dst] = true
+			}
+			for _, a := range in.Args {
+				if mine(a) {
+					g.occurs[a] = true
+				}
+			}
+		}
+	}
+
+	for _, b := range fn.Blocks {
+		live.WalkBlock(b, func(in *ir.Instr, after *bitset.Set) {
+			if !in.HasDst() || !mine(in.Dst) {
+				return
+			}
+			d := in.Dst
+			var moveSrc ir.Reg = ir.NoReg
+			if in.Op == ir.OpMove {
+				moveSrc = in.Args[0]
+			}
+			after.ForEach(func(i int) {
+				r := ir.Reg(i)
+				if r == d || r == moveSrc || !mine(r) {
+					return
+				}
+				g.addEdge(d, r)
+			})
+		})
+	}
+
+	// Parameters are defined together at function entry.
+	params := make([]ir.Reg, 0, len(fn.Params))
+	for _, p := range fn.Params {
+		if mine(p) {
+			params = append(params, p)
+			if live.In[0].Has(int(p)) {
+				g.occurs[p] = true
+			}
+		}
+	}
+	for i, p := range params {
+		for _, q := range params[i+1:] {
+			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
+				g.addEdge(p, q)
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(a, b ir.Reg) {
+	if a == b {
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[ir.Reg]struct{})
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[ir.Reg]struct{})
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// Find returns the representative live range of r.
+func (g *Graph) Find(r ir.Reg) ir.Reg {
+	for g.parent[r] != r {
+		g.parent[r] = g.parent[g.parent[r]] // path halving
+		r = g.parent[r]
+	}
+	return r
+}
+
+// Interfere reports whether the live ranges of a and b conflict.
+func (g *Graph) Interfere(a, b ir.Reg) bool {
+	ra, rb := g.Find(a), g.Find(b)
+	if ra == rb {
+		return false
+	}
+	_, ok := g.adj[ra][rb]
+	return ok
+}
+
+// Union merges the live range of b into that of a (both are resolved to
+// representatives first). The merged range keeps a's representative and
+// the union of both adjacency sets. Union of interfering ranges is the
+// caller's bug; the graph keeps the edges consistent regardless.
+func (g *Graph) Union(a, b ir.Reg) ir.Reg {
+	ra, rb := g.Find(a), g.Find(b)
+	if ra == rb {
+		return ra
+	}
+	// Merge the smaller adjacency set into the larger.
+	if len(g.adj[rb]) > len(g.adj[ra]) {
+		ra, rb = rb, ra
+	}
+	g.parent[rb] = ra
+	if g.occurs[rb] {
+		g.occurs[ra] = true
+	}
+	for n := range g.adj[rb] {
+		delete(g.adj[n], rb)
+		if n != ra {
+			g.addEdge(ra, n)
+		}
+	}
+	g.adj[rb] = nil
+	return ra
+}
+
+// Degree returns the number of distinct neighboring live ranges of the
+// representative r.
+func (g *Graph) Degree(r ir.Reg) int { return len(g.adj[g.Find(r)]) }
+
+// Neighbors calls f for each neighbor of the representative r.
+func (g *Graph) Neighbors(r ir.Reg, f func(n ir.Reg)) {
+	for n := range g.adj[g.Find(r)] {
+		f(n)
+	}
+}
+
+// NeighborsSorted returns the neighbors in increasing register order,
+// for deterministic iteration.
+func (g *Graph) NeighborsSorted(r ir.Reg) []ir.Reg {
+	ns := make([]ir.Reg, 0, len(g.adj[g.Find(r)]))
+	for n := range g.adj[g.Find(r)] {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// Nodes returns the representatives of this bank that occur in the code,
+// in increasing register order (deterministic).
+func (g *Graph) Nodes() []ir.Reg {
+	var out []ir.Reg
+	for r := 0; r < len(g.parent); r++ {
+		reg := ir.Reg(r)
+		if g.Fn.RegClass(reg) != g.Class {
+			continue
+		}
+		if g.Find(reg) != reg || !g.occurs[g.Find(reg)] {
+			continue
+		}
+		out = append(out, reg)
+	}
+	return out
+}
+
+// Members returns all virtual registers whose live range is represented
+// by rep, including rep itself.
+func (g *Graph) Members(rep ir.Reg) []ir.Reg {
+	var out []ir.Reg
+	for r := range g.parent {
+		if g.Find(ir.Reg(r)) == rep {
+			out = append(out, ir.Reg(r))
+		}
+	}
+	return out
+}
+
+// Coalesce performs aggressive Chaitin-style coalescing: every move
+// whose source and destination live ranges do not interfere is merged.
+// It returns the number of moves coalesced. Passing conservative=true
+// applies the Briggs test instead (merge only when the combined range
+// has fewer than k neighbors of significant degree), which never
+// increases spilling.
+func (g *Graph) Coalesce(conservative bool, k int) int {
+	merged := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpMove || g.Fn.RegClass(in.Dst) != g.Class {
+					continue
+				}
+				d, s := g.Find(in.Dst), g.Find(in.Args[0])
+				if d == s || g.Interfere(d, s) {
+					continue
+				}
+				if conservative && !g.briggsOK(d, s, k) {
+					continue
+				}
+				g.Union(d, s)
+				merged++
+				changed = true
+			}
+		}
+	}
+	return merged
+}
+
+// briggsOK implements the Briggs conservative-coalescing test.
+func (g *Graph) briggsOK(a, b ir.Reg, k int) bool {
+	seen := make(map[ir.Reg]struct{})
+	high := 0
+	count := func(r ir.Reg) {
+		for n := range g.adj[r] {
+			if _, dup := seen[n]; dup {
+				continue
+			}
+			seen[n] = struct{}{}
+			deg := len(g.adj[n])
+			// If n neighbors both a and b, its degree in the merged
+			// graph drops by one.
+			_, na := g.adj[a][n]
+			_, nb := g.adj[b][n]
+			if na && nb {
+				deg--
+			}
+			if deg >= k {
+				high++
+			}
+		}
+	}
+	count(a)
+	count(b)
+	return high < k
+}

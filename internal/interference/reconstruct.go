@@ -1,0 +1,183 @@
+package interference
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Clone returns an independent copy of the graph (same nodes, edges,
+// and union-find state).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Fn:     g.Fn,
+		Class:  g.Class,
+		parent: append([]ir.Reg(nil), g.parent...),
+		adj:    make([]map[ir.Reg]struct{}, len(g.adj)),
+		occurs: append([]bool(nil), g.occurs...),
+	}
+	for i, m := range g.adj {
+		if m == nil {
+			continue
+		}
+		nm := make(map[ir.Reg]struct{}, len(m))
+		for k := range m {
+			nm[k] = struct{}{}
+		}
+		c.adj[i] = nm
+	}
+	return c
+}
+
+// grow extends the graph's tables to cover registers created after it
+// was built.
+func (g *Graph) grow(n int) {
+	for len(g.parent) < n {
+		g.parent = append(g.parent, ir.Reg(len(g.parent)))
+		g.adj = append(g.adj, nil)
+		g.occurs = append(g.occurs, false)
+	}
+}
+
+// removeNode deletes a register's edges and marks it non-occurring.
+func (g *Graph) removeNode(r ir.Reg) {
+	for n := range g.adj[r] {
+		delete(g.adj[n], r)
+	}
+	g.adj[r] = nil
+	g.occurs[r] = false
+}
+
+// Reconstruct implements the framework's graph-reconstruction phase
+// (the paper's compile-time optimization): after spill-code insertion
+// replaced the spilled live ranges with short unspillable temporaries,
+// the existing graph is patched instead of rebuilt from scratch.
+//
+// Spilling does not change the liveness of the surviving ranges, so the
+// surviving subgraph is already correct; the update only
+//
+//   - removes the spilled registers (all their occurrences are gone),
+//   - adds nodes for the new temporaries, and
+//   - adds the temporaries' edges, found with one pass over the
+//     rewritten body: at every definition, any edge involving a new
+//     register is recorded (edges between two old registers already
+//     exist).
+//
+// fn must be the rewritten function, live its fresh liveness, spilled
+// the removed registers, and isNew must report registers created by the
+// spill rewrite.
+func Reconstruct(prev *Graph, fn *ir.Func, live *liveness.Info, spilled map[ir.Reg]*ir.Symbol, isNew func(ir.Reg) bool) *Graph {
+	g := prev
+	g.Fn = fn
+	g.grow(fn.NumRegs())
+	for r := range spilled {
+		if fn.RegClass(r) == g.Class {
+			g.removeNode(r)
+		}
+	}
+
+	mine := func(r ir.Reg) bool { return fn.RegClass(r) == g.Class }
+
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.HasDst() && mine(in.Dst) && isNew(in.Dst) {
+				g.occurs[in.Dst] = true
+			}
+			for _, a := range in.Args {
+				if mine(a) && isNew(a) {
+					g.occurs[a] = true
+				}
+			}
+		}
+	}
+
+	for _, b := range fn.Blocks {
+		live.WalkBlock(b, func(in *ir.Instr, after *bitset.Set) {
+			if !in.HasDst() || !mine(in.Dst) {
+				return
+			}
+			d := in.Dst
+			var moveSrc ir.Reg = ir.NoReg
+			if in.Op == ir.OpMove {
+				moveSrc = in.Args[0]
+			}
+			dNew := isNew(d)
+			after.ForEach(func(ri int) {
+				r := ir.Reg(ri)
+				if r == d || r == moveSrc || !mine(r) {
+					return
+				}
+				// Old-old edges are already present.
+				if !dNew && !isNew(r) {
+					return
+				}
+				g.addEdge(g.Find(d), g.Find(r))
+			})
+		})
+	}
+
+	// Spilled parameters were replaced with fresh temporaries that are
+	// defined simultaneously with the other parameters at entry.
+	params := make([]ir.Reg, 0, len(fn.Params))
+	for _, p := range fn.Params {
+		if mine(p) {
+			params = append(params, p)
+			if isNew(p) && live.In[0].Has(int(p)) {
+				g.occurs[p] = true
+			}
+		}
+	}
+	for i, p := range params {
+		for _, q := range params[i+1:] {
+			if !isNew(p) && !isNew(q) {
+				continue
+			}
+			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
+				g.addEdge(g.Find(p), g.Find(q))
+			}
+		}
+	}
+	return g
+}
+
+// EdgesEqual reports whether two graphs have identical node sets and
+// edges, resolving union-find representatives on both sides. It is the
+// oracle check used to validate Reconstruct against a full rebuild.
+func EdgesEqual(a, b *Graph) bool {
+	na, nb := a.Nodes(), b.Nodes()
+	// Node sets must agree up to representative choice: compare the
+	// partition of occurring registers and the edge relation over
+	// original registers.
+	occA := make(map[ir.Reg]bool)
+	for _, r := range na {
+		occA[r] = true
+	}
+	occB := make(map[ir.Reg]bool)
+	for _, r := range nb {
+		occB[r] = true
+	}
+	max := len(a.parent)
+	if len(b.parent) > max {
+		max = len(b.parent)
+	}
+	inA := func(r ir.Reg) bool { return int(r) < len(a.parent) && occA[a.Find(r)] }
+	inB := func(r ir.Reg) bool { return int(r) < len(b.parent) && occB[b.Find(r)] }
+	for r := 0; r < max; r++ {
+		if inA(ir.Reg(r)) != inB(ir.Reg(r)) {
+			return false
+		}
+	}
+	for r := 0; r < max; r++ {
+		for s := r + 1; s < max; s++ {
+			rr, ss := ir.Reg(r), ir.Reg(s)
+			if !inA(rr) || !inA(ss) {
+				continue
+			}
+			if a.Interfere(rr, ss) != b.Interfere(rr, ss) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package interference_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+)
+
+// spillSomething compiles src, builds the graph of fn, spills the given
+// named registers via the real spill rewriter, and returns everything
+// needed to compare Reconstruct against a fresh Build.
+func reconstructCase(t *testing.T, src, fn string, spillNames []string) (old *interference.Graph, rebuilt *interference.Graph, patched *interference.Graph) {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := prog.FuncByName[fn].Clone()
+	g := cfg.New(f)
+	live := liveness.Compute(f, g)
+	old = interference.Build(f, live, ir.ClassInt)
+
+	spill := make(map[ir.Reg]*ir.Symbol)
+	for _, name := range spillNames {
+		for r := 0; r < f.NumRegs(); r++ {
+			if f.RegName(ir.Reg(r)) == name {
+				spill[ir.Reg(r)] = &ir.Symbol{
+					Name: "spill." + name, Class: f.RegClass(ir.Reg(r)), Local: true, Spill: true,
+				}
+			}
+		}
+	}
+	if len(spill) != len(spillNames) {
+		t.Fatalf("found %d of %d registers", len(spill), len(spillNames))
+	}
+	temps := make(map[ir.Reg]bool)
+	rewrite.InsertSpills(f, spill, func(r ir.Reg) { temps[r] = true })
+
+	g2 := cfg.New(f)
+	live2 := liveness.Compute(f, g2)
+	rebuilt = interference.Build(f, live2, ir.ClassInt)
+	patched = interference.Reconstruct(old.Clone(), f, live2, spill, func(r ir.Reg) bool { return temps[r] })
+	return old, rebuilt, patched
+}
+
+const reconstructSrc = `
+int g(int v) { return v + 1; }
+int f(int a, int b, int c) {
+	int keep = a * 3 + b;
+	int more = b * 5 + c;
+	int r = 0;
+	int i = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		r = r + g(i) + keep;
+	}
+	return keep + more + r + a;
+}
+int main() { return f(1, 2, 3); }`
+
+func TestReconstructMatchesRebuild(t *testing.T) {
+	cases := [][]string{
+		{"keep"},
+		{"more"},
+		{"keep", "more"},
+		{"r"},
+		{"a"}, // spilled parameter path
+		{"keep", "r", "a"},
+	}
+	for _, names := range cases {
+		_, rebuilt, patched := reconstructCase(t, reconstructSrc, "f", names)
+		if !interference.EdgesEqual(rebuilt, patched) {
+			t.Errorf("spilling %v: reconstructed graph differs from rebuild", names)
+		}
+	}
+}
+
+func TestEdgesEqualDetectsDifferences(t *testing.T) {
+	old, rebuilt, _ := reconstructCase(t, reconstructSrc, "f", []string{"keep"})
+	if interference.EdgesEqual(old, rebuilt) {
+		t.Error("pre- and post-spill graphs should differ")
+	}
+}
+
+// TestReconstructionGivesIdenticalAllocations runs the full driver both
+// ways on a program that spills repeatedly.
+func TestReconstructionGivesIdenticalAllocations(t *testing.T) {
+	prog, err := compile.Source(reconstructSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	config := machine.NewConfig(6, 4, 0, 0)
+
+	optsRecon := regalloc.DefaultOptions()
+	optsRebuild := regalloc.DefaultOptions()
+	optsRebuild.Rebuild = true
+
+	for _, strat := range []regalloc.Strategy{&regalloc.Chaitin{}, &regalloc.Chaitin{Optimistic: true}} {
+		fa1, err := regalloc.AllocateFunc(prog.FuncByName["f"], pf.ByFunc["f"], config, strat,
+			rewrite.InsertSpills, optsRecon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa2, err := regalloc.AllocateFunc(prog.FuncByName["f"], pf.ByFunc["f"], config, strat,
+			rewrite.InsertSpills, optsRebuild)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa1.Rounds != fa2.Rounds {
+			t.Errorf("%s: rounds differ: %d vs %d", strat.Name(), fa1.Rounds, fa2.Rounds)
+		}
+		if len(fa1.Colors) != len(fa2.Colors) {
+			t.Fatalf("%s: register counts differ", strat.Name())
+		}
+		for r := range fa1.Colors {
+			if fa1.Colors[r] != fa2.Colors[r] {
+				t.Errorf("%s: v%d colored %d vs %d", strat.Name(), r, fa1.Colors[r], fa2.Colors[r])
+			}
+		}
+	}
+}

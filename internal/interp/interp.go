@@ -1,0 +1,378 @@
+// Package interp executes MC programs in IR form. It serves three
+// roles in the reproduction:
+//
+//   - reference semantics: the output of every register-allocated,
+//     rewritten program must match the interpreter's output (the
+//     differential-testing safety net);
+//   - profiling: it records per-block execution counts, which become
+//     the paper's "dynamic" (profile-based) frequency information;
+//   - workload generation: the benchmark programs run under it to
+//     produce the dynamic weights used by the evaluation.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Options control execution.
+type Options struct {
+	// Entry is the function to run; defaults to "main". It must take no
+	// parameters.
+	Entry string
+	// MaxSteps bounds the number of executed instructions (0 means the
+	// default of 500 million). Exceeding it returns ErrStepLimit.
+	MaxSteps int64
+	// Profile enables block-count profiling.
+	Profile bool
+}
+
+// ErrStepLimit is returned when execution exceeds Options.MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Profile holds per-block execution counts, keyed by function name.
+type Profile struct {
+	// Blocks[fn][b] is the number of times block b of function fn
+	// executed.
+	Blocks map[string][]float64
+	// Entries[fn] is the number of calls of fn (including the initial
+	// entry call).
+	Entries map[string]float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// RetInt / RetFloat hold the entry function's return value.
+	RetInt   int64
+	RetFloat float64
+	// Steps is the number of IR instructions executed.
+	Steps int64
+	// Profile is non-nil when profiling was requested.
+	Profile *Profile
+}
+
+// Run executes the program and returns the entry function's result.
+func Run(p *ir.Program, opts Options) (*Result, error) {
+	entry := opts.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	fn := p.FuncByName[entry]
+	if fn == nil {
+		return nil, fmt.Errorf("interp: no function %q", entry)
+	}
+	if len(fn.Params) != 0 {
+		return nil, fmt.Errorf("interp: entry %q must take no parameters", entry)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 500_000_000
+	}
+	m := &machine{
+		prog:     p,
+		maxSteps: maxSteps,
+		globals:  make(map[*ir.Symbol]*storage),
+	}
+	for _, g := range p.Globals {
+		m.globals[g] = newStorage(g)
+	}
+	if opts.Profile {
+		m.prof = &Profile{
+			Blocks:  make(map[string][]float64),
+			Entries: make(map[string]float64),
+		}
+		for _, f := range p.Funcs {
+			m.prof.Blocks[f.Name] = make([]float64, len(f.Blocks))
+		}
+	}
+	vi, vf, err := m.call(fn, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Steps: m.steps, Profile: m.prof}
+	if fn.HasResult {
+		res.RetInt = vi
+		res.RetFloat = vf
+	}
+	return res, nil
+}
+
+// storage is the backing memory of one symbol.
+type storage struct {
+	ints   []int64
+	floats []float64
+}
+
+func newStorage(s *ir.Symbol) *storage {
+	n := s.Size
+	if n == 0 {
+		n = 1
+	}
+	st := &storage{}
+	if s.Class == ir.ClassFloat {
+		st.floats = make([]float64, n)
+		if !s.IsArray() {
+			st.floats[0] = s.InitFloat
+		}
+	} else {
+		st.ints = make([]int64, n)
+		if !s.IsArray() {
+			st.ints[0] = s.InitInt
+		}
+	}
+	return st
+}
+
+type machine struct {
+	prog     *ir.Program
+	globals  map[*ir.Symbol]*storage
+	steps    int64
+	maxSteps int64
+	prof     *Profile
+	depth    int
+}
+
+// maxCallDepth bounds MC recursion so runaway recursion in a generated
+// program fails cleanly instead of exhausting the Go stack.
+const maxCallDepth = 10_000
+
+// truncToInt converts a float to an int with defined behaviour for NaN
+// and out-of-range values (NaN -> 0, saturating at the int64 limits), so
+// the reference interpreter and the machine-level interpreter agree
+// everywhere.
+func truncToInt(f float64) int64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+func (m *machine) call(fn *ir.Func, argsI []int64, argsF []float64) (int64, float64, error) {
+	if m.depth++; m.depth > maxCallDepth {
+		return 0, 0, fmt.Errorf("interp: call depth exceeds %d in %s", maxCallDepth, fn.Name)
+	}
+	defer func() { m.depth-- }()
+
+	if m.prof != nil {
+		m.prof.Entries[fn.Name]++
+	}
+	ints := make([]int64, fn.NumRegs())
+	floats := make([]float64, fn.NumRegs())
+	ai, af := 0, 0
+	for _, p := range fn.Params {
+		if fn.RegClass(p) == ir.ClassFloat {
+			floats[p] = argsF[af]
+			af++
+		} else {
+			ints[p] = argsI[ai]
+			ai++
+		}
+	}
+	locals := make(map[*ir.Symbol]*storage, len(fn.Locals))
+	for _, l := range fn.Locals {
+		locals[l] = newStorage(l)
+	}
+	mem := func(s *ir.Symbol) *storage {
+		if s.Local {
+			return locals[s]
+		}
+		return m.globals[s]
+	}
+
+	var profBlocks []float64
+	if m.prof != nil {
+		profBlocks = m.prof.Blocks[fn.Name]
+	}
+
+	blockID := 0
+	for {
+		blk := fn.Blocks[blockID]
+		if profBlocks != nil {
+			profBlocks[blockID]++
+		}
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			m.steps++
+			if m.steps > m.maxSteps {
+				return 0, 0, ErrStepLimit
+			}
+			switch in.Op {
+			case ir.OpNop:
+			case ir.OpConstInt:
+				ints[in.Dst] = in.IntVal
+			case ir.OpConstFloat:
+				floats[in.Dst] = in.FloatVal
+			case ir.OpMove:
+				if fn.RegClass(in.Dst) == ir.ClassFloat {
+					floats[in.Dst] = floats[in.Args[0]]
+				} else {
+					ints[in.Dst] = ints[in.Args[0]]
+				}
+			case ir.OpI2F:
+				floats[in.Dst] = float64(ints[in.Args[0]])
+			case ir.OpF2I:
+				ints[in.Dst] = truncToInt(floats[in.Args[0]])
+			case ir.OpAdd:
+				ints[in.Dst] = ints[in.Args[0]] + ints[in.Args[1]]
+			case ir.OpSub:
+				ints[in.Dst] = ints[in.Args[0]] - ints[in.Args[1]]
+			case ir.OpMul:
+				ints[in.Dst] = ints[in.Args[0]] * ints[in.Args[1]]
+			case ir.OpDiv:
+				d := ints[in.Args[1]]
+				if d == 0 {
+					return 0, 0, fmt.Errorf("interp: %s: division by zero at %s", fn.Name, in.Pos)
+				}
+				ints[in.Dst] = ints[in.Args[0]] / d
+			case ir.OpRem:
+				d := ints[in.Args[1]]
+				if d == 0 {
+					return 0, 0, fmt.Errorf("interp: %s: modulo by zero at %s", fn.Name, in.Pos)
+				}
+				ints[in.Dst] = ints[in.Args[0]] % d
+			case ir.OpNeg:
+				ints[in.Dst] = -ints[in.Args[0]]
+			case ir.OpFAdd:
+				floats[in.Dst] = floats[in.Args[0]] + floats[in.Args[1]]
+			case ir.OpFSub:
+				floats[in.Dst] = floats[in.Args[0]] - floats[in.Args[1]]
+			case ir.OpFMul:
+				floats[in.Dst] = floats[in.Args[0]] * floats[in.Args[1]]
+			case ir.OpFDiv:
+				floats[in.Dst] = floats[in.Args[0]] / floats[in.Args[1]]
+			case ir.OpFNeg:
+				floats[in.Dst] = -floats[in.Args[0]]
+			case ir.OpICmp:
+				ints[in.Dst] = boolToInt(cmpInt(in.Cond, ints[in.Args[0]], ints[in.Args[1]]))
+			case ir.OpFCmp:
+				ints[in.Dst] = boolToInt(cmpFloat(in.Cond, floats[in.Args[0]], floats[in.Args[1]]))
+			case ir.OpLoad:
+				st := mem(in.Sym)
+				idx := 0
+				if in.Sym.IsArray() {
+					idx = int(ints[in.Args[0]])
+					if idx < 0 || idx >= in.Sym.Size {
+						return 0, 0, fmt.Errorf("interp: %s: index %d out of range [0,%d) for %s at %s",
+							fn.Name, idx, in.Sym.Size, in.Sym.Name, in.Pos)
+					}
+				}
+				if in.Sym.Class == ir.ClassFloat {
+					floats[in.Dst] = st.floats[idx]
+				} else {
+					ints[in.Dst] = st.ints[idx]
+				}
+			case ir.OpStore:
+				st := mem(in.Sym)
+				idx := 0
+				val := in.Args[len(in.Args)-1]
+				if in.Sym.IsArray() {
+					idx = int(ints[in.Args[0]])
+					if idx < 0 || idx >= in.Sym.Size {
+						return 0, 0, fmt.Errorf("interp: %s: index %d out of range [0,%d) for %s at %s",
+							fn.Name, idx, in.Sym.Size, in.Sym.Name, in.Pos)
+					}
+				}
+				if in.Sym.Class == ir.ClassFloat {
+					st.floats[idx] = floats[val]
+				} else {
+					st.ints[idx] = ints[val]
+				}
+			case ir.OpCall:
+				callee := m.prog.FuncByName[in.Callee]
+				if callee == nil {
+					return 0, 0, fmt.Errorf("interp: undefined function %s", in.Callee)
+				}
+				var ci []int64
+				var cf []float64
+				for j, a := range in.Args {
+					if callee.RegClass(callee.Params[j]) == ir.ClassFloat {
+						cf = append(cf, floats[a])
+					} else {
+						ci = append(ci, ints[a])
+					}
+				}
+				ri, rf, err := m.call(callee, ci, cf)
+				if err != nil {
+					return 0, 0, err
+				}
+				if in.HasDst() {
+					if fn.RegClass(in.Dst) == ir.ClassFloat {
+						floats[in.Dst] = rf
+					} else {
+						ints[in.Dst] = ri
+					}
+				}
+			case ir.OpRet:
+				if len(in.Args) == 1 {
+					if fn.ResultClass == ir.ClassFloat {
+						return 0, floats[in.Args[0]], nil
+					}
+					return ints[in.Args[0]], 0, nil
+				}
+				return 0, 0, nil
+			case ir.OpBr:
+				if ints[in.Args[0]] != 0 {
+					blockID = in.Then
+				} else {
+					blockID = in.Else
+				}
+			case ir.OpJmp:
+				blockID = in.Then
+			default:
+				return 0, 0, fmt.Errorf("interp: unknown op %v", in.Op)
+			}
+		}
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(c ir.Cond, a, b int64) bool {
+	switch c {
+	case ir.CondEQ:
+		return a == b
+	case ir.CondNE:
+		return a != b
+	case ir.CondLT:
+		return a < b
+	case ir.CondLE:
+		return a <= b
+	case ir.CondGT:
+		return a > b
+	case ir.CondGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(c ir.Cond, a, b float64) bool {
+	switch c {
+	case ir.CondEQ:
+		return a == b
+	case ir.CondNE:
+		return a != b
+	case ir.CondLT:
+		return a < b
+	case ir.CondLE:
+		return a <= b
+	case ir.CondGT:
+		return a > b
+	case ir.CondGE:
+		return a >= b
+	}
+	return false
+}

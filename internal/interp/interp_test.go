@@ -1,0 +1,143 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/interp"
+)
+
+func run(t *testing.T, src string, opts interp.Options) *interp.Result {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestEntryOptions(t *testing.T) {
+	src := `
+int alt() { return 99; }
+int main() { return 1; }`
+	if res := run(t, src, interp.Options{}); res.RetInt != 1 {
+		t.Errorf("default entry: %d", res.RetInt)
+	}
+	if res := run(t, src, interp.Options{Entry: "alt"}); res.RetInt != 99 {
+		t.Errorf("alt entry: %d", res.RetInt)
+	}
+	prog, _ := compile.Source(src)
+	if _, err := interp.Run(prog, interp.Options{Entry: "missing"}); err == nil {
+		t.Error("missing entry accepted")
+	}
+}
+
+func TestEntryMustBeNullary(t *testing.T) {
+	prog, err := compile.Source(`int main() { return f(1); } int f(int x) { return x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(prog, interp.Options{Entry: "f"}); err == nil ||
+		!strings.Contains(err.Error(), "no parameters") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFloatReturn(t *testing.T) {
+	prog, err := compile.Source(`
+float main2() { return 2.5; }
+int main() { return int(main2() * 2.0); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{Entry: "main2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetFloat != 2.5 {
+		t.Errorf("RetFloat = %v", res.RetFloat)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	res := run(t, `int main() { int i; int s = 0; for (i = 0; i < 100; i = i + 1) { s = s + i; } return s; }`, interp.Options{})
+	if res.RetInt != 4950 {
+		t.Errorf("result %d", res.RetInt)
+	}
+	if res.Steps < 400 {
+		t.Errorf("steps %d implausibly low for a 100-iteration loop", res.Steps)
+	}
+}
+
+func TestGlobalStateIsolatedBetweenRuns(t *testing.T) {
+	src := `
+int counter = 10;
+int main() { counter = counter + 1; return counter; }`
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RetInt != 11 || r2.RetInt != 11 {
+		t.Errorf("runs share global state: %d then %d", r1.RetInt, r2.RetInt)
+	}
+}
+
+func TestTruncationCorners(t *testing.T) {
+	// NaN and out-of-range conversions must be deterministic, matching
+	// the machine-level interpreter's conventions.
+	res := run(t, `
+int main() {
+	float z = 0.0;
+	float nan = z / z;
+	float huge = 1.0 / z;
+	return int(nan) * 1000 + int(huge) / 1000000 % 1000;
+}`, interp.Options{})
+	// int(NaN) = 0; int(+Inf) saturates at MaxInt64.
+	if res.RetInt != (9223372036854 % 1000) { // MaxInt64/1e6 % 1000
+		t.Errorf("got %d", res.RetInt)
+	}
+}
+
+func TestProfileBlocksMatchSteps(t *testing.T) {
+	res := run(t, `
+int f(int x) { return x * 2; }
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 9; i = i + 1) { s = s + f(i); }
+	return s;
+}`, interp.Options{Profile: true})
+	if res.Profile == nil {
+		t.Fatal("no profile")
+	}
+	if res.Profile.Entries["f"] != 9 {
+		t.Errorf("f entries %v", res.Profile.Entries["f"])
+	}
+	// Total block executions x average block size should be in the same
+	// ballpark as Steps; at minimum, every function with entries has
+	// nonzero block counts.
+	for name, blocks := range res.Profile.Blocks {
+		if res.Profile.Entries[name] == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, c := range blocks {
+			sum += c
+		}
+		if sum == 0 {
+			t.Errorf("%s entered but no blocks counted", name)
+		}
+	}
+}

@@ -1,0 +1,579 @@
+// Package irbuild lowers a type-checked MC AST into the IR of package
+// ir. Scalar locals and parameters become virtual registers; global
+// scalars and all arrays become memory symbols accessed with explicit
+// loads and stores, which is how the register-allocation problem the
+// paper studies is set up: every scalar computation value is a live
+// range competing for registers.
+package irbuild
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Build lowers prog to IR. The info must come from a successful
+// types.Check of the same program.
+func Build(prog *ast.Program, info *types.Info) (*ir.Program, error) {
+	b := &builder{
+		info:    info,
+		out:     &ir.Program{},
+		symbols: make(map[*types.Object]*ir.Symbol),
+	}
+	if err := b.globals(prog); err != nil {
+		return nil, err
+	}
+	for _, fd := range prog.Funcs {
+		if err := b.function(fd); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.out.Validate(); err != nil {
+		return nil, fmt.Errorf("irbuild produced invalid IR: %w", err)
+	}
+	return b.out, nil
+}
+
+type builder struct {
+	info    *types.Info
+	out     *ir.Program
+	symbols map[*types.Object]*ir.Symbol
+
+	// Per-function state.
+	fn    *ir.Func
+	cur   *ir.Block
+	vars  map[*types.Object]ir.Reg
+	loops []loopCtx
+	// exprTemps tracks registers created while lowering the current
+	// top-level expression, enabling the retargeting peephole that
+	// avoids a move for "x = a + b".
+	exprTemps map[ir.Reg]bool
+}
+
+type loopCtx struct {
+	breakTo    int
+	continueTo int
+}
+
+func classOf(t ast.BaseType) ir.Class {
+	if t == ast.FloatType {
+		return ir.ClassFloat
+	}
+	return ir.ClassInt
+}
+
+// ---------------------------------------------------------------------
+// Globals
+
+func (b *builder) globals(prog *ast.Program) error {
+	vals := make(map[*types.Object]constVal)
+	for _, g := range prog.Globals {
+		obj := b.info.Objects[g]
+		if obj == nil {
+			return fmt.Errorf("missing object for global %s", g.Name)
+		}
+		sym := &ir.Symbol{
+			Name:  g.Name,
+			Class: classOf(g.Type.Base),
+			Size:  g.Type.ArrayLen,
+		}
+		if g.Init != nil {
+			v, err := b.evalConst(g.Init, vals)
+			if err != nil {
+				return err
+			}
+			v = v.convert(classOf(g.Type.Base))
+			sym.InitInt = v.i
+			sym.InitFloat = v.f
+			vals[obj] = v
+		} else {
+			vals[obj] = constVal{class: sym.Class}
+		}
+		b.symbols[obj] = sym
+		b.out.Globals = append(b.out.Globals, sym)
+	}
+	return nil
+}
+
+// constVal is a compile-time constant for global initializers.
+type constVal struct {
+	class ir.Class
+	i     int64
+	f     float64
+}
+
+func (v constVal) convert(to ir.Class) constVal {
+	if v.class == to {
+		return v
+	}
+	if to == ir.ClassFloat {
+		return constVal{class: to, f: float64(v.i)}
+	}
+	return constVal{class: to, i: int64(v.f)}
+}
+
+func (b *builder) evalConst(e ast.Expr, vals map[*types.Object]constVal) (constVal, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return constVal{class: ir.ClassInt, i: e.Value}, nil
+	case *ast.FloatLit:
+		return constVal{class: ir.ClassFloat, f: e.Value}, nil
+	case *ast.Ident:
+		obj := b.info.Uses[e]
+		if v, ok := vals[obj]; ok {
+			return v, nil
+		}
+		return constVal{}, fmt.Errorf("%s: global initializer references %s before its definition", e.Pos(), e.Name)
+	case *ast.UnaryExpr:
+		v, err := b.evalConst(e.X, vals)
+		if err != nil {
+			return constVal{}, err
+		}
+		switch e.Op {
+		case token.MINUS:
+			if v.class == ir.ClassFloat {
+				return constVal{class: v.class, f: -v.f}, nil
+			}
+			return constVal{class: v.class, i: -v.i}, nil
+		case token.NOT:
+			if v.i == 0 {
+				return constVal{class: ir.ClassInt, i: 1}, nil
+			}
+			return constVal{class: ir.ClassInt, i: 0}, nil
+		}
+	case *ast.CastExpr:
+		v, err := b.evalConst(e.X, vals)
+		if err != nil {
+			return constVal{}, err
+		}
+		return v.convert(classOf(e.To)), nil
+	case *ast.BinaryExpr:
+		x, err := b.evalConst(e.X, vals)
+		if err != nil {
+			return constVal{}, err
+		}
+		y, err := b.evalConst(e.Y, vals)
+		if err != nil {
+			return constVal{}, err
+		}
+		return constBinary(e, x, y)
+	}
+	return constVal{}, fmt.Errorf("%s: unsupported expression in global initializer", e.Pos())
+}
+
+func constBinary(e *ast.BinaryExpr, x, y constVal) (constVal, error) {
+	isFloat := x.class == ir.ClassFloat || y.class == ir.ClassFloat
+	boolVal := func(ok bool) (constVal, error) {
+		if ok {
+			return constVal{class: ir.ClassInt, i: 1}, nil
+		}
+		return constVal{class: ir.ClassInt, i: 0}, nil
+	}
+	if isFloat {
+		xf, yf := x.convert(ir.ClassFloat).f, y.convert(ir.ClassFloat).f
+		switch e.Op {
+		case token.PLUS:
+			return constVal{class: ir.ClassFloat, f: xf + yf}, nil
+		case token.MINUS:
+			return constVal{class: ir.ClassFloat, f: xf - yf}, nil
+		case token.STAR:
+			return constVal{class: ir.ClassFloat, f: xf * yf}, nil
+		case token.SLASH:
+			if yf == 0 {
+				return constVal{}, fmt.Errorf("%s: division by zero in global initializer", e.Pos())
+			}
+			return constVal{class: ir.ClassFloat, f: xf / yf}, nil
+		case token.EQ:
+			return boolVal(xf == yf)
+		case token.NE:
+			return boolVal(xf != yf)
+		case token.LT:
+			return boolVal(xf < yf)
+		case token.LE:
+			return boolVal(xf <= yf)
+		case token.GT:
+			return boolVal(xf > yf)
+		case token.GE:
+			return boolVal(xf >= yf)
+		}
+		return constVal{}, fmt.Errorf("%s: invalid float operator in global initializer", e.Pos())
+	}
+	xi, yi := x.i, y.i
+	switch e.Op {
+	case token.PLUS:
+		return constVal{class: ir.ClassInt, i: xi + yi}, nil
+	case token.MINUS:
+		return constVal{class: ir.ClassInt, i: xi - yi}, nil
+	case token.STAR:
+		return constVal{class: ir.ClassInt, i: xi * yi}, nil
+	case token.SLASH:
+		if yi == 0 {
+			return constVal{}, fmt.Errorf("%s: division by zero in global initializer", e.Pos())
+		}
+		return constVal{class: ir.ClassInt, i: xi / yi}, nil
+	case token.PERCENT:
+		if yi == 0 {
+			return constVal{}, fmt.Errorf("%s: division by zero in global initializer", e.Pos())
+		}
+		return constVal{class: ir.ClassInt, i: xi % yi}, nil
+	case token.EQ:
+		return boolVal(xi == yi)
+	case token.NE:
+		return boolVal(xi != yi)
+	case token.LT:
+		return boolVal(xi < yi)
+	case token.LE:
+		return boolVal(xi <= yi)
+	case token.GT:
+		return boolVal(xi > yi)
+	case token.GE:
+		return boolVal(xi >= yi)
+	case token.AND:
+		return boolVal(xi != 0 && yi != 0)
+	case token.OR:
+		return boolVal(xi != 0 || yi != 0)
+	}
+	return constVal{}, fmt.Errorf("%s: invalid operator in global initializer", e.Pos())
+}
+
+// ---------------------------------------------------------------------
+// Functions
+
+func (b *builder) function(fd *ast.FuncDecl) error {
+	fn := &ir.Func{Name: fd.Name}
+	if fd.Result != ast.VoidType {
+		fn.HasResult = true
+		fn.ResultClass = classOf(fd.Result)
+	}
+	b.fn = fn
+	b.vars = make(map[*types.Object]ir.Reg)
+	b.loops = b.loops[:0]
+	b.cur = fn.NewBlock()
+
+	for _, p := range fd.Params {
+		obj := b.info.Objects[p]
+		r := fn.NewReg(classOf(p.Type), p.Name)
+		fn.Params = append(fn.Params, r)
+		b.vars[obj] = r
+	}
+
+	b.stmtList(fd.Body.List)
+
+	// Fall-off-the-end: supply an implicit return.
+	if b.cur.Terminator() == nil {
+		b.implicitReturn()
+	}
+	b.pruneUnreachable()
+	b.out.AddFunc(fn)
+	return nil
+}
+
+func (b *builder) implicitReturn() {
+	if !b.fn.HasResult {
+		b.emit(ir.Instr{Op: ir.OpRet, Dst: ir.NoReg})
+		return
+	}
+	z := b.zero(b.fn.ResultClass)
+	b.emit(ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, Args: []ir.Reg{z}})
+}
+
+func (b *builder) zero(c ir.Class) ir.Reg {
+	t := b.temp(c)
+	if c == ir.ClassFloat {
+		b.emit(ir.Instr{Op: ir.OpConstFloat, Dst: t})
+	} else {
+		b.emit(ir.Instr{Op: ir.OpConstInt, Dst: t})
+	}
+	return t
+}
+
+func (b *builder) emit(in ir.Instr) {
+	if in.Args == nil {
+		in.Args = []ir.Reg{}
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+}
+
+func (b *builder) temp(c ir.Class) ir.Reg {
+	r := b.fn.NewReg(c, "")
+	if b.exprTemps != nil {
+		b.exprTemps[r] = true
+	}
+	return r
+}
+
+// startBlock makes a fresh block current. The caller is responsible for
+// having terminated the previous one (or accepting that it becomes
+// unreachable and is pruned).
+func (b *builder) startBlock() *ir.Block {
+	blk := b.fn.NewBlock()
+	b.cur = blk
+	return blk
+}
+
+// jumpTo terminates the current block with a jump to target if it is not
+// already terminated.
+func (b *builder) jumpTo(target int) {
+	if b.cur.Terminator() == nil {
+		b.emit(ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Then: target})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.DeclStmt:
+		b.declStmt(s.Decl)
+	case *ast.AssignStmt:
+		b.assign(s)
+	case *ast.ExprStmt:
+		b.exprStmtValue(s.X)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.WhileStmt:
+		b.whileStmt(s)
+	case *ast.DoWhileStmt:
+		b.doWhileStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.ReturnStmt:
+		b.returnStmt(s)
+	case *ast.BreakStmt:
+		if len(b.loops) > 0 {
+			loopIdx := len(b.loops) - 1
+			if b.cur.Terminator() == nil {
+				b.emit(ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Then: breakSentinel - loopIdx})
+			}
+			b.startBlock()
+		}
+	case *ast.ContinueStmt:
+		if len(b.loops) > 0 {
+			b.jumpTo(b.loops[len(b.loops)-1].continueTo)
+			b.startBlock()
+		}
+	}
+}
+
+func (b *builder) returnStmt(s *ast.ReturnStmt) {
+	if s.Value == nil || !b.fn.HasResult {
+		b.emit(ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, Pos: s.Pos()})
+	} else {
+		v := b.exprValue(s.Value, b.fn.ResultClass)
+		b.emit(ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, Args: []ir.Reg{v}, Pos: s.Pos()})
+	}
+	// Code following a return in the same block is unreachable; give it
+	// a fresh block that pruning will remove if it stays empty.
+	b.startBlock()
+}
+
+func (b *builder) declStmt(d *ast.VarDecl) {
+	obj := b.info.Objects[d]
+	if d.Type.IsArray() {
+		sym := &ir.Symbol{
+			Name:  fmt.Sprintf("%s.%s.%d", b.fn.Name, d.Name, len(b.fn.Locals)),
+			Class: classOf(d.Type.Base),
+			Size:  d.Type.ArrayLen,
+			Local: true,
+		}
+		b.fn.Locals = append(b.fn.Locals, sym)
+		b.symbols[obj] = sym
+		return
+	}
+	r := b.fn.NewReg(classOf(d.Type.Base), d.Name)
+	b.vars[obj] = r
+	if d.Init != nil {
+		b.exprInto(r, d.Init, classOf(d.Type.Base))
+	} else {
+		// MC gives locals a defined zero value, keeping the language
+		// deterministic for differential testing.
+		if classOf(d.Type.Base) == ir.ClassFloat {
+			b.emit(ir.Instr{Op: ir.OpConstFloat, Dst: r})
+		} else {
+			b.emit(ir.Instr{Op: ir.OpConstInt, Dst: r})
+		}
+	}
+}
+
+func (b *builder) assign(s *ast.AssignStmt) {
+	obj := b.info.Uses[s.Target]
+	if obj == nil {
+		return // checker already reported
+	}
+	targetClass := classOf(obj.Type.Base)
+	if s.Target.Index != nil {
+		sym := b.symbols[obj]
+		idx := b.exprValue(s.Target.Index, ir.ClassInt)
+		val := b.exprValue(s.Value, targetClass)
+		b.emit(ir.Instr{Op: ir.OpStore, Dst: ir.NoReg, Sym: sym, Args: []ir.Reg{idx, val}, Pos: s.Target.Pos()})
+		return
+	}
+	switch obj.Kind {
+	case types.GlobalVar:
+		sym := b.symbols[obj]
+		val := b.exprValue(s.Value, targetClass)
+		b.emit(ir.Instr{Op: ir.OpStore, Dst: ir.NoReg, Sym: sym, Args: []ir.Reg{val}, Pos: s.Target.Pos()})
+	default:
+		r := b.vars[obj]
+		b.exprInto(r, s.Value, targetClass)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	cond := b.exprValue(s.Cond, ir.ClassInt)
+	condBlock := b.cur
+	condIdx := len(condBlock.Instrs)
+	b.emit(ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Args: []ir.Reg{cond}})
+
+	thenBlk := b.startBlock()
+	b.stmtList(s.Then.List)
+	thenEnd := b.cur
+
+	var elseBlk *ir.Block
+	var elseEnd *ir.Block
+	if s.Else != nil {
+		elseBlk = b.startBlock()
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.startBlock()
+	condBlock.Instrs[condIdx].Then = thenBlk.ID
+	if elseBlk != nil {
+		condBlock.Instrs[condIdx].Else = elseBlk.ID
+	} else {
+		condBlock.Instrs[condIdx].Else = join.ID
+	}
+	terminateInto := func(blk *ir.Block) {
+		if blk.Terminator() == nil {
+			blk.Instrs = append(blk.Instrs, ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Args: []ir.Reg{}, Then: join.ID})
+		}
+	}
+	terminateInto(thenEnd)
+	if elseEnd != nil {
+		terminateInto(elseEnd)
+	}
+}
+
+func (b *builder) whileStmt(s *ast.WhileStmt) {
+	condBlk := b.fn.NewBlock()
+	b.jumpTo(condBlk.ID)
+	b.cur = condBlk
+	cond := b.exprValue(s.Cond, ir.ClassInt)
+	condEnd := b.cur
+	brIdx := len(condEnd.Instrs)
+	b.emit(ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Args: []ir.Reg{cond}})
+
+	body := b.startBlock()
+	b.loops = append(b.loops, loopCtx{breakTo: -1, continueTo: condBlk.ID})
+	loopIdx := len(b.loops) - 1
+	b.stmtList(s.Body.List)
+	b.jumpTo(condBlk.ID)
+
+	exit := b.startBlock()
+	condEnd.Instrs[brIdx].Then = body.ID
+	condEnd.Instrs[brIdx].Else = exit.ID
+	b.patchBreaks(loopIdx, exit.ID)
+	b.loops = b.loops[:loopIdx]
+}
+
+func (b *builder) doWhileStmt(s *ast.DoWhileStmt) {
+	body := b.fn.NewBlock()
+	b.jumpTo(body.ID)
+	b.cur = body
+
+	condBlk := b.fn.NewBlock()
+	b.loops = append(b.loops, loopCtx{breakTo: -1, continueTo: condBlk.ID})
+	loopIdx := len(b.loops) - 1
+	b.stmtList(s.Body.List)
+	b.jumpTo(condBlk.ID)
+
+	b.cur = condBlk
+	cond := b.exprValue(s.Cond, ir.ClassInt)
+	condEnd := b.cur
+	brIdx := len(condEnd.Instrs)
+	b.emit(ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Args: []ir.Reg{cond}})
+
+	exit := b.startBlock()
+	condEnd.Instrs[brIdx].Then = body.ID
+	condEnd.Instrs[brIdx].Else = exit.ID
+	b.patchBreaks(loopIdx, exit.ID)
+	b.loops = b.loops[:loopIdx]
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.assign(s.Init)
+	}
+	condBlk := b.fn.NewBlock()
+	b.jumpTo(condBlk.ID)
+	b.cur = condBlk
+
+	var condEnd *ir.Block
+	brIdx := -1
+	if s.Cond != nil {
+		cond := b.exprValue(s.Cond, ir.ClassInt)
+		condEnd = b.cur
+		brIdx = len(condEnd.Instrs)
+		b.emit(ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, Args: []ir.Reg{cond}})
+	}
+
+	body := b.startBlock()
+	if s.Cond == nil {
+		// condBlk just falls through to body.
+		condBlk.Instrs = append(condBlk.Instrs, ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, Args: []ir.Reg{}, Then: body.ID})
+	}
+
+	// The post block is the continue target.
+	postBlk := b.fn.NewBlock()
+	b.loops = append(b.loops, loopCtx{breakTo: -1, continueTo: postBlk.ID})
+	loopIdx := len(b.loops) - 1
+	b.stmtList(s.Body.List)
+	b.jumpTo(postBlk.ID)
+
+	b.cur = postBlk
+	if s.Post != nil {
+		b.assign(s.Post)
+	}
+	b.jumpTo(condBlk.ID)
+
+	exit := b.startBlock()
+	if brIdx >= 0 {
+		condEnd.Instrs[brIdx].Then = body.ID
+		condEnd.Instrs[brIdx].Else = exit.ID
+	}
+	b.patchBreaks(loopIdx, exit.ID)
+	b.loops = b.loops[:loopIdx]
+}
+
+// patchBreaks rewires the placeholder jumps emitted for break statements
+// of loop loopIdx to the loop's exit block. Break jumps are emitted with
+// target breakTo==-1 recorded in the loop context; since the exit block
+// does not exist while the body is being lowered, break emits a jump to
+// a sentinel that is fixed here.
+func (b *builder) patchBreaks(loopIdx, exitID int) {
+	for _, blk := range b.fn.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op == ir.OpJmp && in.Then == breakSentinel-loopIdx {
+				in.Then = exitID
+			}
+		}
+	}
+}
+
+// breakSentinel encodes "break from loop i" as the out-of-range block id
+// breakSentinel-i until patched.
+const breakSentinel = -1000

@@ -1,0 +1,456 @@
+package irbuild_test
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// run compiles and interprets src, returning main's integer result.
+func run(t *testing.T, src string) int64 {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid IR: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("run: %v\nIR:\n%s", err, prog)
+	}
+	return res.RetInt
+}
+
+func expect(t *testing.T, src string, want int64) {
+	t.Helper()
+	if got := run(t, src); got != want {
+		t.Errorf("program returned %d, want %d", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expect(t, `int main() { return 2 + 3 * 4 - 6 / 2; }`, 11)
+	expect(t, `int main() { return 17 % 5; }`, 2)
+	expect(t, `int main() { return -7 + 3; }`, -4)
+	expect(t, `int main() { return (2 + 3) * 4; }`, 20)
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	expect(t, `int main() { return int(2.5 * 4.0); }`, 10)
+	expect(t, `int main() { return int(7.0 / 2.0); }`, 3)
+	expect(t, `int main() { float x = 1.5; float y = 2.5; return int(x + y); }`, 4)
+	expect(t, `int main() { return int(-(1.5) * -2.0); }`, 3)
+}
+
+func TestMixedPromotion(t *testing.T) {
+	expect(t, `int main() { return int(1 + 0.5); }`, 1)
+	expect(t, `int main() { float x = 3; return int(x * 2); }`, 6)
+	expect(t, `int main() { return 1 < 1.5; }`, 1)
+	expect(t, `int main() { return 2.0 == 2; }`, 1)
+}
+
+func TestComparisons(t *testing.T) {
+	expect(t, `int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1); }`, 4)
+}
+
+func TestLogical(t *testing.T) {
+	expect(t, `int main() { return 1 && 2; }`, 1)
+	expect(t, `int main() { return 1 && 0; }`, 0)
+	expect(t, `int main() { return 0 || 3; }`, 1)
+	expect(t, `int main() { return 0 || 0; }`, 0)
+	expect(t, `int main() { return !0 + !5; }`, 1)
+}
+
+func TestShortCircuitSkipsCalls(t *testing.T) {
+	// g() would trap via division by zero; short circuit must skip it.
+	expect(t, `
+int zero = 0;
+int g() { return 1 / zero; }
+int main() { return 0 && g(); }`, 0)
+	expect(t, `
+int zero = 0;
+int g() { return 1 / zero; }
+int main() { return 1 || g(); }`, 1)
+}
+
+func TestShortCircuitEvaluatesWhenNeeded(t *testing.T) {
+	expect(t, `
+int calls = 0;
+int g() { calls = calls + 1; return 1; }
+int main() { int r = g() && g(); return calls * 10 + r; }`, 21)
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+int classify(int x) {
+	if (x < 0) { return 0 - 1; }
+	else if (x == 0) { return 0; }
+	else if (x < 10) { return 1; }
+	else { return 2; }
+}
+int main() {
+	return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}`
+	expect(t, src, -1000+0+10+2)
+}
+
+func TestWhileLoop(t *testing.T) {
+	expect(t, `
+int main() {
+	int i = 0;
+	int sum = 0;
+	while (i < 10) { sum = sum + i; i = i + 1; }
+	return sum;
+}`, 45)
+}
+
+func TestDoWhile(t *testing.T) {
+	expect(t, `
+int main() {
+	int i = 10;
+	int n = 0;
+	do { n = n + 1; i = i - 1; } while (i > 0);
+	return n;
+}`, 10)
+	// Body runs at least once even when the condition is false.
+	expect(t, `
+int main() {
+	int n = 0;
+	do { n = n + 1; } while (0);
+	return n;
+}`, 1)
+}
+
+func TestForLoop(t *testing.T) {
+	expect(t, `
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 1; i <= 5; i = i + 1) { sum = sum + i * i; }
+	return sum;
+}`, 55)
+}
+
+func TestNestedLoops(t *testing.T) {
+	expect(t, `
+int main() {
+	int i; int j; int c = 0;
+	for (i = 0; i < 4; i = i + 1) {
+		for (j = 0; j < 5; j = j + 1) {
+			c = c + 1;
+		}
+	}
+	return c;
+}`, 20)
+}
+
+func TestBreakContinue(t *testing.T) {
+	expect(t, `
+int main() {
+	int i; int sum = 0;
+	for (i = 0; i < 100; i = i + 1) {
+		if (i == 10) { break; }
+		if (i % 2 == 0) { continue; }
+		sum = sum + i;
+	}
+	return sum;
+}`, 1+3+5+7+9)
+	expect(t, `
+int main() {
+	int i = 0; int n = 0;
+	while (1) {
+		i = i + 1;
+		if (i > 5) { break; }
+		n = n + i;
+	}
+	return n;
+}`, 15)
+}
+
+func TestBreakInNestedLoopOnlyExitsInner(t *testing.T) {
+	expect(t, `
+int main() {
+	int i; int j; int c = 0;
+	for (i = 0; i < 3; i = i + 1) {
+		for (j = 0; j < 10; j = j + 1) {
+			if (j == 2) { break; }
+			c = c + 1;
+		}
+	}
+	return c;
+}`, 6)
+}
+
+func TestGlobals(t *testing.T) {
+	expect(t, `
+int counter = 5;
+int bump(int by) { counter = counter + by; return counter; }
+int main() {
+	bump(3);
+	bump(2);
+	return counter;
+}`, 10)
+}
+
+func TestGlobalInitializerExpressions(t *testing.T) {
+	expect(t, `
+int a = 2 * 3 + 1;
+int b = a * 10;
+float c = b / 2;
+int main() { return b + int(c); }`, 70+35)
+}
+
+func TestArrays(t *testing.T) {
+	expect(t, `
+int a[10];
+int main() {
+	int i;
+	for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+	return a[7];
+}`, 49)
+	expect(t, `
+int main() {
+	float v[4];
+	v[0] = 1.5;
+	v[1] = 2.5;
+	v[2] = v[0] + v[1];
+	return int(v[2] * 2.0);
+}`, 8)
+}
+
+func TestLocalArraysAreZeroed(t *testing.T) {
+	expect(t, `
+int main() {
+	int a[5];
+	return a[0] + a[4];
+}`, 0)
+}
+
+func TestArrayIndexOutOfRangeTraps(t *testing.T) {
+	prog, err := compile.Source(`
+int a[4];
+int main() { return a[9]; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(prog, interp.Options{}); err == nil {
+		t.Fatal("expected out-of-range trap")
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	prog, err := compile.Source(`
+int z = 0;
+int main() { return 1 / z; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(prog, interp.Options{}); err == nil {
+		t.Fatal("expected division trap")
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	expect(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }`, 144)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// Forward references need no prototypes: the checker resolves all
+	// function names in a first pass.
+	expect(t, `
+int isEven(int n) { if (n == 0) { return 1; } return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) { return 0; } return isEven(n - 1); }
+int main() { return isEven(10) * 10 + isOdd(7); }`, 11)
+}
+
+func TestVoidFunctions(t *testing.T) {
+	expect(t, `
+int acc = 0;
+void add(int x) { acc = acc + x; if (x > 100) { return; } acc = acc + 1; }
+int main() { add(1); add(200); return acc; }`, 1+1+200)
+}
+
+func TestFloatParamsAndResults(t *testing.T) {
+	expect(t, `
+float scale(float x, float s) { return x * s; }
+int main() { return int(scale(3.0, 2.5)); }`, 7)
+}
+
+func TestManyParams(t *testing.T) {
+	// More parameters than argument registers, mixing classes.
+	expect(t, `
+int many(int a, int b, int c, int d, int e, int f, float x, float y, float z) {
+	return a + b + c + d + e + f + int(x + y + z);
+}
+int main() { return many(1, 2, 3, 4, 5, 6, 1.5, 2.5, 3.0); }`, 21+7)
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	expect(t, `int main() { int x = 5; x = x + 1; }`, 0)
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	expect(t, `
+int main() {
+	return 7;
+	return 8;
+}`, 7)
+}
+
+func TestShadowing(t *testing.T) {
+	expect(t, `
+int x = 100;
+int main() {
+	int x = 1;
+	{
+		int x = 2;
+		{ x = x + 10; }
+	}
+	return x;
+}`, 1)
+}
+
+func TestCastTruncation(t *testing.T) {
+	expect(t, `int main() { return int(3.9); }`, 3)
+	expect(t, `int main() { return int(-3.9); }`, -3)
+	expect(t, `int main() { float f = 7; return int(f / 2.0); }`, 3)
+}
+
+func TestCallArgumentPromotion(t *testing.T) {
+	expect(t, `
+float half(float x) { return x / 2.0; }
+int main() { return int(half(9)); }`, 4)
+}
+
+func TestIRIsValid(t *testing.T) {
+	// A program exercising every lowering path must produce valid IR.
+	src := `
+int g = 3;
+float gf = 1.5;
+int data[16];
+float fdata[8];
+int helper(int a, float b) { return a + int(b); }
+void side(int x) { g = g + x; }
+int main() {
+	int i;
+	float acc = 0.0;
+	for (i = 0; i < 16; i = i + 1) {
+		data[i] = helper(i, gf) + g;
+		if (i % 3 == 0 && i > 2) { continue; }
+		if (i > 12 || data[i] < 0) { break; }
+		acc = acc + float(data[i]);
+	}
+	do { side(1); } while (g < 10);
+	while (g < 20) { g = g + 3; }
+	fdata[0] = acc;
+	return int(fdata[0]) + g;
+}`
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid IR: %v\n%s", err, prog)
+	}
+	// All blocks must be reachable after pruning.
+	for _, fn := range prog.Funcs {
+		g := reachable(fn)
+		for id := range fn.Blocks {
+			if !g[id] {
+				t.Errorf("%s: block b%d unreachable after pruning", fn.Name, id)
+			}
+		}
+	}
+}
+
+func reachable(fn *ir.Func) []bool {
+	seen := make([]bool, len(fn.Blocks))
+	seen[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range fn.Blocks[b].Succs() {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestRetargetPeepholeKeepsSemantics(t *testing.T) {
+	// x = x + 1 style updates exercise the retargeting peephole.
+	expect(t, `
+int main() {
+	int x = 1;
+	x = x + 1;
+	x = x * x;
+	int y = x;
+	y = y - x / 2;
+	return y * 10 + x;
+}`, 24)
+}
+
+func TestProfileCounts(t *testing.T) {
+	prog, err := compile.Source(`
+int work(int n) { return n * 2; }
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 7; i = i + 1) { s = s + work(i); }
+	return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetInt != 42 {
+		t.Fatalf("result = %d, want 42", res.RetInt)
+	}
+	if got := res.Profile.Entries["work"]; got != 7 {
+		t.Errorf("work entries = %v, want 7", got)
+	}
+	if got := res.Profile.Entries["main"]; got != 1 {
+		t.Errorf("main entries = %v, want 1", got)
+	}
+	// Entry block of main runs exactly once.
+	if got := res.Profile.Blocks["main"][0]; got != 1 {
+		t.Errorf("main entry block count = %v, want 1", got)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := compile.Source(`int main() { while (1) { } return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = interp.Run(prog, interp.Options{MaxSteps: 1000})
+	if err != interp.ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	prog, err := compile.Source(`
+int down(int n) { return down(n + 1); }
+int main() { return down(0); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(prog, interp.Options{}); err == nil {
+		t.Fatal("expected call depth error")
+	}
+}

@@ -1,0 +1,248 @@
+// Package lexer converts MC source text into a token stream.
+package lexer
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Token is a lexed token: its kind, literal spelling, and position.
+type Token struct {
+	Kind token.Kind
+	Lit  string
+	Pos  source.Pos
+}
+
+// String renders the token for debugging.
+func (t Token) String() string {
+	switch t.Kind {
+	case token.IDENT, token.INTLIT, token.FLOATLIT, token.ILLEGAL:
+		return t.Kind.String() + "(" + t.Lit + ")"
+	}
+	return t.Kind.String()
+}
+
+// Lexer scans MC source text. Create one with New and pull tokens with
+// Next; after the input is exhausted Next returns EOF forever.
+type Lexer struct {
+	src  string
+	off  int // byte offset of the next unread byte
+	line int
+	col  int
+	errs *source.ErrorList
+}
+
+// New returns a Lexer over src reporting errors to errs. errs may be nil,
+// in which case errors are silently represented as ILLEGAL tokens only.
+func New(src string, errs *source.ErrorList) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, errs: errs}
+}
+
+func (l *Lexer) errorf(pos source.Pos, format string, args ...interface{}) {
+	if l.errs != nil {
+		l.errs.Add(pos, format, args...)
+	}
+}
+
+func (l *Lexer) pos() source.Pos { return source.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+
+// skipSpace consumes whitespace and comments (both // line comments and
+// /* block comments */).
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token in the input.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		return Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+	case isDigit(c):
+		return l.number(pos)
+	}
+	l.advance()
+	two := func(next byte, yes, no token.Kind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: yes, Lit: yes.String(), Pos: pos}
+		}
+		return Token{Kind: no, Lit: no.String(), Pos: pos}
+	}
+	switch c {
+	case '+':
+		return Token{Kind: token.PLUS, Lit: "+", Pos: pos}
+	case '-':
+		return Token{Kind: token.MINUS, Lit: "-", Pos: pos}
+	case '*':
+		return Token{Kind: token.STAR, Lit: "*", Pos: pos}
+	case '/':
+		return Token{Kind: token.SLASH, Lit: "/", Pos: pos}
+	case '%':
+		return Token{Kind: token.PERCENT, Lit: "%", Pos: pos}
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NE, token.NOT)
+	case '<':
+		return two('=', token.LE, token.LT)
+	case '>':
+		return two('=', token.GE, token.GT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: token.AND, Lit: "&&", Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean &&?)", string(c))
+		return Token{Kind: token.ILLEGAL, Lit: "&", Pos: pos}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: token.OR, Lit: "||", Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean ||?)", string(c))
+		return Token{Kind: token.ILLEGAL, Lit: "|", Pos: pos}
+	case '(':
+		return Token{Kind: token.LPAREN, Lit: "(", Pos: pos}
+	case ')':
+		return Token{Kind: token.RPAREN, Lit: ")", Pos: pos}
+	case '{':
+		return Token{Kind: token.LBRACE, Lit: "{", Pos: pos}
+	case '}':
+		return Token{Kind: token.RBRACE, Lit: "}", Pos: pos}
+	case '[':
+		return Token{Kind: token.LBRACK, Lit: "[", Pos: pos}
+	case ']':
+		return Token{Kind: token.RBRACK, Lit: "]", Pos: pos}
+	case ',':
+		return Token{Kind: token.COMMA, Lit: ",", Pos: pos}
+	case ';':
+		return Token{Kind: token.SEMI, Lit: ";", Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", string(c))
+	return Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// number scans an integer or floating literal. A literal is floating when
+// it contains a '.' or an exponent part.
+func (l *Lexer) number(pos source.Pos) Token {
+	start := l.off
+	isFloat := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		// Exponent: e[+-]?digits. Only consume when well-formed.
+		save := l.off
+		saveLine, saveCol := l.line, l.col
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off, l.line, l.col = save, saveLine, saveCol
+		}
+	}
+	lit := l.src[start:l.off]
+	if isFloat {
+		return Token{Kind: token.FLOATLIT, Lit: lit, Pos: pos}
+	}
+	return Token{Kind: token.INTLIT, Lit: lit, Pos: pos}
+}
+
+// All lexes the entire input and returns the tokens including the final
+// EOF token. It is a convenience for tests and tools.
+func All(src string, errs *source.ErrorList) []Token {
+	l := New(src, errs)
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

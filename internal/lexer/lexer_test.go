@@ -1,0 +1,176 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	var errs source.ErrorList
+	toks := All(src, &errs)
+	if errs.Len() > 0 {
+		t.Fatalf("unexpected lex errors for %q: %v", src, errs.Error())
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "int float void if else while for do return break continue foo _bar x1")
+	want := []token.Kind{
+		token.INT, token.FLOAT, token.VOID, token.IF, token.ELSE, token.WHILE,
+		token.FOR, token.DO, token.RETURN, token.BREAK, token.CONTINUE,
+		token.IDENT, token.IDENT, token.IDENT, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "+ - * / % = == != < <= > >= && || ! ( ) { } [ ] , ;")
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.ASSIGN, token.EQ, token.NE, token.LT, token.LE, token.GT,
+		token.GE, token.AND, token.OR, token.NOT, token.LPAREN, token.RPAREN,
+		token.LBRACE, token.RBRACE, token.LBRACK, token.RBRACK, token.COMMA,
+		token.SEMI, token.EOF,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind token.Kind
+		lit  string
+	}{
+		{"0", token.INTLIT, "0"},
+		{"42", token.INTLIT, "42"},
+		{"12345678901", token.INTLIT, "12345678901"},
+		{"1.5", token.FLOATLIT, "1.5"},
+		{"0.001", token.FLOATLIT, "0.001"},
+		{"1e10", token.FLOATLIT, "1e10"},
+		{"2.5e-3", token.FLOATLIT, "2.5e-3"},
+		{"7E+2", token.FLOATLIT, "7E+2"},
+	}
+	for _, tt := range tests {
+		var errs source.ErrorList
+		toks := All(tt.src, &errs)
+		if toks[0].Kind != tt.kind || toks[0].Lit != tt.lit {
+			t.Errorf("%q: got %s %q, want %s %q", tt.src, toks[0].Kind, toks[0].Lit, tt.kind, tt.lit)
+		}
+	}
+}
+
+func TestNumberFollowedByDotMethodLike(t *testing.T) {
+	// "1.x" is INTLIT then something illegal: '.' is not a token by
+	// itself in MC, so 1 . x should produce an error for '.'.
+	var errs source.ErrorList
+	toks := All("1.x", &errs)
+	if toks[0].Kind != token.INTLIT {
+		t.Fatalf("got %v, want INTLIT first", toks[0])
+	}
+	if errs.Len() == 0 {
+		t.Fatal("expected an error for bare '.'")
+	}
+}
+
+func TestExponentNotGreedy(t *testing.T) {
+	// "1e" should lex as INTLIT(1) IDENT(e), not an invalid float.
+	var errs source.ErrorList
+	toks := All("1e", &errs)
+	if errs.Len() != 0 {
+		t.Fatalf("unexpected errors: %v", errs.Error())
+	}
+	if toks[0].Kind != token.INTLIT || toks[0].Lit != "1" {
+		t.Errorf("first token = %v, want INTLIT(1)", toks[0])
+	}
+	if toks[1].Kind != token.IDENT || toks[1].Lit != "e" {
+		t.Errorf("second token = %v, want IDENT(e)", toks[1])
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment with int float keywords
+x /* block
+   spanning lines */ y
+`
+	got := kinds(t, src)
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	var errs source.ErrorList
+	All("x /* never closed", &errs)
+	if errs.Len() == 0 {
+		t.Fatal("expected unterminated-comment error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	var errs source.ErrorList
+	toks := All("a\n  bb\n", &errs)
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "$", "&", "|", "~", "^"} {
+		var errs source.ErrorList
+		toks := All(src, &errs)
+		if toks[0].Kind != token.ILLEGAL {
+			t.Errorf("%q: got %v, want ILLEGAL", src, toks[0])
+		}
+		if errs.Len() == 0 {
+			t.Errorf("%q: expected an error", src)
+		}
+	}
+}
+
+func TestSingleAmpPipeSuggest(t *testing.T) {
+	var errs source.ErrorList
+	All("a & b", &errs)
+	if errs.Len() != 1 {
+		t.Fatalf("expected 1 error, got %d", errs.Len())
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	var errs source.ErrorList
+	l := New("x", &errs)
+	l.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after end = %v, want EOF", tok)
+		}
+	}
+}

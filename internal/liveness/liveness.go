@@ -1,0 +1,141 @@
+// Package liveness computes per-block live-variable information for IR
+// functions with the standard backward dataflow:
+//
+//	in[b]  = use[b] ∪ (out[b] − def[b])
+//	out[b] = ∪ over successors s of in[s]
+//
+// It also provides a backward per-instruction walk, which the
+// interference builder and the call-crossing analysis share.
+package liveness
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Info holds the liveness sets of one function, indexed by block ID.
+type Info struct {
+	Fn  *ir.Func
+	In  []*bitset.Set
+	Out []*bitset.Set
+}
+
+// Compute runs the dataflow to fixpoint.
+func Compute(fn *ir.Func, g *cfg.Graph) *Info {
+	n := len(fn.Blocks)
+	nr := fn.NumRegs()
+	info := &Info{Fn: fn, In: make([]*bitset.Set, n), Out: make([]*bitset.Set, n)}
+	use := make([]*bitset.Set, n)
+	def := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		info.In[i] = bitset.New(nr)
+		info.Out[i] = bitset.New(nr)
+		use[i] = bitset.New(nr)
+		def[i] = bitset.New(nr)
+	}
+
+	// Local use/def: a use counts only when upward-exposed (not
+	// preceded by a def in the same block).
+	for _, b := range fn.Blocks {
+		u, d := use[b.ID], def[b.ID]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, a := range in.Args {
+				if !d.Has(int(a)) {
+					u.Add(int(a))
+				}
+			}
+			if in.HasDst() {
+				d.Add(int(in.Dst))
+			}
+		}
+	}
+
+	// Iterate to fixpoint in postorder (reverse of RPO) for fast
+	// convergence of the backward problem.
+	order := make([]int, len(g.RPO))
+	for i, b := range g.RPO {
+		order[len(g.RPO)-1-i] = b
+	}
+	tmp := bitset.New(nr)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			out := info.Out[b]
+			for _, s := range g.Succs[b] {
+				if out.UnionWith(info.In[s]) {
+					changed = true
+				}
+			}
+			tmp.Copy(out)
+			tmp.DiffWith(def[b])
+			tmp.UnionWith(use[b])
+			if !tmp.Equal(info.In[b]) {
+				info.In[b].Copy(tmp)
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// WalkBlock visits the instructions of block b backwards, calling visit
+// with each instruction and the set of registers live immediately after
+// it. The set passed to visit is reused between calls; clone it to keep
+// it. The walk mutates its own working set only.
+func (info *Info) WalkBlock(b *ir.Block, visit func(in *ir.Instr, liveAfter *bitset.Set)) {
+	live := info.Out[b.ID].Clone()
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := &b.Instrs[i]
+		visit(in, live)
+		if in.HasDst() {
+			live.Remove(int(in.Dst))
+		}
+		for _, a := range in.Args {
+			live.Add(int(a))
+		}
+	}
+}
+
+// LiveAcrossCalls returns, for every call instruction, the set of
+// registers that are live across it (live immediately after the call and
+// not defined by it): these are the ranges that would need caller-save
+// save/restore if kept in caller-save registers. The callback receives
+// the block, the instruction index, the call instruction, and the
+// crossing set (reused; clone to keep).
+func (info *Info) LiveAcrossCalls(visit func(b *ir.Block, idx int, call *ir.Instr, crossing *bitset.Set)) {
+	cross := bitset.New(info.Fn.NumRegs())
+	for _, b := range info.Fn.Blocks {
+		// Gather instruction indices of calls, then a single backward
+		// walk computing live-after at each call.
+		type callPoint struct {
+			idx  int
+			live *bitset.Set
+		}
+		var calls []callPoint
+		live := info.Out[b.ID].Clone()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpCall {
+				calls = append(calls, callPoint{idx: i, live: live.Clone()})
+			}
+			if in.HasDst() {
+				live.Remove(int(in.Dst))
+			}
+			for _, a := range in.Args {
+				live.Add(int(a))
+			}
+		}
+		// Visit in forward order for deterministic iteration.
+		for i := len(calls) - 1; i >= 0; i-- {
+			cp := calls[i]
+			call := &b.Instrs[cp.idx]
+			cross.Copy(cp.live)
+			if call.HasDst() {
+				cross.Remove(int(call.Dst))
+			}
+			visit(b, cp.idx, call, cross)
+		}
+	}
+}

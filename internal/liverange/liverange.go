@@ -1,0 +1,228 @@
+// Package liverange computes the per-live-range costs at the heart of
+// the paper's model (§3-§4):
+//
+//	spill_cost(lr)   — weighted count of the loads/stores spill code
+//	                   would execute if lr lived in memory;
+//	caller_cost(lr)  — weighted save/restore operations if lr lived in
+//	                   a caller-save register: two memory operations
+//	                   per execution of every call lr is live across;
+//	callee_cost(f)   — two memory operations per invocation of the
+//	                   function, the entry/exit save/restore of one
+//	                   callee-save register;
+//
+// and from them the two benefit functions:
+//
+//	benefit_caller(lr) = spill_cost(lr) − caller_cost(lr)
+//	benefit_callee(lr) = spill_cost(lr) − callee_cost(f)
+//
+// All weights come from a freq.FuncFreq, so the same analysis serves the
+// "static" (estimated) and "dynamic" (profiled) experiments.
+package liverange
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Range aggregates the allocation-relevant facts of one live range
+// (one representative node of the interference graph).
+type Range struct {
+	Rep   ir.Reg
+	Class ir.Class
+
+	// SpillCost is the weighted number of memory operations spill code
+	// for this range would execute.
+	SpillCost float64
+	// CallerCost is the weighted number of save/restore operations if
+	// the range lives in a caller-save register.
+	CallerCost float64
+	// CalleeCost is the weighted entry/exit save/restore cost of one
+	// callee-save register of the enclosing function.
+	CalleeCost float64
+
+	// BenefitCaller = SpillCost - CallerCost (paper §4).
+	BenefitCaller float64
+	// BenefitCallee = SpillCost - CalleeCost (paper §4).
+	BenefitCallee float64
+
+	// Refs counts static occurrences (defs+uses).
+	Refs int
+	// Size is the number of basic blocks the range is live in or
+	// referenced in — the denominator of Chow's priority function.
+	Size int
+	// CrossesCall reports whether the range is live across any call.
+	CrossesCall bool
+	// NoSpill marks spill-code temporaries that must stay in registers.
+	NoSpill bool
+}
+
+// PrefersCallee reports the storage class this range would pick with
+// both kinds available (paper §4: callee-save iff benefit_callee >
+// benefit_caller).
+func (r *Range) PrefersCallee() bool { return r.BenefitCallee > r.BenefitCaller }
+
+// CallSite describes one call instruction and the live ranges crossing
+// it, used by the preference-decision pass (paper §6).
+type CallSite struct {
+	Block *ir.Block
+	Index int
+	// Freq is the weighted execution frequency of the call.
+	Freq float64
+	// Crossing lists the representative live ranges live across the
+	// call, per register bank, in increasing register order.
+	Crossing [ir.NumClasses][]ir.Reg
+}
+
+// Set is the result of analyzing one function under one frequency
+// model.
+type Set struct {
+	Fn     *ir.Func
+	Ranges map[ir.Reg]*Range
+	Calls  []CallSite
+	// EntryFreq is the function's invocation count/estimate.
+	EntryFreq float64
+}
+
+// Of returns the Range of the representative rep (nil if rep is not a
+// node).
+func (s *Set) Of(rep ir.Reg) *Range { return s.Ranges[rep] }
+
+// Analyze computes the ranges of fn. graphs supplies the per-bank
+// interference graphs (used for the representative mapping), ff the
+// frequencies, and noSpill the set of spill-temporary registers.
+func Analyze(fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interference.Graph, ff *freq.FuncFreq, noSpill func(ir.Reg) bool) *Set {
+	s := &Set{
+		Fn:        fn,
+		Ranges:    make(map[ir.Reg]*Range),
+		EntryFreq: ff.Entry,
+	}
+	find := func(r ir.Reg) ir.Reg { return graphs[fn.RegClass(r)].Find(r) }
+	rangeOf := func(r ir.Reg) *Range {
+		rep := find(r)
+		rg := s.Ranges[rep]
+		if rg == nil {
+			rg = &Range{
+				Rep:           rep,
+				Class:         fn.RegClass(rep),
+				CalleeCost:    2 * ff.Entry,
+				BenefitCallee: -2 * ff.Entry,
+			}
+			s.Ranges[rep] = rg
+		}
+		return rg
+	}
+
+	// Reference counts and spill cost: one memory operation per def
+	// (store) and per distinct use in an instruction (load), weighted
+	// by block frequency.
+	for _, b := range fn.Blocks {
+		w := ff.Block[b.ID]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			seen := make(map[ir.Reg]bool, len(in.Args))
+			for _, a := range in.Args {
+				rep := find(a)
+				if seen[rep] {
+					continue
+				}
+				seen[rep] = true
+				rg := rangeOf(a)
+				rg.Refs++
+				rg.SpillCost += w
+				if noSpill != nil && noSpill(a) {
+					rg.NoSpill = true
+				}
+			}
+			if in.HasDst() {
+				rg := rangeOf(in.Dst)
+				rg.Refs++
+				rg.SpillCost += w
+				if noSpill != nil && noSpill(in.Dst) {
+					rg.NoSpill = true
+				}
+			}
+		}
+	}
+
+	// Size: blocks where the range is live-in, live-out, or referenced.
+	sizeSets := make(map[ir.Reg]*bitset.Set)
+	touch := func(r ir.Reg, blockID int) {
+		rep := find(r)
+		if s.Ranges[rep] == nil {
+			return
+		}
+		bs := sizeSets[rep]
+		if bs == nil {
+			bs = bitset.New(len(fn.Blocks))
+			sizeSets[rep] = bs
+		}
+		bs.Add(blockID)
+	}
+	for _, b := range fn.Blocks {
+		live.In[b.ID].ForEach(func(i int) { touch(ir.Reg(i), b.ID) })
+		live.Out[b.ID].ForEach(func(i int) { touch(ir.Reg(i), b.ID) })
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, a := range in.Args {
+				touch(a, b.ID)
+			}
+			if in.HasDst() {
+				touch(in.Dst, b.ID)
+			}
+		}
+	}
+	for rep, bs := range sizeSets {
+		s.Ranges[rep].Size = bs.Count()
+	}
+
+	// Call crossings: caller-save cost is two memory operations per
+	// crossed call execution.
+	live.LiveAcrossCalls(func(b *ir.Block, idx int, call *ir.Instr, crossing *bitset.Set) {
+		w := ff.Block[b.ID]
+		site := CallSite{Block: b, Index: idx, Freq: w}
+		crossReps := make(map[ir.Reg]bool)
+		crossing.ForEach(func(i int) {
+			r := ir.Reg(i)
+			rep := find(r)
+			if crossReps[rep] {
+				return
+			}
+			crossReps[rep] = true
+			rg := s.Ranges[rep]
+			if rg == nil {
+				// Live range with no references (possible only for
+				// unused params); skip.
+				return
+			}
+			rg.CrossesCall = true
+			rg.CallerCost += 2 * w
+			site.Crossing[rg.Class] = append(site.Crossing[rg.Class], rep)
+		})
+		for c := range site.Crossing {
+			sort.Slice(site.Crossing[c], func(i, j int) bool {
+				return site.Crossing[c][i] < site.Crossing[c][j]
+			})
+		}
+		s.Calls = append(s.Calls, site)
+	})
+
+	// Benefits.
+	for _, rg := range s.Ranges {
+		rg.BenefitCaller = rg.SpillCost - rg.CallerCost
+		rg.BenefitCallee = rg.SpillCost - rg.CalleeCost
+	}
+
+	// Deterministic call ordering: by block, then index.
+	sort.Slice(s.Calls, func(i, j int) bool {
+		if s.Calls[i].Block.ID != s.Calls[j].Block.ID {
+			return s.Calls[i].Block.ID < s.Calls[j].Block.ID
+		}
+		return s.Calls[i].Index < s.Calls[j].Index
+	})
+	return s
+}

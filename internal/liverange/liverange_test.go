@@ -1,0 +1,208 @@
+package liverange_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/liverange"
+)
+
+// analyze compiles src, profiles it, and runs the live-range analysis
+// on fn under the dynamic weights.
+func analyze(t *testing.T, src, fn string) (*ir.Func, *liverange.Set, *freq.FuncFreq) {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	f := prog.FuncByName[fn]
+	g := cfg.New(f)
+	live := liveness.Compute(f, g)
+	var graphs [ir.NumClasses]*interference.Graph
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		graphs[c] = interference.Build(f, live, c)
+		graphs[c].Coalesce(false, 8)
+	}
+	set := liverange.Analyze(f, live, &graphs, pf.ByFunc[fn], nil)
+	return f, set, pf.ByFunc[fn]
+}
+
+// rangeByName returns the range whose representative is the named
+// register. The tests only name registers that survive coalescing as
+// representatives.
+func rangeByName(t *testing.T, f *ir.Func, s *liverange.Set, name string) *liverange.Range {
+	t.Helper()
+	for r := 0; r < f.NumRegs(); r++ {
+		if f.RegName(ir.Reg(r)) != name {
+			continue
+		}
+		if rg, ok := s.Ranges[ir.Reg(r)]; ok {
+			return rg
+		}
+		t.Fatalf("register %s (v%d) is not a representative; it was coalesced", name, r)
+	}
+	t.Fatalf("no register named %s", name)
+	return nil
+}
+
+const src1 = `
+int g(int v) { return v + 1; }
+int f(int a) {
+	int keep = a * 3;
+	int r = 0;
+	int i = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		r = r + g(i);
+	}
+	return keep + r;
+}
+int main() {
+	int j;
+	int s = 0;
+	for (j = 0; j < 5; j = j + 1) { s = s + f(j); }
+	return s;
+}`
+
+func TestCalleeCostIsEntryBased(t *testing.T) {
+	_, set, ff := analyze(t, src1, "f")
+	if ff.Entry != 5 {
+		t.Fatalf("f entered %v times, want 5", ff.Entry)
+	}
+	for _, rg := range set.Ranges {
+		if rg.CalleeCost != 2*ff.Entry {
+			t.Errorf("callee cost %v, want %v", rg.CalleeCost, 2*ff.Entry)
+		}
+	}
+	if set.EntryFreq != ff.Entry {
+		t.Errorf("EntryFreq %v != %v", set.EntryFreq, ff.Entry)
+	}
+}
+
+func TestCallerCostCountsCrossings(t *testing.T) {
+	f, set, _ := analyze(t, src1, "f")
+	keep := rangeByName(t, f, set, "keep")
+	// keep crosses g() 10 times per invocation of f, f runs 5 times:
+	// caller cost = 2 * 50 = 100.
+	if keep.CallerCost != 100 {
+		t.Errorf("keep caller cost = %v, want 100", keep.CallerCost)
+	}
+	if !keep.CrossesCall {
+		t.Error("keep should cross calls")
+	}
+}
+
+func TestBenefitDefinitions(t *testing.T) {
+	f, set, _ := analyze(t, src1, "f")
+	keep := rangeByName(t, f, set, "keep")
+	if keep.BenefitCaller != keep.SpillCost-keep.CallerCost {
+		t.Error("benefit_caller != spill - caller")
+	}
+	if keep.BenefitCallee != keep.SpillCost-keep.CalleeCost {
+		t.Error("benefit_callee != spill - callee")
+	}
+	// keep is referenced twice (def + one use) at frequency 5: spill
+	// cost 10. Caller cost 100 >> 10, callee cost 10: callee preferred
+	// or neutral, caller clearly bad.
+	if keep.BenefitCaller >= keep.BenefitCallee {
+		t.Errorf("keep should prefer callee: caller %v callee %v",
+			keep.BenefitCaller, keep.BenefitCallee)
+	}
+	if !keep.PrefersCallee() {
+		t.Error("PrefersCallee should be true for keep")
+	}
+}
+
+func TestHotRangeSpillCost(t *testing.T) {
+	f, set, ff := analyze(t, src1, "f")
+	// r is referenced in the loop (def + uses) with block frequency
+	// about 50 (10 iterations x 5 entries): spill cost far above keep's.
+	r := rangeByName(t, f, set, "r")
+	keep := rangeByName(t, f, set, "keep")
+	if r.SpillCost <= keep.SpillCost {
+		t.Errorf("loop-resident r (%v) should out-cost keep (%v)", r.SpillCost, keep.SpillCost)
+	}
+	_ = ff
+}
+
+func TestCallSitesCollected(t *testing.T) {
+	_, set, _ := analyze(t, src1, "f")
+	if len(set.Calls) != 1 {
+		t.Fatalf("%d call sites, want 1", len(set.Calls))
+	}
+	site := set.Calls[0]
+	if site.Freq != 50 {
+		t.Errorf("call freq %v, want 50", site.Freq)
+	}
+	if len(site.Crossing[ir.ClassInt]) == 0 {
+		t.Error("call site should have int crossings")
+	}
+}
+
+func TestSizeCountsBlocks(t *testing.T) {
+	f, set, _ := analyze(t, src1, "f")
+	keep := rangeByName(t, f, set, "keep")
+	r := rangeByName(t, f, set, "r")
+	if keep.Size < 3 {
+		t.Errorf("keep spans %d blocks, expected several (defined at entry, used at exit)", keep.Size)
+	}
+	if r.Size < 2 {
+		t.Errorf("r spans %d blocks", r.Size)
+	}
+}
+
+func TestNoSpillMarking(t *testing.T) {
+	prog, err := compile.Source(`int f(int a) { return a * 2; } int main() { return f(21); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	f := prog.FuncByName["f"]
+	g := cfg.New(f)
+	live := liveness.Compute(f, g)
+	var graphs [ir.NumClasses]*interference.Graph
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		graphs[c] = interference.Build(f, live, c)
+	}
+	// Mark the param unspillable.
+	set := liverange.Analyze(f, live, &graphs, pf.ByFunc["f"], func(r ir.Reg) bool { return r == f.Params[0] })
+	rep := graphs[ir.ClassInt].Find(f.Params[0])
+	if !set.Ranges[rep].NoSpill {
+		t.Error("NoSpill not propagated")
+	}
+}
+
+func TestStaticAndDynamicDiffer(t *testing.T) {
+	prog, err := compile.Source(src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat := freq.Static(prog)
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := freq.FromProfile(prog, res.Profile)
+	// Static estimates a loop at ~10 iterations; dynamic knows main's
+	// loop runs 5 times. They must both be positive but generally
+	// different.
+	fs := stat.ByFunc["f"].Entry
+	fd := dyn.ByFunc["f"].Entry
+	if fs <= 0 || fd != 5 {
+		t.Errorf("entries: static %v dynamic %v", fs, fd)
+	}
+}

@@ -1,0 +1,140 @@
+// Package machine models the target register file: a MIPS-like RISC
+// with two independent register banks (integer and float), each split
+// into caller-save and callee-save registers.
+//
+// The paper's experiments sweep over configurations written
+// (Ri, Rf, Ei, Ef): Ri/Rf caller-save and Ei/Ef callee-save registers
+// in the integer/float banks. The standard MIPS calling convention
+// dedicates 4 integer + 2 float registers to arguments and 2 + 2 to
+// results, all caller-save, which is why the smallest configuration the
+// paper uses is (6,4,0,0).
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// PhysReg is a physical register number within one bank. Within a bank
+// of a Config, registers [0, Caller) are caller-save and
+// [Caller, Caller+Callee) are callee-save.
+type PhysReg int
+
+// NoPhysReg marks "no register assigned" (the live range is in memory).
+const NoPhysReg PhysReg = -1
+
+// Config is one register-file configuration.
+type Config struct {
+	// Caller[c] is the number of caller-save registers in bank c.
+	Caller [ir.NumClasses]int
+	// Callee[c] is the number of callee-save registers in bank c.
+	Callee [ir.NumClasses]int
+}
+
+// NewConfig builds a Config from the paper's (Ri, Rf, Ei, Ef) notation.
+func NewConfig(ri, rf, ei, ef int) Config {
+	var c Config
+	c.Caller[ir.ClassInt] = ri
+	c.Caller[ir.ClassFloat] = rf
+	c.Callee[ir.ClassInt] = ei
+	c.Callee[ir.ClassFloat] = ef
+	return c
+}
+
+// Total returns the number of allocable registers in bank c.
+func (cfg Config) Total(c ir.Class) int { return cfg.Caller[c] + cfg.Callee[c] }
+
+// IsCallerSave reports whether register r of bank c is caller-save.
+func (cfg Config) IsCallerSave(c ir.Class, r PhysReg) bool {
+	return int(r) < cfg.Caller[c]
+}
+
+// IsCalleeSave reports whether register r of bank c is callee-save.
+func (cfg Config) IsCalleeSave(c ir.Class, r PhysReg) bool {
+	return int(r) >= cfg.Caller[c] && int(r) < cfg.Total(c)
+}
+
+// CallerSaveRegs returns the caller-save registers of bank c in order.
+func (cfg Config) CallerSaveRegs(c ir.Class) []PhysReg {
+	rs := make([]PhysReg, cfg.Caller[c])
+	for i := range rs {
+		rs[i] = PhysReg(i)
+	}
+	return rs
+}
+
+// CalleeSaveRegs returns the callee-save registers of bank c in order.
+func (cfg Config) CalleeSaveRegs(c ir.Class) []PhysReg {
+	rs := make([]PhysReg, cfg.Callee[c])
+	for i := range rs {
+		rs[i] = PhysReg(cfg.Caller[c] + i)
+	}
+	return rs
+}
+
+// String renders the configuration in the paper's (Ri,Rf,Ei,Ef) form.
+func (cfg Config) String() string {
+	return fmt.Sprintf("(%d,%d,%d,%d)",
+		cfg.Caller[ir.ClassInt], cfg.Caller[ir.ClassFloat],
+		cfg.Callee[ir.ClassInt], cfg.Callee[ir.ClassFloat])
+}
+
+// Valid reports whether the configuration has at least the registers the
+// calling convention reserves (6 int, 4 float caller-save) and enough
+// room for spill-code temporaries.
+func (cfg Config) Valid() bool {
+	return cfg.Caller[ir.ClassInt] >= MinCallerInt &&
+		cfg.Caller[ir.ClassFloat] >= MinCallerFloat &&
+		cfg.Callee[ir.ClassInt] >= 0 && cfg.Callee[ir.ClassFloat] >= 0
+}
+
+// The calling-convention minima: 4 int argument + 2 int result
+// registers, 2 float argument + 2 float result registers, all
+// caller-save.
+const (
+	MinCallerInt   = 6
+	MinCallerFloat = 4
+)
+
+// Full is the complete machine: 26 integer and 16 float allocable
+// registers, split like the MIPS convention (roughly half caller-save).
+var Full = NewConfig(14, 8, 12, 8)
+
+// Sweep is the register-pressure sweep used on the x-axis of the
+// paper's figures: starting from the calling-convention minimum
+// (6,4,0,0) and growing both the caller-save and callee-save sets up to
+// the full machine.
+func Sweep() []Config {
+	return []Config{
+		NewConfig(6, 4, 0, 0),
+		NewConfig(6, 4, 1, 1),
+		NewConfig(6, 4, 2, 2),
+		NewConfig(6, 4, 3, 3),
+		NewConfig(6, 4, 4, 4),
+		NewConfig(6, 4, 6, 6),
+		NewConfig(6, 4, 8, 8),
+		NewConfig(8, 6, 0, 0),
+		NewConfig(8, 6, 2, 2),
+		NewConfig(8, 6, 4, 4),
+		NewConfig(8, 6, 6, 6),
+		NewConfig(9, 7, 3, 3),
+		NewConfig(10, 8, 0, 0),
+		NewConfig(10, 8, 2, 2),
+		NewConfig(10, 8, 4, 4),
+		NewConfig(10, 8, 6, 6),
+		NewConfig(12, 8, 8, 8),
+		Full,
+	}
+}
+
+// ShortSweep is a smaller sweep for quick experiments and tests.
+func ShortSweep() []Config {
+	return []Config{
+		NewConfig(6, 4, 0, 0),
+		NewConfig(6, 4, 2, 2),
+		NewConfig(8, 6, 4, 4),
+		NewConfig(10, 8, 6, 6),
+		Full,
+	}
+}

@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestConfigBasics(t *testing.T) {
+	c := NewConfig(6, 4, 3, 2)
+	if c.Total(ir.ClassInt) != 9 || c.Total(ir.ClassFloat) != 6 {
+		t.Fatalf("totals wrong: %v %v", c.Total(ir.ClassInt), c.Total(ir.ClassFloat))
+	}
+	if c.String() != "(6,4,3,2)" {
+		t.Errorf("String = %s", c.String())
+	}
+	if !c.Valid() {
+		t.Error("config should be valid")
+	}
+	if NewConfig(5, 4, 0, 0).Valid() {
+		t.Error("below int minimum should be invalid")
+	}
+	if NewConfig(6, 3, 0, 0).Valid() {
+		t.Error("below float minimum should be invalid")
+	}
+}
+
+func TestSaveClassPartition(t *testing.T) {
+	f := func(callerRaw, calleeRaw uint8) bool {
+		caller := int(callerRaw%10) + 6
+		callee := int(calleeRaw % 12)
+		c := NewConfig(caller, 6, callee, 2)
+		for r := 0; r < c.Total(ir.ClassInt); r++ {
+			pr := PhysReg(r)
+			isCaller := c.IsCallerSave(ir.ClassInt, pr)
+			isCallee := c.IsCalleeSave(ir.ClassInt, pr)
+			if isCaller == isCallee {
+				return false // must be exactly one of the two
+			}
+			if isCaller != (r < caller) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegLists(t *testing.T) {
+	c := NewConfig(7, 5, 3, 2)
+	caller := c.CallerSaveRegs(ir.ClassInt)
+	callee := c.CalleeSaveRegs(ir.ClassInt)
+	if len(caller) != 7 || len(callee) != 3 {
+		t.Fatalf("lengths %d %d", len(caller), len(callee))
+	}
+	if caller[0] != 0 || callee[0] != 7 || callee[2] != 9 {
+		t.Errorf("register numbering wrong: %v %v", caller, callee)
+	}
+	for _, r := range caller {
+		if !c.IsCallerSave(ir.ClassInt, r) {
+			t.Errorf("reg %d should be caller-save", r)
+		}
+	}
+	for _, r := range callee {
+		if !c.IsCalleeSave(ir.ClassInt, r) {
+			t.Errorf("reg %d should be callee-save", r)
+		}
+	}
+}
+
+func TestSweepIsValidAndStartsAtMinimum(t *testing.T) {
+	sweep := Sweep()
+	if len(sweep) < 10 {
+		t.Fatalf("sweep too short: %d", len(sweep))
+	}
+	if sweep[0] != NewConfig(6, 4, 0, 0) {
+		t.Errorf("sweep starts at %s, want (6,4,0,0)", sweep[0])
+	}
+	for _, c := range sweep {
+		if !c.Valid() {
+			t.Errorf("sweep config %s is invalid", c)
+		}
+	}
+	last := sweep[len(sweep)-1]
+	if last != Full {
+		t.Errorf("sweep should end at the full machine, ends at %s", last)
+	}
+	if Full.Total(ir.ClassInt) != 26 || Full.Total(ir.ClassFloat) != 16 {
+		t.Errorf("full machine should be 26 int / 16 float, is %d/%d",
+			Full.Total(ir.ClassInt), Full.Total(ir.ClassFloat))
+	}
+}
+
+func TestShortSweepSubset(t *testing.T) {
+	for _, c := range ShortSweep() {
+		if !c.Valid() {
+			t.Errorf("short sweep config %s invalid", c)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package metrics computes the paper's register-allocation cost: the
+// weighted count of overhead memory operations an allocation executes,
+// decomposed as in Figure 2 into
+//
+//	spill cost    — loads/stores of spilled live ranges,
+//	caller cost   — save/restore around calls for live ranges kept in
+//	                caller-save registers,
+//	callee cost   — entry/exit save/restore of used callee-save
+//	                registers,
+//	shuffle cost  — register-to-register copies coalescing could not
+//	                remove.
+//
+// The analytic path weights static operation sites with a frequency
+// table (estimated or profiled); the measured path comes from actually
+// executing the allocated program (package minterp). With exact profile
+// frequencies the two agree, which the test suite checks.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/minterp"
+	"repro/internal/rewrite"
+)
+
+// Overhead is the decomposed register-allocation cost in weighted
+// memory operations.
+type Overhead struct {
+	Spill   float64
+	Caller  float64
+	Callee  float64
+	Shuffle float64
+}
+
+// Total returns the summed overhead.
+func (o Overhead) Total() float64 { return o.Spill + o.Caller + o.Callee + o.Shuffle }
+
+// Add returns the component-wise sum.
+func (o Overhead) Add(p Overhead) Overhead {
+	return Overhead{
+		Spill:   o.Spill + p.Spill,
+		Caller:  o.Caller + p.Caller,
+		Callee:  o.Callee + p.Callee,
+		Shuffle: o.Shuffle + p.Shuffle,
+	}
+}
+
+// String renders the decomposition.
+func (o Overhead) String() string {
+	return fmt.Sprintf("total=%.0f (spill=%.0f caller=%.0f callee=%.0f shuffle=%.0f)",
+		o.Total(), o.Spill, o.Caller, o.Callee, o.Shuffle)
+}
+
+// Analytic computes the expected overhead of one function's plan under
+// the frequency table ff. Block IDs of the rewritten function match the
+// original, so ff may come from either.
+func Analytic(plan *rewrite.FuncPlan, ff *freq.FuncFreq) Overhead {
+	fn := plan.Alloc.Fn
+	colors := plan.Alloc.Colors
+	var o Overhead
+
+	for _, b := range fn.Blocks {
+		w := ff.Block[b.ID]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				if in.Sym.Spill {
+					o.Spill += w
+				}
+			case ir.OpMove:
+				if colors[in.Dst] != colors[in.Args[0]] {
+					o.Shuffle += w
+				}
+			case ir.OpCall:
+				if cs := plan.CallSaves[[2]int{b.ID, i}]; cs != nil {
+					o.Caller += 2 * w * float64(cs.Count())
+				}
+			}
+		}
+	}
+	nCallee := len(plan.CalleeUsed[ir.ClassInt]) + len(plan.CalleeUsed[ir.ClassFloat])
+	o.Callee = 2 * ff.Entry * float64(nCallee)
+	return o
+}
+
+// AnalyticProgram sums Analytic over every function plan.
+func AnalyticProgram(plans map[string]*rewrite.FuncPlan, pf *freq.ProgramFreq) Overhead {
+	var o Overhead
+	for name, plan := range plans {
+		ff := pf.ByFunc[name]
+		if ff == nil {
+			continue
+		}
+		o = o.Add(Analytic(plan, ff))
+	}
+	return o
+}
+
+// FromCounts converts measured execution counters into the same
+// decomposition.
+func FromCounts(c minterp.Counts) Overhead {
+	return Overhead{
+		Spill:   c.SpillLoads + c.SpillStores,
+		Caller:  c.CallerSaves + c.CallerRestores,
+		Callee:  c.CalleeSaves + c.CalleeRestores,
+		Shuffle: c.Shuffles,
+	}
+}
+
+// Ratio returns base/improved, the paper's y-axis. A ratio above 1
+// means the improved allocation removes overhead. Degenerate zero
+// denominators follow the convention: 0/0 = 1, x/0 = +Inf is clamped to
+// a large finite value so tables stay printable.
+func Ratio(base, improved float64) float64 {
+	if improved == 0 {
+		if base == 0 {
+			return 1
+		}
+		return 1e9
+	}
+	return base / improved
+}

@@ -1,0 +1,122 @@
+package metrics_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/minterp"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+)
+
+func TestOverheadArithmetic(t *testing.T) {
+	a := metrics.Overhead{Spill: 1, Caller: 2, Callee: 3, Shuffle: 4}
+	b := metrics.Overhead{Spill: 10, Caller: 20, Callee: 30, Shuffle: 40}
+	if a.Total() != 10 {
+		t.Errorf("Total = %v", a.Total())
+	}
+	sum := a.Add(b)
+	if sum.Spill != 11 || sum.Caller != 22 || sum.Callee != 33 || sum.Shuffle != 44 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if !strings.Contains(a.String(), "total=10") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestRatioConventions(t *testing.T) {
+	if metrics.Ratio(0, 0) != 1 {
+		t.Error("0/0 should be 1")
+	}
+	if metrics.Ratio(10, 0) != 1e9 {
+		t.Error("x/0 should clamp")
+	}
+	if metrics.Ratio(30, 10) != 3 {
+		t.Error("plain ratio broken")
+	}
+}
+
+// The cross-check at the heart of the measurement design: analytic
+// overhead under exact profile weights equals executed overhead, per
+// component, including a shuffle (an uncoalescable copy).
+func TestAnalyticEqualsMeasuredWithShuffle(t *testing.T) {
+	src := `
+int g(int v) { return v + 1; }
+int f(int y) {
+	int x = y;
+	y = y + 1;     // x = old y still live: the copy cannot coalesce
+	int r = g(x);
+	return x + y + r;
+}
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 30; i = i + 1) { s = s + f(i); }
+	return s;
+}`
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	cfg := machine.NewConfig(6, 4, 0, 0)
+	plans := make(map[string]*rewrite.FuncPlan)
+	for _, fn := range prog.Funcs {
+		fa, err := regalloc.AllocateFunc(fn, pf.ByFunc[fn.Name], cfg, &regalloc.Chaitin{},
+			rewrite.InsertSpills, regalloc.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[fn.Name] = rewrite.BuildPlan(fa)
+	}
+	analytic := metrics.AnalyticProgram(plans, pf)
+	run, err := minterp.Run(prog, plans, cfg, minterp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := metrics.FromCounts(run.Counts)
+	close := func(a, b float64) bool { return math.Abs(a-b) < 1e-6*(math.Abs(a)+math.Abs(b))+1e-9 }
+	if !close(analytic.Spill, measured.Spill) {
+		t.Errorf("spill: analytic %v measured %v", analytic.Spill, measured.Spill)
+	}
+	if !close(analytic.Caller, measured.Caller) {
+		t.Errorf("caller: analytic %v measured %v", analytic.Caller, measured.Caller)
+	}
+	if !close(analytic.Callee, measured.Callee) {
+		t.Errorf("callee: analytic %v measured %v", analytic.Callee, measured.Callee)
+	}
+	if !close(analytic.Shuffle, measured.Shuffle) {
+		t.Errorf("shuffle: analytic %v measured %v", analytic.Shuffle, measured.Shuffle)
+	}
+	// The x = y copy in f survives coalescing (x and y interfere): the
+	// shuffle component must be visible.
+	if measured.Shuffle == 0 {
+		t.Error("expected a nonzero shuffle component from the uncoalescable copy")
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	c := minterp.Counts{
+		SpillLoads: 1, SpillStores: 2,
+		CallerSaves: 3, CallerRestores: 4,
+		CalleeSaves: 5, CalleeRestores: 6,
+		Shuffles: 7,
+	}
+	o := metrics.FromCounts(c)
+	if o.Spill != 3 || o.Caller != 7 || o.Callee != 11 || o.Shuffle != 7 {
+		t.Errorf("FromCounts = %+v", o)
+	}
+	if o.Total() != c.OverheadOps() {
+		t.Error("Total != OverheadOps")
+	}
+}

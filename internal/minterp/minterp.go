@@ -1,0 +1,562 @@
+// Package minterp executes register-allocated programs at the machine
+// level. Unlike the reference interpreter (package interp), which gives
+// every virtual register its own storage, minterp maintains one
+// physical register file per bank for the whole machine, reads and
+// writes instruction operands through the allocation's coloring, and
+// performs the calling convention for real:
+//
+//   - at every call it saves and restores exactly the caller-save
+//     registers the plan says are live across the call;
+//   - at function entry/exit it saves and restores the callee-save
+//     registers the function's allocation uses;
+//   - when a callee returns, every caller-save register is scrambled,
+//     so an allocation that fails to save a live value produces a
+//     wrong answer instead of accidentally passing.
+//
+// Running the same program through interp and minterp and comparing
+// results is the end-to-end correctness check for every allocator; the
+// operation counters are the paper's measured "register overhead".
+package minterp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/rewrite"
+)
+
+// Counts accumulates executed overhead operations and cycles.
+type Counts struct {
+	// Overhead memory operations (each is one load or one store).
+	SpillLoads     float64
+	SpillStores    float64
+	CallerSaves    float64
+	CallerRestores float64
+	CalleeSaves    float64
+	CalleeRestores float64
+	// Shuffles counts executed register-to-register moves between
+	// distinct registers (copies coalescing could not remove).
+	Shuffles float64
+
+	// Steps counts executed IR instructions; Cycles applies the simple
+	// RISC cost model (ALU/branch/move 1, memory 2, call 2) including
+	// the overhead operations.
+	Steps  int64
+	Cycles float64
+}
+
+// OverheadOps returns the total overhead operation count: spill ops +
+// caller-save ops + callee-save ops + shuffles — the paper's register
+// allocation cost.
+func (c *Counts) OverheadOps() float64 {
+	return c.SpillLoads + c.SpillStores + c.CallerSaves + c.CallerRestores +
+		c.CalleeSaves + c.CalleeRestores + c.Shuffles
+}
+
+// Options control execution.
+type Options struct {
+	Entry    string // default "main"
+	MaxSteps int64  // default 500M
+}
+
+// ErrStepLimit is returned when execution exceeds MaxSteps.
+var ErrStepLimit = errors.New("minterp: step limit exceeded")
+
+// Result is the outcome of a run.
+type Result struct {
+	RetInt   int64
+	RetFloat float64
+	Counts   Counts
+}
+
+// Run executes the program under the given plans (one per function, all
+// produced with the same register configuration).
+func Run(prog *ir.Program, plans map[string]*rewrite.FuncPlan, config machine.Config, opts Options) (*Result, error) {
+	entry := opts.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	if plans[entry] == nil {
+		return nil, fmt.Errorf("minterp: no plan for entry %q", entry)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 500_000_000
+	}
+	m := &mach{
+		plans:    plans,
+		config:   config,
+		maxSteps: maxSteps,
+		globals:  make(map[*ir.Symbol]*storage),
+		intRegs:  make([]int64, config.Total(ir.ClassInt)),
+		fltRegs:  make([]float64, config.Total(ir.ClassFloat)),
+	}
+	for _, g := range prog.Globals {
+		m.globals[g] = newStorage(g)
+	}
+	vi, vf, err := m.call(plans[entry], nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Counts: m.counts}
+	fn := plans[entry].Alloc.Fn
+	if fn.HasResult {
+		res.RetInt = vi
+		res.RetFloat = vf
+	}
+	return res, nil
+}
+
+type storage struct {
+	ints   []int64
+	floats []float64
+}
+
+func newStorage(s *ir.Symbol) *storage {
+	n := s.Size
+	if n == 0 {
+		n = 1
+	}
+	st := &storage{}
+	if s.Class == ir.ClassFloat {
+		st.floats = make([]float64, n)
+		if !s.IsArray() {
+			st.floats[0] = s.InitFloat
+		}
+	} else {
+		st.ints = make([]int64, n)
+		if !s.IsArray() {
+			st.ints[0] = s.InitInt
+		}
+	}
+	return st
+}
+
+type mach struct {
+	plans    map[string]*rewrite.FuncPlan
+	config   machine.Config
+	globals  map[*ir.Symbol]*storage
+	intRegs  []int64
+	fltRegs  []float64
+	counts   Counts
+	maxSteps int64
+	depth    int
+}
+
+const maxCallDepth = 10_000
+
+func truncToInt(f float64) int64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+// scrambleCallerSaves simulates the callee's freedom to clobber every
+// caller-save register: any value the caller left there unsaved is
+// destroyed deterministically.
+func (m *mach) scrambleCallerSaves() {
+	for i := 0; i < m.config.Caller[ir.ClassInt]; i++ {
+		m.intRegs[i] = -0x5ead0000 - int64(i)
+	}
+	for i := 0; i < m.config.Caller[ir.ClassFloat]; i++ {
+		m.fltRegs[i] = -1.0e100 - float64(i)
+	}
+}
+
+func (m *mach) step(cycles float64) error {
+	m.counts.Steps++
+	m.counts.Cycles += cycles
+	if m.counts.Steps > m.maxSteps {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+func (m *mach) call(plan *rewrite.FuncPlan, argsI []int64, argsF []float64) (int64, float64, error) {
+	if m.depth++; m.depth > maxCallDepth {
+		return 0, 0, fmt.Errorf("minterp: call depth exceeds %d", maxCallDepth)
+	}
+	defer func() { m.depth-- }()
+
+	fn := plan.Alloc.Fn
+	colors := plan.Alloc.Colors
+	colorOf := func(r ir.Reg) machine.PhysReg {
+		c := colors[r]
+		if c == machine.NoPhysReg {
+			panic(fmt.Sprintf("minterp: %s: v%d executed without a register", fn.Name, r))
+		}
+		return c
+	}
+	readI := func(r ir.Reg) int64 { return m.intRegs[colorOf(r)] }
+	readF := func(r ir.Reg) float64 { return m.fltRegs[colorOf(r)] }
+	writeI := func(r ir.Reg, v int64) { m.intRegs[colorOf(r)] = v }
+	writeF := func(r ir.Reg, v float64) { m.fltRegs[colorOf(r)] = v }
+
+	// Callee-save prologue: save the callee-save registers this
+	// allocation uses.
+	calleeAreaI := make([]int64, len(plan.CalleeUsed[ir.ClassInt]))
+	calleeAreaF := make([]float64, len(plan.CalleeUsed[ir.ClassFloat]))
+	for i, pr := range plan.CalleeUsed[ir.ClassInt] {
+		calleeAreaI[i] = m.intRegs[pr]
+	}
+	for i, pr := range plan.CalleeUsed[ir.ClassFloat] {
+		calleeAreaF[i] = m.fltRegs[pr]
+	}
+	nSave := float64(len(calleeAreaI) + len(calleeAreaF))
+	m.counts.CalleeSaves += nSave
+	m.counts.Cycles += 2 * nSave
+
+	restoreCallee := func() {
+		for i, pr := range plan.CalleeUsed[ir.ClassInt] {
+			m.intRegs[pr] = calleeAreaI[i]
+		}
+		for i, pr := range plan.CalleeUsed[ir.ClassFloat] {
+			m.fltRegs[pr] = calleeAreaF[i]
+		}
+		m.counts.CalleeRestores += nSave
+		m.counts.Cycles += 2 * nSave
+	}
+
+	// Receive arguments into the parameter registers. A parameter whose
+	// incoming value is never read has no register; its argument is
+	// dropped.
+	ai, af := 0, 0
+	for _, p := range fn.Params {
+		if fn.RegClass(p) == ir.ClassFloat {
+			if colors[p] != machine.NoPhysReg {
+				writeF(p, argsF[af])
+			}
+			af++
+		} else {
+			if colors[p] != machine.NoPhysReg {
+				writeI(p, argsI[ai])
+			}
+			ai++
+		}
+	}
+
+	// Frame memory: local arrays and spill slots.
+	locals := make(map[*ir.Symbol]*storage, len(fn.Locals))
+	for _, l := range fn.Locals {
+		locals[l] = newStorage(l)
+	}
+	mem := func(s *ir.Symbol) *storage {
+		if s.Local {
+			return locals[s]
+		}
+		return m.globals[s]
+	}
+
+	blockID := 0
+	for {
+		blk := fn.Blocks[blockID]
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			switch in.Op {
+			case ir.OpNop:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+			case ir.OpConstInt:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, in.IntVal)
+			case ir.OpConstFloat:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeF(in.Dst, in.FloatVal)
+			case ir.OpMove:
+				src, dst := in.Args[0], in.Dst
+				if colorOf(src) == colorOf(dst) {
+					// Coalesced or luckily identical: the emitter drops
+					// the move; zero cost.
+					if err := m.step(0); err != nil {
+						return 0, 0, err
+					}
+					continue
+				}
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				m.counts.Shuffles++
+				if fn.RegClass(dst) == ir.ClassFloat {
+					writeF(dst, readF(src))
+				} else {
+					writeI(dst, readI(src))
+				}
+			case ir.OpI2F:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeF(in.Dst, float64(readI(in.Args[0])))
+			case ir.OpF2I:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, truncToInt(readF(in.Args[0])))
+			case ir.OpAdd:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, readI(in.Args[0])+readI(in.Args[1]))
+			case ir.OpSub:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, readI(in.Args[0])-readI(in.Args[1]))
+			case ir.OpMul:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, readI(in.Args[0])*readI(in.Args[1]))
+			case ir.OpDiv:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				d := readI(in.Args[1])
+				if d == 0 {
+					return 0, 0, fmt.Errorf("minterp: %s: division by zero at %s", fn.Name, in.Pos)
+				}
+				writeI(in.Dst, readI(in.Args[0])/d)
+			case ir.OpRem:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				d := readI(in.Args[1])
+				if d == 0 {
+					return 0, 0, fmt.Errorf("minterp: %s: modulo by zero at %s", fn.Name, in.Pos)
+				}
+				writeI(in.Dst, readI(in.Args[0])%d)
+			case ir.OpNeg:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, -readI(in.Args[0]))
+			case ir.OpFAdd:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeF(in.Dst, readF(in.Args[0])+readF(in.Args[1]))
+			case ir.OpFSub:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeF(in.Dst, readF(in.Args[0])-readF(in.Args[1]))
+			case ir.OpFMul:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeF(in.Dst, readF(in.Args[0])*readF(in.Args[1]))
+			case ir.OpFDiv:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeF(in.Dst, readF(in.Args[0])/readF(in.Args[1]))
+			case ir.OpFNeg:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeF(in.Dst, -readF(in.Args[0]))
+			case ir.OpICmp:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, boolToInt(cmpInt(in.Cond, readI(in.Args[0]), readI(in.Args[1]))))
+			case ir.OpFCmp:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				writeI(in.Dst, boolToInt(cmpFloat(in.Cond, readF(in.Args[0]), readF(in.Args[1]))))
+			case ir.OpLoad:
+				if err := m.step(2); err != nil {
+					return 0, 0, err
+				}
+				if in.Sym.Spill {
+					m.counts.SpillLoads++
+				}
+				st := mem(in.Sym)
+				idx := 0
+				if in.Sym.IsArray() {
+					idx = int(readI(in.Args[0]))
+					if idx < 0 || idx >= in.Sym.Size {
+						return 0, 0, fmt.Errorf("minterp: %s: index %d out of range for %s at %s",
+							fn.Name, idx, in.Sym.Name, in.Pos)
+					}
+				}
+				if in.Sym.Class == ir.ClassFloat {
+					writeF(in.Dst, st.floats[idx])
+				} else {
+					writeI(in.Dst, st.ints[idx])
+				}
+			case ir.OpStore:
+				if err := m.step(2); err != nil {
+					return 0, 0, err
+				}
+				if in.Sym.Spill {
+					m.counts.SpillStores++
+				}
+				st := mem(in.Sym)
+				idx := 0
+				val := in.Args[len(in.Args)-1]
+				if in.Sym.IsArray() {
+					idx = int(readI(in.Args[0]))
+					if idx < 0 || idx >= in.Sym.Size {
+						return 0, 0, fmt.Errorf("minterp: %s: index %d out of range for %s at %s",
+							fn.Name, idx, in.Sym.Name, in.Pos)
+					}
+				}
+				if in.Sym.Class == ir.ClassFloat {
+					st.floats[idx] = readF(val)
+				} else {
+					st.ints[idx] = readI(val)
+				}
+			case ir.OpCall:
+				if err := m.step(2); err != nil {
+					return 0, 0, err
+				}
+				callee := m.plans[in.Callee]
+				if callee == nil {
+					return 0, 0, fmt.Errorf("minterp: no plan for %s", in.Callee)
+				}
+				calleeFn := callee.Alloc.Fn
+				// Marshal arguments (reading the caller's registers
+				// before any saving/clobbering).
+				var ci []int64
+				var cf []float64
+				for j, a := range in.Args {
+					if calleeFn.RegClass(calleeFn.Params[j]) == ir.ClassFloat {
+						cf = append(cf, readF(a))
+					} else {
+						ci = append(ci, readI(a))
+					}
+				}
+				// Caller-save saves.
+				cs := plan.CallSaves[[2]int{blk.ID, i}]
+				var savedI []int64
+				var savedF []float64
+				if cs != nil {
+					for _, pr := range cs.Regs[ir.ClassInt] {
+						savedI = append(savedI, m.intRegs[pr])
+					}
+					for _, pr := range cs.Regs[ir.ClassFloat] {
+						savedF = append(savedF, m.fltRegs[pr])
+					}
+					n := float64(cs.Count())
+					m.counts.CallerSaves += n
+					m.counts.Cycles += 2 * n
+				}
+				ri, rf, err := m.call(callee, ci, cf)
+				if err != nil {
+					return 0, 0, err
+				}
+				// The callee may have clobbered every caller-save
+				// register.
+				m.scrambleCallerSaves()
+				if cs != nil {
+					for k, pr := range cs.Regs[ir.ClassInt] {
+						m.intRegs[pr] = savedI[k]
+					}
+					for k, pr := range cs.Regs[ir.ClassFloat] {
+						m.fltRegs[pr] = savedF[k]
+					}
+					n := float64(cs.Count())
+					m.counts.CallerRestores += n
+					m.counts.Cycles += 2 * n
+				}
+				if in.HasDst() {
+					if fn.RegClass(in.Dst) == ir.ClassFloat {
+						writeF(in.Dst, rf)
+					} else {
+						writeI(in.Dst, ri)
+					}
+				}
+			case ir.OpRet:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				var ri int64
+				var rf float64
+				if len(in.Args) == 1 {
+					if fn.ResultClass == ir.ClassFloat {
+						rf = readF(in.Args[0])
+					} else {
+						ri = readI(in.Args[0])
+					}
+				}
+				restoreCallee()
+				return ri, rf, nil
+			case ir.OpBr:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				if readI(in.Args[0]) != 0 {
+					blockID = in.Then
+				} else {
+					blockID = in.Else
+				}
+			case ir.OpJmp:
+				if err := m.step(1); err != nil {
+					return 0, 0, err
+				}
+				blockID = in.Then
+			default:
+				return 0, 0, fmt.Errorf("minterp: unknown op %v", in.Op)
+			}
+		}
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(c ir.Cond, a, b int64) bool {
+	switch c {
+	case ir.CondEQ:
+		return a == b
+	case ir.CondNE:
+		return a != b
+	case ir.CondLT:
+		return a < b
+	case ir.CondLE:
+		return a <= b
+	case ir.CondGT:
+		return a > b
+	case ir.CondGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(c ir.Cond, a, b float64) bool {
+	switch c {
+	case ir.CondEQ:
+		return a == b
+	case ir.CondNE:
+		return a != b
+	case ir.CondLT:
+		return a < b
+	case ir.CondLE:
+		return a <= b
+	case ir.CondGT:
+		return a > b
+	case ir.CondGE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package minterp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/minterp"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+)
+
+// plansFor allocates every function of src under config with the base
+// strategy.
+func plansFor(t *testing.T, src string, config machine.Config) (*ir.Program, map[string]*rewrite.FuncPlan) {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	plans := make(map[string]*rewrite.FuncPlan)
+	for _, fn := range prog.Funcs {
+		fa, err := regalloc.AllocateFunc(fn, pf.ByFunc[fn.Name], config, &regalloc.Chaitin{},
+			rewrite.InsertSpills, regalloc.DefaultOptions())
+		if err != nil {
+			t.Fatalf("allocate %s: %v", fn.Name, err)
+		}
+		if err := rewrite.Validate(fa); err != nil {
+			t.Fatalf("validate %s: %v", fn.Name, err)
+		}
+		plans[fn.Name] = rewrite.BuildPlan(fa)
+	}
+	return prog, plans
+}
+
+const src = `
+int g = 0;
+int work(int v, int w) { g = g + 1; return v * 2 + w; }
+int f(int a, int b) {
+	int keep = a * 10;
+	int r = work(b, a);
+	r = r + work(b + 1, a);
+	return keep + r;
+}
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 20; i = i + 1) { s = s + f(i, i + 1); }
+	return s + g;
+}`
+
+func TestMatchesReference(t *testing.T) {
+	prog, plans := plansFor(t, src, machine.NewConfig(6, 4, 2, 2))
+	ref, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := minterp.Run(prog, plans, machine.NewConfig(6, 4, 2, 2), minterp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetInt != ref.RetInt {
+		t.Fatalf("machine result %d != reference %d", res.RetInt, ref.RetInt)
+	}
+}
+
+func TestScramblingCatchesMissingSaves(t *testing.T) {
+	cfg := machine.NewConfig(6, 4, 0, 0)
+	prog, plans := plansFor(t, src, cfg)
+	ref, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: drop all caller saves from f's plan. The scrambled
+	// caller-save registers must now change the result.
+	fplan := plans["f"]
+	sabotaged := false
+	for k, cs := range fplan.CallSaves {
+		if cs.Count() > 0 {
+			fplan.CallSaves[k] = &rewrite.CallSave{}
+			sabotaged = true
+		}
+	}
+	if !sabotaged {
+		t.Skip("no caller saves to sabotage at this configuration")
+	}
+	res, err := minterp.Run(prog, plans, cfg, minterp.Options{})
+	if err == nil && res.RetInt == ref.RetInt {
+		t.Fatal("dropping caller saves went unnoticed — scrambling is broken")
+	}
+}
+
+func TestCountsAreConsistent(t *testing.T) {
+	cfg := machine.NewConfig(6, 4, 0, 0)
+	prog, plans := plansFor(t, src, cfg)
+	res, err := minterp.Run(prog, plans, cfg, minterp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counts
+	if c.CallerSaves != c.CallerRestores {
+		t.Errorf("saves %v != restores %v", c.CallerSaves, c.CallerRestores)
+	}
+	if c.CalleeSaves != c.CalleeRestores {
+		t.Errorf("callee saves %v != restores %v", c.CalleeSaves, c.CalleeRestores)
+	}
+	if c.SpillLoads < 0 || c.SpillStores < 0 {
+		t.Error("negative spill counts")
+	}
+	if c.Steps <= 0 || c.Cycles < float64(c.Steps) {
+		t.Errorf("cycles %v inconsistent with steps %v", c.Cycles, c.Steps)
+	}
+	if c.OverheadOps() != c.SpillLoads+c.SpillStores+c.CallerSaves+c.CallerRestores+
+		c.CalleeSaves+c.CalleeRestores+c.Shuffles {
+		t.Error("OverheadOps does not sum the components")
+	}
+}
+
+func TestCallerSavesCountedAtSmallConfig(t *testing.T) {
+	cfg := machine.NewConfig(6, 4, 0, 0)
+	prog, plans := plansFor(t, src, cfg)
+	res, err := minterp.Run(prog, plans, cfg, minterp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keep and a cross calls in f; with no callee-save registers the
+	// saves must show up, 20 executions of f, 2 calls each.
+	if res.Counts.CallerSaves < 40 {
+		t.Errorf("caller saves = %v, expected >= 40", res.Counts.CallerSaves)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	cfg := machine.NewConfig(6, 4, 2, 2)
+	prog, plans := plansFor(t, src, cfg)
+	_, err := minterp.Run(prog, plans, cfg, minterp.Options{MaxSteps: 10})
+	if err != minterp.ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestMissingPlan(t *testing.T) {
+	prog, plans := plansFor(t, src, machine.NewConfig(6, 4, 2, 2))
+	delete(plans, "main")
+	_, err := minterp.Run(prog, plans, machine.NewConfig(6, 4, 2, 2), minterp.Options{})
+	if err == nil || !strings.Contains(err.Error(), "no plan") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFloatResults(t *testing.T) {
+	fsrc := `
+float half(float x) { return x / 2.0; }
+int main() {
+	float acc = 0.0;
+	int i;
+	for (i = 0; i < 8; i = i + 1) { acc = acc + half(float(i)); }
+	return int(acc * 10.0);
+}`
+	cfg := machine.NewConfig(6, 4, 1, 1)
+	prog, plans := plansFor(t, fsrc, cfg)
+	ref, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := minterp.Run(prog, plans, cfg, minterp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetInt != ref.RetInt {
+		t.Fatalf("got %d, want %d", res.RetInt, ref.RetInt)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	rsrc := `
+int down(int n) { if (n <= 0) { return 0; } return down(n - 1); }
+int main() { return down(50); }`
+	cfg := machine.NewConfig(6, 4, 2, 2)
+	prog, plans := plansFor(t, rsrc, cfg)
+	res, err := minterp.Run(prog, plans, cfg, minterp.Options{})
+	if err != nil || res.RetInt != 0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

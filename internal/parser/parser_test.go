@@ -1,0 +1,309 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return prog
+}
+
+func TestEmptyProgram(t *testing.T) {
+	prog := mustParse(t, "")
+	if len(prog.Funcs) != 0 || len(prog.Globals) != 0 {
+		t.Fatal("expected empty program")
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	prog := mustParse(t, `
+int x;
+int y = 3;
+float f = 1.5;
+int arr[100];
+float mat[64];
+`)
+	if len(prog.Globals) != 5 {
+		t.Fatalf("got %d globals, want 5", len(prog.Globals))
+	}
+	if prog.Globals[1].Init == nil {
+		t.Error("y should have an initializer")
+	}
+	if prog.Globals[3].Type.ArrayLen != 100 {
+		t.Errorf("arr length = %d, want 100", prog.Globals[3].Type.ArrayLen)
+	}
+	if prog.Globals[4].Type.Base != ast.FloatType {
+		t.Errorf("mat base = %v, want float", prog.Globals[4].Type.Base)
+	}
+}
+
+func TestFunctionHeader(t *testing.T) {
+	prog := mustParse(t, `
+void noargs() { }
+int two(int a, float b) { return a; }
+float one(float x) { return x; }
+`)
+	if len(prog.Funcs) != 3 {
+		t.Fatalf("got %d funcs, want 3", len(prog.Funcs))
+	}
+	f := prog.Funcs[1]
+	if f.Name != "two" || f.Result != ast.IntType || len(f.Params) != 2 {
+		t.Errorf("two parsed wrong: %+v", f)
+	}
+	if f.Params[1].Type != ast.FloatType {
+		t.Errorf("param b type = %v, want float", f.Params[1].Type)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	prog := mustParse(t, `
+int main() {
+	int i;
+	int a[10];
+	i = 0;
+	a[i] = i + 1;
+	if (i < 10) { i = 1; } else if (i > 20) { i = 2; } else { i = 3; }
+	while (i < 10) { i = i + 1; }
+	do { i = i - 1; } while (i > 0);
+	for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+	for (;;) { break; }
+	while (1) { continue; }
+	main();
+	return i;
+}
+`)
+	body := prog.Funcs[0].Body.List
+	wantTypes := []string{
+		"*ast.DeclStmt", "*ast.DeclStmt", "*ast.AssignStmt", "*ast.AssignStmt",
+		"*ast.IfStmt", "*ast.WhileStmt", "*ast.DoWhileStmt", "*ast.ForStmt",
+		"*ast.ForStmt", "*ast.WhileStmt", "*ast.ExprStmt", "*ast.ReturnStmt",
+	}
+	if len(body) != len(wantTypes) {
+		t.Fatalf("got %d statements, want %d", len(body), len(wantTypes))
+	}
+	for i, s := range body {
+		if got := typeName(s); got != wantTypes[i] {
+			t.Errorf("stmt %d: got %s, want %s", i, got, wantTypes[i])
+		}
+	}
+}
+
+func typeName(v interface{}) string {
+	switch v.(type) {
+	case *ast.DeclStmt:
+		return "*ast.DeclStmt"
+	case *ast.AssignStmt:
+		return "*ast.AssignStmt"
+	case *ast.IfStmt:
+		return "*ast.IfStmt"
+	case *ast.WhileStmt:
+		return "*ast.WhileStmt"
+	case *ast.DoWhileStmt:
+		return "*ast.DoWhileStmt"
+	case *ast.ForStmt:
+		return "*ast.ForStmt"
+	case *ast.ExprStmt:
+		return "*ast.ExprStmt"
+	case *ast.ReturnStmt:
+		return "*ast.ReturnStmt"
+	case *ast.BlockStmt:
+		return "*ast.BlockStmt"
+	case *ast.BreakStmt:
+		return "*ast.BreakStmt"
+	case *ast.ContinueStmt:
+		return "*ast.ContinueStmt"
+	}
+	return "?"
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := mustParse(t, `int f() { return 1 + 2 * 3; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	add, ok := ret.Value.(*ast.BinaryExpr)
+	if !ok || add.Op != token.PLUS {
+		t.Fatalf("top op = %v, want +", ret.Value)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.STAR {
+		t.Fatalf("rhs = %v, want 2*3", add.Y)
+	}
+}
+
+func TestPrecedenceFull(t *testing.T) {
+	// a || b && c == d < e + f * g  parses as a || (b && ((c == (d < (e + (f*g))))))
+	prog := mustParse(t, `int f() { return a || b && c == d < e + f * g; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	or := ret.Value.(*ast.BinaryExpr)
+	if or.Op != token.OR {
+		t.Fatalf("top = %v, want ||", or.Op)
+	}
+	and := or.Y.(*ast.BinaryExpr)
+	if and.Op != token.AND {
+		t.Fatalf("next = %v, want &&", and.Op)
+	}
+	eq := and.Y.(*ast.BinaryExpr)
+	if eq.Op != token.EQ {
+		t.Fatalf("next = %v, want ==", eq.Op)
+	}
+	lt := eq.Y.(*ast.BinaryExpr)
+	if lt.Op != token.LT {
+		t.Fatalf("next = %v, want <", lt.Op)
+	}
+}
+
+func TestLeftAssociativity(t *testing.T) {
+	prog := mustParse(t, `int f() { return 10 - 4 - 3; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	outer := ret.Value.(*ast.BinaryExpr)
+	if outer.Op != token.MINUS {
+		t.Fatal("want -")
+	}
+	if _, ok := outer.X.(*ast.BinaryExpr); !ok {
+		t.Fatal("want (10-4)-3, left side should be binary")
+	}
+	if lit, ok := outer.Y.(*ast.IntLit); !ok || lit.Value != 3 {
+		t.Fatal("right side should be 3")
+	}
+}
+
+func TestUnaryAndCast(t *testing.T) {
+	prog := mustParse(t, `int f(float x) { return int(-x) + !0; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	add := ret.Value.(*ast.BinaryExpr)
+	cast, ok := add.X.(*ast.CastExpr)
+	if !ok || cast.To != ast.IntType {
+		t.Fatalf("lhs = %T, want int cast", add.X)
+	}
+	if _, ok := cast.X.(*ast.UnaryExpr); !ok {
+		t.Fatal("cast operand should be unary minus")
+	}
+	if u, ok := add.Y.(*ast.UnaryExpr); !ok || u.Op != token.NOT {
+		t.Fatal("rhs should be !0")
+	}
+}
+
+func TestCallsAndIndex(t *testing.T) {
+	prog := mustParse(t, `int f(int n) { return g(n, a[n+1], 2.5) + a[f(0)]; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	add := ret.Value.(*ast.BinaryExpr)
+	call, ok := add.X.(*ast.CallExpr)
+	if !ok || call.Name != "g" || len(call.Args) != 3 {
+		t.Fatalf("lhs call parsed wrong: %+v", add.X)
+	}
+	idx, ok := add.Y.(*ast.IndexExpr)
+	if !ok || idx.Name != "a" {
+		t.Fatalf("rhs index parsed wrong: %+v", add.Y)
+	}
+	if _, ok := idx.Index.(*ast.CallExpr); !ok {
+		t.Fatal("index expression should be a call")
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	prog := mustParse(t, `
+int f(int x) {
+	if (x > 0) { if (x > 1) { return 2; } else { return 1; } }
+	return 0;
+}`)
+	outer := prog.Funcs[0].Body.List[0].(*ast.IfStmt)
+	if outer.Else != nil {
+		t.Fatal("outer if should have no else")
+	}
+	inner := outer.Then.List[0].(*ast.IfStmt)
+	if inner.Else == nil {
+		t.Fatal("inner if should own the else")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"int;", "expected IDENT"},
+		{"int f( { }", "expected type"},
+		{"int f() { return 1 }", "expected ;"},
+		{"int f() { x = ; }", "expected expression"},
+		{"int f() { if x { } }", "expected ("},
+		{"int a[0];", "array length must be a positive"},
+		{"int a[-1];", "array length must be a positive"},
+		{"int a[10] = 3;", "arrays cannot have initializers"},
+		{"void x;", "cannot have type void"},
+		{"int f(void v) { }", "parameters cannot have type void"},
+		{"@", "expected declaration"},
+	}
+	for _, tt := range cases {
+		_, err := Parse(tt.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got none", tt.src, tt.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("%q: error %q does not contain %q", tt.src, err.Error(), tt.wantSub)
+		}
+	}
+}
+
+func TestErrorRecoveryKeepsParsing(t *testing.T) {
+	// Even with an error in the first function, the second function
+	// should still be parsed.
+	prog, err := Parse(`
+int f() { x = ; }
+int g() { return 1; }
+`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("got %d funcs despite recovery, want 2", len(prog.Funcs))
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	prog := mustParse(t, `
+int f() {
+	int i;
+	for (i = 0; i < 4; i = i + 1) { }
+	for (; i < 8;) { i = i + 1; }
+	return i;
+}`)
+	f1 := prog.Funcs[0].Body.List[1].(*ast.ForStmt)
+	if f1.Init == nil || f1.Cond == nil || f1.Post == nil {
+		t.Error("full for should have all three parts")
+	}
+	f2 := prog.Funcs[0].Body.List[2].(*ast.ForStmt)
+	if f2.Init != nil || f2.Cond == nil || f2.Post != nil {
+		t.Error("sparse for parsed wrong")
+	}
+}
+
+func TestNestedBlocksAndShadowDecl(t *testing.T) {
+	prog := mustParse(t, `
+int f() {
+	int x = 1;
+	{
+		int x = 2;
+		{ int x = 3; }
+	}
+	return x;
+}`)
+	if len(prog.Funcs[0].Body.List) != 3 {
+		t.Fatalf("got %d stmts", len(prog.Funcs[0].Body.List))
+	}
+}
+
+func TestFileNameInErrors(t *testing.T) {
+	_, err := ParseFile("prog.mc", "int;")
+	if err == nil || !strings.Contains(err.Error(), "prog.mc:") {
+		t.Fatalf("error should carry file name, got %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package priority implements Chow's priority-based coloring as the
+// paper evaluates it (§9): without live-range splitting, so that a live
+// range that cannot be colored is spilled.
+//
+// The priority function is the paper's (§9.1):
+//
+//	priority(lr) = max(benefit_caller(lr), benefit_callee(lr)) / size(lr)
+//
+// where size is the number of basic blocks the range spans: the bigger
+// the savings the more deserving of a register, the bigger the range
+// the more register pressure it causes. Ranges with negative priority
+// are not worth a register at all and stay in memory.
+//
+// Three color orderings are provided (§9.1): removing unconstrained
+// ranges (Chow's original), sorting the unconstrained ranges too, and
+// sorting everything purely by priority. The paper picks sorting, which
+// behaves best on ear and espresso.
+package priority
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+)
+
+// Ordering selects how the color stack is built (§9.1).
+type Ordering int
+
+const (
+	// Sorting pushes every live range onto C in pure priority order
+	// (the paper's choice).
+	Sorting Ordering = iota
+	// RemovingUnconstrained removes unconstrained ranges first (they
+	// are pushed deepest), then pushes the rest least-priority first.
+	RemovingUnconstrained
+	// SortingUnconstrained is RemovingUnconstrained with the
+	// unconstrained ranges also pushed in priority order.
+	SortingUnconstrained
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Sorting:
+		return "sorting"
+	case RemovingUnconstrained:
+		return "removing-unconstrained"
+	case SortingUnconstrained:
+		return "sorting-unconstrained"
+	}
+	return "unknown"
+}
+
+// Chow is the priority-based strategy.
+type Chow struct {
+	Ordering Ordering
+}
+
+// Name implements regalloc.Strategy.
+func (c *Chow) Name() string { return "priority[" + c.Ordering.String() + "]" }
+
+// priorityOf computes the priority function.
+func priorityOf(ctx *regalloc.ClassContext, rep ir.Reg) float64 {
+	rg := ctx.RangeOf(rep)
+	if rg == nil {
+		return 0
+	}
+	if rg.NoSpill {
+		// Spill temporaries must get registers; give them top priority
+		// so they are assigned while the whole register file is free.
+		return 1e300
+	}
+	size := rg.Size
+	if size < 1 {
+		size = 1
+	}
+	// The benefit of a register kind that does not exist in this
+	// configuration cannot be realized.
+	b := rg.BenefitCaller
+	if ctx.Config.Callee[ctx.Class] > 0 && rg.BenefitCallee > b {
+		b = rg.BenefitCallee
+	}
+	return b / float64(size)
+}
+
+// Allocate implements regalloc.Strategy.
+func (c *Chow) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
+	res := regalloc.NewClassResult()
+	nodes := ctx.Nodes()
+	prio := make(map[ir.Reg]float64, len(nodes))
+	for _, r := range nodes {
+		prio[r] = priorityOf(ctx, r)
+	}
+	byPriorityAsc := func(rs []ir.Reg) {
+		sort.SliceStable(rs, func(i, j int) bool {
+			if prio[rs[i]] != prio[rs[j]] {
+				return prio[rs[i]] < prio[rs[j]]
+			}
+			return rs[i] < rs[j]
+		})
+	}
+
+	stack := &regalloc.ColorStack{}
+	switch c.Ordering {
+	case Sorting:
+		ordered := append([]ir.Reg(nil), nodes...)
+		byPriorityAsc(ordered)
+		for _, r := range ordered {
+			stack.Push(r)
+		}
+	case RemovingUnconstrained, SortingUnconstrained:
+		unconstrained, constrained := splitUnconstrained(ctx, nodes)
+		if c.Ordering == SortingUnconstrained {
+			byPriorityAsc(unconstrained)
+		}
+		// Unconstrained first (deepest — they can always find some
+		// register), then the constrained core least-priority first so
+		// the highest priority is on top.
+		for _, r := range unconstrained {
+			stack.Push(r)
+		}
+		byPriorityAsc(constrained)
+		for _, r := range constrained {
+			stack.Push(r)
+		}
+	}
+
+	for {
+		rep, ok := stack.Pop()
+		if !ok {
+			break
+		}
+		rg := ctx.RangeOf(rep)
+		// A range whose best benefit is negative is not worth a
+		// register (Chow allocates only profitable ranges).
+		if rg != nil && !rg.NoSpill && prio[rep] < 0 {
+			res.Spilled = append(res.Spilled, rep)
+			continue
+		}
+		free := ctx.FreeColors(res.Colors, rep)
+		if len(free) == 0 {
+			if rg != nil && rg.NoSpill {
+				// Should not happen with realistic configurations; keep
+				// the invariant that unspillable temps always get a
+				// register by stealing the first bank register. The
+				// validator would flag a real conflict.
+				res.Colors[rep] = machine.PhysReg(0)
+				continue
+			}
+			res.Spilled = append(res.Spilled, rep)
+			continue
+		}
+		caller, callee := ctx.SplitFree(free)
+		preferCallee := rg != nil && rg.PrefersCallee()
+		switch {
+		case preferCallee && len(callee) > 0:
+			res.Colors[rep] = callee[0]
+		case !preferCallee && len(caller) > 0:
+			res.Colors[rep] = caller[0]
+		case len(caller) > 0:
+			res.Colors[rep] = caller[0]
+		default:
+			res.Colors[rep] = callee[0]
+		}
+	}
+	return res
+}
+
+// splitUnconstrained partitions nodes by iterated unconstrained removal
+// (degree < N in the progressively reduced graph), mirroring
+// simplification: everything removable that way can always be colored.
+func splitUnconstrained(ctx *regalloc.ClassContext, nodes []ir.Reg) (unconstrained, constrained []ir.Reg) {
+	n := ctx.N()
+	deg := make(map[ir.Reg]int, len(nodes))
+	inSet := make(map[ir.Reg]bool, len(nodes))
+	for _, r := range nodes {
+		inSet[r] = true
+	}
+	for _, r := range nodes {
+		d := 0
+		ctx.Graph.Neighbors(r, func(nb ir.Reg) {
+			if inSet[nb] {
+				d++
+			}
+		})
+		deg[r] = d
+	}
+	removed := make(map[ir.Reg]bool, len(nodes))
+	for {
+		changed := false
+		for _, r := range nodes {
+			if removed[r] || deg[r] >= n {
+				continue
+			}
+			removed[r] = true
+			unconstrained = append(unconstrained, r)
+			ctx.Graph.Neighbors(r, func(nb ir.Reg) {
+				if inSet[nb] && !removed[nb] {
+					deg[nb]--
+				}
+			})
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, r := range nodes {
+		if !removed[r] {
+			constrained = append(constrained, r)
+		}
+	}
+	return unconstrained, constrained
+}

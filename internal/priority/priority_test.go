@@ -1,0 +1,178 @@
+package priority_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/liverange"
+	"repro/internal/machine"
+	"repro/internal/priority"
+	"repro/internal/regalloc"
+)
+
+func context(t *testing.T, src, fn string, config machine.Config, class ir.Class) *regalloc.ClassContext {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	f := prog.FuncByName[fn]
+	g := cfg.New(f)
+	live := liveness.Compute(f, g)
+	var graphs [ir.NumClasses]*interference.Graph
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		graphs[c] = interference.Build(f, live, c)
+		graphs[c].Coalesce(false, config.Total(c))
+	}
+	ranges := liverange.Analyze(f, live, &graphs, pf.ByFunc[fn], nil)
+	return &regalloc.ClassContext{
+		Fn: f, Class: class, Graph: graphs[class], Ranges: ranges, Config: config,
+	}
+}
+
+const pressureSrc = `
+int f(int a, int b, int c) {
+	int d = a + b;
+	int e = b + c;
+	int g = a + c;
+	int h = d + e;
+	int i = e + g;
+	int j = d + g;
+	return h + i + j + a + b + c + d + e + g;
+}
+int main() {
+	int k; int s = 0;
+	for (k = 0; k < 40; k = k + 1) { s = s + f(k, k + 1, k + 2); }
+	return s;
+}`
+
+func TestOrderingNames(t *testing.T) {
+	cases := map[priority.Ordering]string{
+		priority.Sorting:               "priority[sorting]",
+		priority.RemovingUnconstrained: "priority[removing-unconstrained]",
+		priority.SortingUnconstrained:  "priority[sorting-unconstrained]",
+	}
+	for o, want := range cases {
+		if got := (&priority.Chow{Ordering: o}).Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEveryOrderingProducesCompleteAllocation(t *testing.T) {
+	for _, o := range []priority.Ordering{
+		priority.Sorting, priority.RemovingUnconstrained, priority.SortingUnconstrained,
+	} {
+		for _, cfgRegs := range []machine.Config{machine.NewConfig(6, 4, 0, 0), machine.NewConfig(8, 6, 4, 4)} {
+			ctx := context(t, pressureSrc, "f", cfgRegs, ir.ClassInt)
+			strat := &priority.Chow{Ordering: o}
+			res := strat.Allocate(ctx)
+			for _, n := range ctx.Nodes() {
+				_, colored := res.Colors[n]
+				spilled := false
+				for _, s := range res.Spilled {
+					if s == n {
+						spilled = true
+					}
+				}
+				if colored == spilled {
+					t.Errorf("%s at %s: node v%d not exactly-once accounted", o, cfgRegs, n)
+				}
+			}
+			// No two interfering nodes share a color.
+			for a, ca := range res.Colors {
+				for b, cb := range res.Colors {
+					if a < b && ca == cb && ctx.Graph.Interfere(a, b) {
+						t.Errorf("%s: v%d and v%d interfere but share %d", o, a, b, ca)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHighPriorityRangesGetRegisters(t *testing.T) {
+	// Under pressure, the spilled ranges must have lower priority
+	// (benefit/size) than the retained ones — the defining property of
+	// priority-based coloring with the Sorting ordering.
+	ctx := context(t, pressureSrc, "f", machine.NewConfig(6, 4, 0, 0), ir.ClassInt)
+	strat := &priority.Chow{Ordering: priority.Sorting}
+	res := strat.Allocate(ctx)
+	if len(res.Spilled) == 0 {
+		t.Skip("no spills at this pressure")
+	}
+	prio := func(rep ir.Reg) float64 {
+		rg := ctx.RangeOf(rep)
+		size := rg.Size
+		if size < 1 {
+			size = 1
+		}
+		b := rg.BenefitCaller
+		if rg.BenefitCallee > b {
+			b = rg.BenefitCallee
+		}
+		return b / float64(size)
+	}
+	maxSpilled := -1e300
+	for _, s := range res.Spilled {
+		if p := prio(s); p > maxSpilled {
+			maxSpilled = p
+		}
+	}
+	// At least one colored range must outrank every spilled one; in the
+	// sorted ordering the top-priority range is colored first and can
+	// never be spilled while a register remains.
+	outranked := false
+	for rep := range res.Colors {
+		if prio(rep) >= maxSpilled {
+			outranked = true
+		}
+	}
+	if !outranked {
+		t.Error("every colored range has lower priority than a spilled one")
+	}
+}
+
+func TestNegativePriorityStaysInMemory(t *testing.T) {
+	// A range crossing a hot call with few references: keeping it in
+	// any register costs more than memory, so priority coloring leaves
+	// it unallocated.
+	src := `
+int helper(int v) { return v % 7; }
+int hot(int a) {
+	int rare = a * 31;
+	int i; int acc = 0;
+	for (i = 0; i < 60; i = i + 1) { acc = acc + helper(i); }
+	return acc + rare;
+}
+int main() { return hot(5); }`
+	ctx := context(t, src, "hot", machine.NewConfig(6, 4, 0, 0), ir.ClassInt)
+	strat := &priority.Chow{Ordering: priority.Sorting}
+	res := strat.Allocate(ctx)
+	var rare ir.Reg = ir.NoReg
+	for r := 0; r < ctx.Fn.NumRegs(); r++ {
+		if ctx.Fn.RegName(ir.Reg(r)) == "rare" {
+			rare = ctx.Graph.Find(ir.Reg(r))
+		}
+	}
+	found := false
+	for _, s := range res.Spilled {
+		if s == rare {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("negative-priority range was given a register")
+	}
+}

@@ -1,0 +1,61 @@
+package randprog_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/randprog"
+)
+
+// FuzzDifferential is the fuzzing entry point for the repository's
+// master property: for any generated program, every allocator must
+// preserve the reference semantics when its allocation is executed at
+// machine level. `go test -fuzz=FuzzDifferential ./internal/randprog`
+// explores seeds indefinitely; the corpus seeds below run in normal
+// test mode.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 6; seed++ {
+		f.Add(seed)
+	}
+	strategies := []callcost.Strategy{
+		callcost.Chaitin(),
+		callcost.Optimistic(),
+		callcost.ImprovedAll(),
+		callcost.Priority(callcost.PrioritySorting),
+		callcost.CBH(),
+	}
+	configs := []callcost.Config{
+		callcost.NewConfig(6, 4, 0, 0),
+		callcost.NewConfig(8, 6, 4, 4),
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v", seed, err)
+		}
+		ref, err := interp.Run(prog.IR, interp.Options{MaxSteps: 2_000_000, Profile: true})
+		if err != nil {
+			return // too expensive or hit a bound; not a correctness issue
+		}
+		pf := freq.FromProfile(prog.IR, ref.Profile)
+		for _, strat := range strategies {
+			for _, cfg := range configs {
+				alloc, err := prog.Allocate(strat, cfg, pf)
+				if err != nil {
+					t.Fatalf("seed %d: %s at %s: %v", seed, strat.Name(), cfg, err)
+				}
+				res, err := alloc.Execute()
+				if err != nil {
+					t.Fatalf("seed %d: %s at %s: execute: %v", seed, strat.Name(), cfg, err)
+				}
+				if res.RetInt != ref.RetInt {
+					t.Fatalf("seed %d: %s at %s: got %d, reference %d\n%s",
+						seed, strat.Name(), cfg, res.RetInt, ref.RetInt, src)
+				}
+			}
+		}
+	})
+}

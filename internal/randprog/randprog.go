@@ -1,0 +1,470 @@
+// Package randprog generates random, well-typed, terminating MC
+// programs for differential testing: every generated program compiles,
+// runs within a bounded step count, traps on nothing (indices are
+// wrapped, divisors are nonzero), and returns a deterministic integer.
+//
+// The shape knobs lean toward what stresses a register allocator:
+// nested counted loops, call-heavy inner loops, mixed int/float
+// expressions with many simultaneously-live temporaries, globals, and
+// guarded self-recursion.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bound the generated program.
+type Options struct {
+	// Funcs is the number of helper functions (besides main).
+	Funcs int
+	// MaxStmts bounds statements per block.
+	MaxStmts int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// MaxLoopTrip bounds loop iteration counts.
+	MaxLoopTrip int
+}
+
+// DefaultOptions returns the standard bounds.
+func DefaultOptions() Options {
+	return Options{Funcs: 4, MaxStmts: 6, MaxDepth: 3, MaxLoopTrip: 9}
+}
+
+// Generate produces a random MC program from the seed.
+func Generate(seed int64, opts Options) string {
+	if opts.Funcs == 0 {
+		opts = DefaultOptions()
+	}
+	g := &gen{
+		rng:  rand.New(rand.NewSource(seed)),
+		opts: opts,
+	}
+	return g.program()
+}
+
+type gen struct {
+	rng  *rand.Rand
+	opts Options
+	buf  strings.Builder
+
+	// Current function scope.
+	intVars   []string
+	floatVars []string
+	protected map[string]bool // loop variables: not assignable
+	callable  []funcSig       // functions this one may call
+	self      *funcSig        // for guarded self-recursion
+	selfCalls int             // self-call sites emitted in this function
+	depth     int
+	nameSeq   int
+}
+
+type funcSig struct {
+	name      string
+	intParams int
+	fltParams int
+	retFloat  bool
+	recursive bool
+}
+
+const (
+	intArraySize   = 24
+	floatArraySize = 16
+)
+
+func (g *gen) printf(format string, args ...interface{}) {
+	fmt.Fprintf(&g.buf, format, args...)
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, g.nameSeq)
+}
+
+func (g *gen) pick(n int) int { return g.rng.Intn(n) }
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// program emits globals, helper functions, and main.
+func (g *gen) program() string {
+	g.printf("int gi0 = %d;\n", g.pick(50))
+	g.printf("int gi1 = %d;\n", g.pick(50)+1)
+	g.printf("float gf0 = %d.5;\n", g.pick(9))
+	g.printf("int garr[%d];\n", intArraySize)
+	g.printf("float gfarr[%d];\n\n", floatArraySize)
+
+	var sigs []funcSig
+	// Helpers use tighter loop bounds than main so that nested
+	// call-in-loop chains cannot explode the total step count.
+	mainOpts := g.opts
+	g.opts = Options{
+		Funcs:       mainOpts.Funcs,
+		MaxStmts:    min2(mainOpts.MaxStmts, 5),
+		MaxDepth:    min2(mainOpts.MaxDepth, 2),
+		MaxLoopTrip: min2(mainOpts.MaxLoopTrip, 4),
+	}
+	for i := 0; i < g.opts.Funcs; i++ {
+		sig := funcSig{
+			name:      fmt.Sprintf("f%d", i),
+			intParams: 1 + g.pick(3),
+			fltParams: g.pick(3),
+			retFloat:  g.chance(0.3),
+			recursive: g.chance(0.25),
+		}
+		g.emitFunc(sig, sigs)
+		sigs = append(sigs, sig)
+	}
+	g.opts = mainOpts
+	g.emitMain(sigs)
+	return g.buf.String()
+}
+
+func (g *gen) emitFunc(sig funcSig, callable []funcSig) {
+	ret := "int"
+	if sig.retFloat {
+		ret = "float"
+	}
+	g.intVars = g.intVars[:0]
+	g.floatVars = g.floatVars[:0]
+	g.protected = map[string]bool{}
+	g.callable = callable
+	g.depth = 0
+	g.selfCalls = 0
+	if sig.recursive {
+		g.self = &sig
+	} else {
+		g.self = nil
+	}
+
+	g.printf("%s %s(", ret, sig.name)
+	sep := ""
+	for i := 0; i < sig.intParams; i++ {
+		p := fmt.Sprintf("p%d", i)
+		g.printf("%sint %s", sep, p)
+		g.intVars = append(g.intVars, p)
+		sep = ", "
+	}
+	for i := 0; i < sig.fltParams; i++ {
+		p := fmt.Sprintf("q%d", i)
+		g.printf("%sfloat %s", sep, p)
+		g.floatVars = append(g.floatVars, p)
+		sep = ", "
+	}
+	g.printf(") {\n")
+	if sig.recursive {
+		// Guarded self-recursion on the first int parameter; the upper
+		// bound caps recursion depth regardless of the caller's
+		// argument. p0 must stay unassigned inside the body or the
+		// decreasing-argument guarantee would break.
+		g.printf("\tif (p0 <= 0 || p0 > 12) { return %s; }\n", g.literal(sig.retFloat))
+		g.protected["p0"] = true
+	}
+	g.block(1)
+	g.printf("\treturn %s;\n}\n\n", g.expr(sig.retFloat, 2))
+}
+
+func (g *gen) emitMain(sigs []funcSig) {
+	g.intVars = g.intVars[:0]
+	g.floatVars = g.floatVars[:0]
+	g.protected = map[string]bool{}
+	g.callable = sigs
+	g.self = nil
+	g.depth = 0
+	g.printf("int main() {\n")
+	g.block(1)
+	g.printf("\treturn %s;\n}\n", g.expr(false, 3))
+}
+
+func (g *gen) indent(level int) string { return strings.Repeat("\t", level) }
+
+func (g *gen) block(level int) {
+	n := 1 + g.pick(g.opts.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(level)
+	}
+}
+
+func (g *gen) stmt(level int) {
+	deep := g.depth >= g.opts.MaxDepth
+	switch c := g.pick(10); {
+	case c < 3: // declaration
+		g.declStmt(level)
+	case c < 6: // assignment
+		g.assignStmt(level)
+	case c < 7 && !deep: // if
+		g.depth++
+		g.printf("%sif (%s) {\n", g.indent(level), g.cond())
+		g.nested(level + 1)
+		if g.chance(0.5) {
+			g.printf("%s} else {\n", g.indent(level))
+			g.nested(level + 1)
+		}
+		g.printf("%s}\n", g.indent(level))
+		g.depth--
+	case c < 8 && !deep: // counted loop
+		g.loopStmt(level)
+	case c < 9 && !deep: // bounded do-while, with optional break/continue
+		g.doWhileStmt(level)
+	default: // call for effect or extra assignment
+		if len(g.callable) > 0 && g.chance(0.6) {
+			sig := g.callable[g.pick(len(g.callable))]
+			g.printf("%s%s;\n", g.indent(level), g.call(&sig))
+			return
+		}
+		g.assignStmt(level)
+	}
+}
+
+func (g *gen) declStmt(level int) {
+	if g.chance(0.6) {
+		v := g.fresh("i")
+		g.printf("%sint %s = %s;\n", g.indent(level), v, g.expr(false, 2))
+		g.intVars = append(g.intVars, v)
+	} else {
+		v := g.fresh("x")
+		g.printf("%sfloat %s = %s;\n", g.indent(level), v, g.expr(true, 2))
+		g.floatVars = append(g.floatVars, v)
+	}
+}
+
+func (g *gen) assignable(vars []string) []string {
+	out := make([]string, 0, len(vars))
+	for _, v := range vars {
+		if !g.protected[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (g *gen) assignStmt(level int) {
+	switch g.pick(5) {
+	case 0: // global int
+		g.printf("%sgi0 = %s;\n", g.indent(level), g.expr(false, 2))
+	case 1: // int array element
+		g.printf("%sgarr[%s] = %s;\n", g.indent(level), g.index(intArraySize), g.expr(false, 2))
+	case 2: // float array element
+		g.printf("%sgfarr[%s] = %s;\n", g.indent(level), g.index(floatArraySize), g.expr(true, 2))
+	default:
+		ints := g.assignable(g.intVars)
+		flts := g.assignable(g.floatVars)
+		if len(ints) > 0 && (g.chance(0.6) || len(flts) == 0) {
+			v := ints[g.pick(len(ints))]
+			g.printf("%s%s = %s;\n", g.indent(level), v, g.expr(false, 3))
+		} else if len(flts) > 0 {
+			v := flts[g.pick(len(flts))]
+			g.printf("%s%s = %s;\n", g.indent(level), v, g.expr(true, 3))
+		} else {
+			g.declStmt(level)
+		}
+	}
+}
+
+func (g *gen) loopStmt(level int) {
+	v := g.fresh("k")
+	trip := 2 + g.pick(g.opts.MaxLoopTrip)
+	g.printf("%sint %s = 0;\n", g.indent(level), v)
+	g.printf("%sfor (%s = 0; %s < %d; %s = %s + 1) {\n", g.indent(level), v, v, trip, v, v)
+	g.intVars = append(g.intVars, v)
+	g.protected[v] = true
+	g.depth++
+	g.nested(level + 1)
+	g.depth--
+	g.printf("%s}\n", g.indent(level))
+	delete(g.protected, v)
+}
+
+// doWhileStmt emits a strictly bounded do-while loop. With probability
+// the body contains a guarded break or continue, covering the lowering
+// paths the counted for loops never take.
+func (g *gen) doWhileStmt(level int) {
+	v := g.fresh("w")
+	trip := 2 + g.pick(g.opts.MaxLoopTrip)
+	g.printf("%sint %s = 0;\n", g.indent(level), v)
+	g.printf("%sdo {\n", g.indent(level))
+	g.intVars = append(g.intVars, v)
+	g.protected[v] = true
+	g.depth++
+	ints, flts := len(g.intVars), len(g.floatVars)
+	g.printf("%s%s = %s + 1;\n", g.indent(level+1), v, v)
+	if g.chance(0.4) {
+		if g.chance(0.5) {
+			g.printf("%sif (%s == %d) { break; }\n", g.indent(level+1), v, 1+g.pick(trip))
+		} else {
+			g.printf("%sif (%s %% 3 == 1) { continue; }\n", g.indent(level+1), v)
+		}
+	}
+	g.block(level + 1)
+	g.intVars = g.intVars[:ints]
+	g.floatVars = g.floatVars[:flts]
+	g.depth--
+	g.printf("%s} while (%s < %d);\n", g.indent(level), v, trip)
+	delete(g.protected, v)
+}
+
+// nested emits a block whose declarations go out of scope at its
+// closing brace: the generator's visible-variable lists are restored
+// afterwards so later statements cannot reference dead names.
+func (g *gen) nested(level int) {
+	ints, flts := len(g.intVars), len(g.floatVars)
+	g.block(level)
+	g.intVars = g.intVars[:ints]
+	g.floatVars = g.floatVars[:flts]
+}
+
+// index produces a guaranteed-in-range index expression.
+func (g *gen) index(size int) string {
+	return fmt.Sprintf("((%s) %% %d + %d) %% %d", g.expr(false, 1), size, size, size)
+}
+
+func (g *gen) literal(float bool) string {
+	if float {
+		return fmt.Sprintf("%d.%d", g.pick(20), g.pick(10))
+	}
+	return fmt.Sprintf("%d", g.pick(40))
+}
+
+// cond produces an int-typed condition.
+func (g *gen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	op := ops[g.pick(len(ops))]
+	if g.chance(0.3) {
+		return fmt.Sprintf("%s %s %s", g.expr(true, 1), op, g.expr(true, 1))
+	}
+	c := fmt.Sprintf("%s %s %s", g.expr(false, 1), op, g.expr(false, 1))
+	if g.chance(0.3) {
+		junct := "&&"
+		if g.chance(0.5) {
+			junct = "||"
+		}
+		c = fmt.Sprintf("(%s) %s (%s)", c, junct, g.cond2())
+	}
+	return c
+}
+
+func (g *gen) cond2() string {
+	ops := []string{"<", ">", "=="}
+	return fmt.Sprintf("%s %s %s", g.expr(false, 1), ops[g.pick(3)], g.expr(false, 1))
+}
+
+// expr produces an expression of the requested type with bounded depth.
+func (g *gen) expr(float bool, depth int) string {
+	if depth <= 0 {
+		return g.atom(float)
+	}
+	switch g.pick(8) {
+	case 0, 1, 2:
+		op := []string{"+", "-", "*"}[g.pick(3)]
+		return fmt.Sprintf("(%s %s %s)", g.expr(float, depth-1), op, g.expr(float, depth-1))
+	case 3:
+		// Safe division/modulo by a positive literal.
+		if float {
+			return fmt.Sprintf("(%s / %d.5)", g.expr(true, depth-1), g.pick(7)+1)
+		}
+		if g.chance(0.5) {
+			return fmt.Sprintf("(%s / %d)", g.expr(false, depth-1), g.pick(9)+1)
+		}
+		return fmt.Sprintf("(%s %% %d)", g.expr(false, depth-1), g.pick(9)+1)
+	case 4:
+		if float {
+			return fmt.Sprintf("float(%s)", g.expr(false, depth-1))
+		}
+		return fmt.Sprintf("int(%s)", g.expr(true, depth-1))
+	case 5:
+		return fmt.Sprintf("(-(%s))", g.expr(float, depth-1))
+	case 6:
+		if len(g.callable) > 0 || g.self != nil {
+			return g.callExpr(float, depth)
+		}
+		return g.atom(float)
+	default:
+		return g.atom(float)
+	}
+}
+
+func (g *gen) callExpr(float bool, depth int) string {
+	// Guarded self-recursion gets priority occasionally. Self-calls
+	// are only emitted outside loops and at most twice per function, so
+	// the recursion tree stays near fib-sized instead of exploding.
+	if g.self != nil && g.depth == 0 && g.selfCalls < 2 && g.chance(0.4) {
+		g.selfCalls++
+		call := g.selfCall()
+		return g.coerce(call, g.self.retFloat, float)
+	}
+	if len(g.callable) == 0 {
+		return g.atom(float)
+	}
+	sig := g.callable[g.pick(len(g.callable))]
+	return g.coerce(g.call(&sig), sig.retFloat, float)
+}
+
+func (g *gen) coerce(e string, isFloat, wantFloat bool) string {
+	if isFloat == wantFloat {
+		return e
+	}
+	if wantFloat {
+		return fmt.Sprintf("float(%s)", e)
+	}
+	return fmt.Sprintf("int(%s)", e)
+}
+
+// call builds a call expression with in-range literal-ish arguments.
+func (g *gen) call(sig *funcSig) string {
+	args := make([]string, 0, sig.intParams+sig.fltParams)
+	for i := 0; i < sig.intParams; i++ {
+		args = append(args, g.expr(false, 1))
+	}
+	for i := 0; i < sig.fltParams; i++ {
+		args = append(args, g.expr(true, 1))
+	}
+	return fmt.Sprintf("%s(%s)", sig.name, strings.Join(args, ", "))
+}
+
+// selfCall recurses with a strictly smaller nonnegative first argument.
+func (g *gen) selfCall() string {
+	sig := g.self
+	args := make([]string, 0, sig.intParams+sig.fltParams)
+	args = append(args, "(p0 - 1)")
+	for i := 1; i < sig.intParams; i++ {
+		args = append(args, g.expr(false, 1))
+	}
+	for i := 0; i < sig.fltParams; i++ {
+		args = append(args, g.expr(true, 1))
+	}
+	return fmt.Sprintf("%s(%s)", sig.name, strings.Join(args, ", "))
+}
+
+func (g *gen) atom(float bool) string {
+	if float {
+		switch {
+		case len(g.floatVars) > 0 && g.chance(0.5):
+			return g.floatVars[g.pick(len(g.floatVars))]
+		case g.chance(0.25):
+			return "gf0"
+		case g.chance(0.3):
+			return fmt.Sprintf("gfarr[%s]", g.index(floatArraySize))
+		default:
+			return g.literal(true)
+		}
+	}
+	switch {
+	case len(g.intVars) > 0 && g.chance(0.5):
+		return g.intVars[g.pick(len(g.intVars))]
+	case g.chance(0.2):
+		return "gi0"
+	case g.chance(0.2):
+		return "gi1"
+	case g.chance(0.3):
+		return fmt.Sprintf("garr[%s]", g.index(intArraySize))
+	default:
+		return g.literal(false)
+	}
+}

@@ -1,0 +1,159 @@
+package randprog_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/randprog"
+)
+
+// TestGeneratedProgramsCompile checks that every generated program is
+// well-formed MC.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		if _, err := callcost.Compile(src); err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestGeneratedProgramsTerminate checks the termination discipline
+// (bounded loops, guarded recursion) holds in practice: no generated
+// program may trap. Long-but-finite programs (nested call-in-loop
+// chains are multiplicative) are allowed to hit the step budget and
+// are skipped; most seeds must stay cheap.
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	expensive := 0
+	const seeds = 40
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_, err = interp.Run(prog.IR, interp.Options{MaxSteps: 3_000_000})
+		if err == interp.ErrStepLimit {
+			expensive++
+			continue
+		}
+		if err != nil {
+			t.Errorf("seed %d failed to run: %v\n%s", seed, err, src)
+		}
+	}
+	if expensive > seeds/2 {
+		t.Errorf("%d of %d seeds exceeded the step budget; generator bounds are too loose", expensive, seeds)
+	}
+}
+
+// TestDifferentialAllStrategies is the central property test of the
+// whole repository: for random programs, every allocator at every
+// tested register configuration must preserve the reference semantics
+// when the allocated code is executed on the machine-level interpreter
+// (which scrambles caller-save registers across calls), and its
+// analytic overhead must match the measured overhead.
+func TestDifferentialAllStrategies(t *testing.T) {
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 8
+	}
+	strategies := map[string]callcost.Strategy{
+		"chaitin":    callcost.Chaitin(),
+		"optimistic": callcost.Optimistic(),
+		"improved":   callcost.ImprovedAll(),
+		"improved-firstuse": func() callcost.Strategy {
+			s := callcost.ImprovedAll()
+			s.CalleeModel = 1 // FirstUseCost
+			return s
+		}(),
+		"priority":     callcost.Priority(callcost.PrioritySorting),
+		"priority-ru":  callcost.Priority(callcost.PriorityRemovingUnconstrained),
+		"priority-su":  callcost.Priority(callcost.PrioritySortingUnconstrained),
+		"cbh":          callcost.CBH(),
+		"improved-opt": callcost.ImprovedOptimistic(),
+	}
+	configs := []callcost.Config{
+		callcost.NewConfig(6, 4, 0, 0),
+		callcost.NewConfig(6, 4, 3, 3),
+		callcost.NewConfig(10, 8, 6, 6),
+		callcost.FullMachine(),
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		refRes, err := interp.Run(prog.IR, interp.Options{MaxSteps: 3_000_000, Profile: true})
+		if err == interp.ErrStepLimit {
+			continue // overly expensive program; skip this seed
+		}
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+		}
+		ref := refRes
+		pf := freq.FromProfile(prog.IR, refRes.Profile)
+		for name, strat := range strategies {
+			for _, cfg := range configs {
+				alloc, err := prog.Allocate(strat, cfg, pf)
+				if err != nil {
+					t.Fatalf("seed %d: %s at %s: %v\n%s", seed, name, cfg, err, src)
+				}
+				res, err := alloc.Execute()
+				if err != nil {
+					t.Fatalf("seed %d: %s at %s: execute: %v\n%s", seed, name, cfg, err, src)
+				}
+				if res.RetInt != ref.RetInt {
+					t.Fatalf("seed %d: %s at %s: returned %d, reference %d\n%s",
+						seed, name, cfg, res.RetInt, ref.RetInt, src)
+				}
+				analytic := alloc.Overhead(pf).Total()
+				measured, _, err := alloc.MeasuredOverhead()
+				if err != nil {
+					t.Fatalf("seed %d: %s at %s: measure: %v", seed, name, cfg, err)
+				}
+				if diff := analytic - measured.Total(); diff > 1e-6*analytic+1e-6 || -diff > 1e-6*analytic+1e-6 {
+					t.Fatalf("seed %d: %s at %s: analytic overhead %.3f != measured %.3f\n%s",
+						seed, name, cfg, analytic, measured.Total(), src)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminism: the same seed yields the same source, and the same
+// source yields identical allocations and overhead.
+func TestDeterminism(t *testing.T) {
+	a := randprog.Generate(7, randprog.DefaultOptions())
+	b := randprog.Generate(7, randprog.DefaultOptions())
+	if a != b {
+		t.Fatal("generator is not deterministic")
+	}
+	prog1, err := callcost.Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := callcost.Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf1, _, err := prog1.Profile()
+	if err != nil {
+		t.Skip("seed too expensive")
+	}
+	pf2, _, _ := prog2.Profile()
+	cfg := callcost.NewConfig(8, 6, 4, 4)
+	a1, err := prog1.Allocate(callcost.ImprovedAll(), cfg, pf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := prog2.Allocate(callcost.ImprovedAll(), cfg, pf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1, o2 := a1.Overhead(pf1), a2.Overhead(pf2); o1 != o2 {
+		t.Fatalf("allocation not deterministic: %v vs %v", o1, o2)
+	}
+}

@@ -1,0 +1,558 @@
+// Package regalloc is the register-allocation framework of the
+// reproduction, mirroring the structure of the paper's Figure 1:
+//
+//	graph construction → live-range coalescing → color ordering →
+//	color assignment → graph reconstruction → spill-code insertion →
+//	shuffle-code insertion
+//
+// The framework hosts pluggable Strategy implementations (the paper's
+// Table 1): base Chaitin-style and optimistic coloring live here;
+// the improved allocator (package core), priority-based coloring
+// (package priority), and the CBH model (package cbh) plug in through
+// the same interface, so all approaches share graph construction,
+// coalescing, spill-code insertion, and measurement — the "fair
+// comparison" property the paper's framework argues for.
+//
+// The two data structures the paper names are explicit: the color
+// stack C (ColorStack) connecting color ordering to color assignment,
+// and the spill pool S (the Spilled sets flowing back to spill-code
+// insertion).
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/liverange"
+	"repro/internal/machine"
+)
+
+// Strategy is one register-allocation approach: it performs the color
+// ordering and color assignment phases for the live ranges of one
+// register bank.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Allocate colors the nodes of ctx.Graph. Every node must either
+	// receive a color in the result or appear in Spilled.
+	Allocate(ctx *ClassContext) *ClassResult
+}
+
+// ClassContext is everything a strategy sees for one bank of one
+// function in one allocation round.
+type ClassContext struct {
+	Fn     *ir.Func
+	Class  ir.Class
+	Graph  *interference.Graph
+	Ranges *liverange.Set
+	Config machine.Config
+	// Round is the allocation round (0-based); spill code from earlier
+	// rounds is already in Fn.
+	Round int
+}
+
+// N returns the number of allocable registers in this bank.
+func (ctx *ClassContext) N() int { return ctx.Config.Total(ctx.Class) }
+
+// RangeOf returns the cost record of representative rep.
+func (ctx *ClassContext) RangeOf(rep ir.Reg) *liverange.Range {
+	return ctx.Ranges.Ranges[rep]
+}
+
+// Nodes returns the bank's live-range representatives in deterministic
+// order.
+func (ctx *ClassContext) Nodes() []ir.Reg { return ctx.Graph.Nodes() }
+
+// ClassResult is a strategy's output for one bank.
+type ClassResult struct {
+	// Colors maps representatives to physical registers.
+	Colors map[ir.Reg]machine.PhysReg
+	// Spilled lists representatives sent to the spill pool S; they will
+	// be rewritten to memory and the allocation restarted.
+	Spilled []ir.Reg
+}
+
+// NewClassResult returns an empty result.
+func NewClassResult() *ClassResult {
+	return &ClassResult{Colors: make(map[ir.Reg]machine.PhysReg)}
+}
+
+// ---------------------------------------------------------------------
+// Color stack and free-color computation
+
+// ColorStack is the paper's color stack C: live ranges pushed during
+// color ordering and popped (last-in, first-out) during color
+// assignment, so the top of the stack chooses registers first.
+type ColorStack struct {
+	items []ir.Reg
+}
+
+// Push adds a live range to the top of the stack.
+func (s *ColorStack) Push(r ir.Reg) { s.items = append(s.items, r) }
+
+// Pop removes and returns the top; the boolean is false when empty.
+func (s *ColorStack) Pop() (ir.Reg, bool) {
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	r := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return r, true
+}
+
+// Len returns the number of stacked live ranges.
+func (s *ColorStack) Len() int { return len(s.items) }
+
+// FreeColors returns the physical registers of the bank not taken by
+// any already-colored neighbor of rep, in increasing order (caller-save
+// first, then callee-save, matching the bank layout).
+func (ctx *ClassContext) FreeColors(colors map[ir.Reg]machine.PhysReg, rep ir.Reg) []machine.PhysReg {
+	n := ctx.N()
+	taken := make([]bool, n)
+	ctx.Graph.Neighbors(rep, func(nb ir.Reg) {
+		if c, ok := colors[nb]; ok && c != machine.NoPhysReg {
+			taken[c] = true
+		}
+	})
+	free := make([]machine.PhysReg, 0, n)
+	for i := 0; i < n; i++ {
+		if !taken[i] {
+			free = append(free, machine.PhysReg(i))
+		}
+	}
+	return free
+}
+
+// SplitFree partitions free colors into caller-save and callee-save.
+func (ctx *ClassContext) SplitFree(free []machine.PhysReg) (caller, callee []machine.PhysReg) {
+	for _, r := range free {
+		if ctx.Config.IsCallerSave(ctx.Class, r) {
+			caller = append(caller, r)
+		} else {
+			callee = append(callee, r)
+		}
+	}
+	return caller, callee
+}
+
+// ---------------------------------------------------------------------
+// Simplification (shared by Chaitin-style strategies)
+
+// Simplifier runs Chaitin simplification over the bank's graph with a
+// pluggable ordering key and spill heuristic.
+type Simplifier struct {
+	ctx     *ClassContext
+	deg     map[ir.Reg]int
+	removed map[ir.Reg]bool
+	nodes   []ir.Reg
+}
+
+// NewSimplifier prepares simplification state for ctx.
+func NewSimplifier(ctx *ClassContext) *Simplifier {
+	s := &Simplifier{
+		ctx:     ctx,
+		deg:     make(map[ir.Reg]int),
+		removed: make(map[ir.Reg]bool),
+		nodes:   ctx.Nodes(),
+	}
+	nodeSet := make(map[ir.Reg]bool, len(s.nodes))
+	for _, r := range s.nodes {
+		nodeSet[r] = true
+	}
+	for _, r := range s.nodes {
+		d := 0
+		ctx.Graph.Neighbors(r, func(n ir.Reg) {
+			if nodeSet[n] {
+				d++
+			}
+		})
+		s.deg[r] = d
+	}
+	return s
+}
+
+// SpillHeuristic selects how the blocked-simplification spill candidate
+// is chosen (the paper cites a line of work on better heuristics [17,
+// 2, 5]; Chaitin's cost/degree is the classic default).
+type SpillHeuristic int
+
+const (
+	// CostOverDegree spills the minimum spill_cost/degree (Chaitin).
+	CostOverDegree SpillHeuristic = iota
+	// PlainCost spills the minimum spill_cost, ignoring degree.
+	PlainCost
+	// CostOverDegreeSq spills minimum spill_cost/degree², biasing
+	// harder toward high-degree ranges (Bernstein et al.'s family).
+	CostOverDegreeSq
+)
+
+// String names the heuristic.
+func (h SpillHeuristic) String() string {
+	switch h {
+	case CostOverDegree:
+		return "cost/degree"
+	case PlainCost:
+		return "cost"
+	case CostOverDegreeSq:
+		return "cost/degree2"
+	}
+	return "unknown"
+}
+
+// Options for Run.
+type SimplifyOptions struct {
+	// Key orders unconstrained nodes: the node with the smallest key is
+	// removed first (ends up deepest in the stack). Nil means removal
+	// in register order (plain Chaitin).
+	Key func(rep ir.Reg) float64
+	// Optimistic pushes would-be spills onto the stack ("optimistic
+	// coloring", Briggs) instead of spilling immediately.
+	Optimistic bool
+	// SpillCost overrides the numerator of the spill heuristic
+	// cost/degree. Nil uses the live range's SpillCost.
+	SpillCost func(rep ir.Reg) float64
+	// Heuristic selects the blocked-spill choice rule.
+	Heuristic SpillHeuristic
+}
+
+// Run simplifies the graph to an ordering. It returns the color stack
+// and the representatives spilled when simplification blocked (empty
+// when Optimistic).
+func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
+	n := s.ctx.N()
+	stack := &ColorStack{}
+	var spilled []ir.Reg
+	remaining := len(s.nodes)
+
+	spillCostOf := opts.SpillCost
+	if spillCostOf == nil {
+		spillCostOf = func(rep ir.Reg) float64 {
+			if rg := s.ctx.RangeOf(rep); rg != nil {
+				return rg.SpillCost
+			}
+			return 0
+		}
+	}
+
+	remove := func(r ir.Reg) {
+		s.removed[r] = true
+		remaining--
+		s.ctx.Graph.Neighbors(r, func(nb ir.Reg) {
+			if !s.removed[nb] {
+				if _, ok := s.deg[nb]; ok {
+					s.deg[nb]--
+				}
+			}
+		})
+	}
+
+	for remaining > 0 {
+		// Unconstrained node with the smallest key.
+		best := ir.NoReg
+		bestKey := 0.0
+		for _, r := range s.nodes {
+			if s.removed[r] || s.deg[r] >= n {
+				continue
+			}
+			k := 0.0
+			if opts.Key != nil {
+				k = opts.Key(r)
+			}
+			if best == ir.NoReg || k < bestKey || (k == bestKey && r < best) {
+				best, bestKey = r, k
+			}
+		}
+		if best != ir.NoReg {
+			remove(best)
+			stack.Push(best)
+			continue
+		}
+
+		// Simplification blocked: every remaining node has degree >= n.
+		// Choose a spill candidate by min cost/degree among spillable
+		// nodes.
+		cand := ir.NoReg
+		candKey := 0.0
+		for _, r := range s.nodes {
+			if s.removed[r] {
+				continue
+			}
+			rg := s.ctx.RangeOf(r)
+			if rg != nil && rg.NoSpill {
+				continue
+			}
+			d := s.deg[r]
+			if d <= 0 {
+				d = 1
+			}
+			var k float64
+			switch opts.Heuristic {
+			case PlainCost:
+				k = spillCostOf(r)
+			case CostOverDegreeSq:
+				k = spillCostOf(r) / float64(d*d)
+			default:
+				k = spillCostOf(r) / float64(d)
+			}
+			if cand == ir.NoReg || k < candKey || (k == candKey && r < cand) {
+				cand, candKey = r, k
+			}
+		}
+		if cand == ir.NoReg {
+			// Only unspillable nodes remain; push the lowest-degree one
+			// and hope assignment finds a color (it will for realistic
+			// configurations, since spill temporaries have tiny
+			// degree).
+			for _, r := range s.nodes {
+				if s.removed[r] && cand != ir.NoReg {
+					continue
+				}
+				if !s.removed[r] && (cand == ir.NoReg || s.deg[r] < s.deg[cand]) {
+					cand = r
+				}
+			}
+			remove(cand)
+			stack.Push(cand)
+			continue
+		}
+		remove(cand)
+		if opts.Optimistic {
+			stack.Push(cand)
+		} else {
+			spilled = append(spilled, cand)
+		}
+	}
+	return stack, spilled
+}
+
+// ---------------------------------------------------------------------
+// Base Chaitin-style and optimistic strategies (paper §3.1, §8)
+
+// Chaitin is the paper's base model: plain simplification, spill by
+// cost/degree when blocked, and a simple storage-class rule during
+// assignment — a live range crossing a call prefers callee-save
+// registers, one that does not prefers caller-save, falling back to the
+// other kind when the preferred kind is exhausted.
+type Chaitin struct {
+	// Optimistic delays spill decisions to the assignment phase
+	// (Briggs' optimistic coloring).
+	Optimistic bool
+	// Heuristic selects the blocked-spill choice rule (default
+	// cost/degree).
+	Heuristic SpillHeuristic
+}
+
+// Name implements Strategy.
+func (c *Chaitin) Name() string {
+	if c.Optimistic {
+		return "optimistic"
+	}
+	return "chaitin"
+}
+
+// Allocate implements Strategy.
+func (c *Chaitin) Allocate(ctx *ClassContext) *ClassResult {
+	res := NewClassResult()
+	simp := NewSimplifier(ctx)
+	stack, spilled := simp.Run(SimplifyOptions{Optimistic: c.Optimistic, Heuristic: c.Heuristic})
+	res.Spilled = append(res.Spilled, spilled...)
+
+	for {
+		rep, ok := stack.Pop()
+		if !ok {
+			break
+		}
+		free := ctx.FreeColors(res.Colors, rep)
+		if len(free) == 0 {
+			// Only possible for optimistically pushed nodes.
+			res.Spilled = append(res.Spilled, rep)
+			continue
+		}
+		caller, callee := ctx.SplitFree(free)
+		rg := ctx.RangeOf(rep)
+		preferCallee := rg != nil && rg.CrossesCall
+		res.Colors[rep] = pickPreferred(caller, callee, preferCallee)
+	}
+	return res
+}
+
+// pickPreferred picks from the preferred kind when available, falling
+// back to the other kind.
+func pickPreferred(caller, callee []machine.PhysReg, preferCallee bool) machine.PhysReg {
+	if preferCallee {
+		if len(callee) > 0 {
+			return callee[0]
+		}
+		return caller[0]
+	}
+	if len(caller) > 0 {
+		return caller[0]
+	}
+	return callee[0]
+}
+
+// ---------------------------------------------------------------------
+// Driver
+
+// Options configure an allocation run.
+type Options struct {
+	// Coalesce enables live-range coalescing (on in every configuration
+	// of the paper's framework). Default true via DefaultOptions.
+	Coalesce bool
+	// ConservativeCoalesce uses the Briggs test instead of aggressive
+	// coalescing.
+	ConservativeCoalesce bool
+	// Rebuild disables the graph-reconstruction phase: after spill-code
+	// insertion the interference graph is rebuilt from scratch instead
+	// of patched. Reconstruction (the default) is the paper's
+	// compile-time optimization; the two produce identical graphs
+	// (checked by the test suite), so Rebuild exists for the
+	// compile-time ablation benchmark.
+	Rebuild bool
+	// MaxRounds bounds build→color→spill iterations.
+	MaxRounds int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{Coalesce: true, MaxRounds: 32}
+}
+
+// FuncAlloc is the final allocation of one function.
+type FuncAlloc struct {
+	// Fn is the rewritten function: the original plus spill code. Block
+	// IDs are preserved, so frequency tables for the original remain
+	// valid.
+	Fn *ir.Func
+	// Colors assigns every virtual register of Fn a physical register
+	// in its bank; spilled registers were rewritten away and map to
+	// machine.NoPhysReg only if they no longer occur.
+	Colors []machine.PhysReg
+	// SlotOf maps spilled virtual registers to their stack slots.
+	SlotOf map[ir.Reg]*ir.Symbol
+	// Rounds is the number of build→color→spill iterations executed.
+	Rounds int
+	// Ranges is the live-range analysis of the final round.
+	Ranges *liverange.Set
+	// Graphs holds the final interference graphs per bank.
+	Graphs [ir.NumClasses]*interference.Graph
+	// Config echoes the register configuration used.
+	Config machine.Config
+}
+
+// ColorOf returns the physical register of virtual register r.
+func (fa *FuncAlloc) ColorOf(r ir.Reg) machine.PhysReg { return fa.Colors[r] }
+
+// SpillInserter abstracts the spill-code insertion phase; it lives in
+// package rewrite and is injected here to keep the framework free of a
+// dependency cycle.
+type SpillInserter func(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg))
+
+// AllocateFunc runs the full framework loop on fn: build, coalesce,
+// color (via strat), and iterate through spill-code insertion until no
+// live range spills. fn itself is not modified; the returned FuncAlloc
+// holds a rewritten clone.
+func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 32
+	}
+	work := fn.Clone()
+	noSpill := make(map[ir.Reg]bool)
+	slotOf := make(map[ir.Reg]*ir.Symbol)
+	isNoSpill := func(r ir.Reg) bool { return noSpill[r] }
+
+	// State for the graph-reconstruction phase: the uncoalesced graphs
+	// of the previous round, the registers spilled last round, and the
+	// temporaries the spill rewrite introduced.
+	var baseGraphs [ir.NumClasses]*interference.Graph
+	var lastSpilled map[ir.Reg]*ir.Symbol
+	lastTemps := make(map[ir.Reg]bool)
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		g := cfg.New(work)
+		live := liveness.Compute(work, g)
+		var graphs [ir.NumClasses]*interference.Graph
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
+			if round == 0 || opts.Rebuild {
+				baseGraphs[c] = interference.Build(work, live, c)
+			} else {
+				baseGraphs[c] = interference.Reconstruct(baseGraphs[c], work, live, lastSpilled,
+					func(r ir.Reg) bool { return lastTemps[r] })
+			}
+			if opts.Coalesce {
+				graphs[c] = baseGraphs[c].Clone()
+				graphs[c].Coalesce(opts.ConservativeCoalesce, config.Total(c))
+			} else {
+				graphs[c] = baseGraphs[c]
+			}
+		}
+		ranges := liverange.Analyze(work, live, &graphs, ff, isNoSpill)
+
+		spillSet := make(map[ir.Reg]*ir.Symbol)
+		colors := make([]machine.PhysReg, work.NumRegs())
+		for i := range colors {
+			colors[i] = machine.NoPhysReg
+		}
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
+			ctx := &ClassContext{
+				Fn:     work,
+				Class:  c,
+				Graph:  graphs[c],
+				Ranges: ranges,
+				Config: config,
+				Round:  round,
+			}
+			res := strat.Allocate(ctx)
+			for rep, col := range res.Colors {
+				for _, m := range graphs[c].Members(rep) {
+					colors[m] = col
+				}
+			}
+			for _, rep := range res.Spilled {
+				slot := &ir.Symbol{
+					Name:  fmt.Sprintf("%s.spill.%d", work.Name, len(slotOf)+len(spillSet)),
+					Class: c,
+					Local: true,
+					Spill: true,
+				}
+				for _, m := range graphs[c].Members(rep) {
+					spillSet[m] = slot
+				}
+			}
+		}
+
+		if len(spillSet) == 0 {
+			return &FuncAlloc{
+				Fn:     work,
+				Colors: colors,
+				SlotOf: slotOf,
+				Rounds: round + 1,
+				Ranges: ranges,
+				Graphs: graphs,
+				Config: config,
+			}, nil
+		}
+
+		for r, slot := range spillSet {
+			slotOf[r] = slot
+		}
+		lastSpilled = spillSet
+		lastTemps = make(map[ir.Reg]bool)
+		insertSpills(work, spillSet, func(t ir.Reg) {
+			noSpill[t] = true
+			lastTemps[t] = true
+		})
+	}
+	return nil, fmt.Errorf("regalloc: %s did not converge on %s after %d rounds", strat.Name(), fn.Name, opts.MaxRounds)
+}
+
+// SortRegs sorts a register slice in increasing order (a convenience
+// for strategies that need deterministic iteration).
+func SortRegs(rs []ir.Reg) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}

@@ -1,0 +1,270 @@
+package regalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/liverange"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+)
+
+// context builds a ClassContext for fn under dynamic weights.
+func context(t *testing.T, src, fn string, config machine.Config, class ir.Class) *regalloc.ClassContext {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	f := prog.FuncByName[fn]
+	g := cfg.New(f)
+	live := liveness.Compute(f, g)
+	var graphs [ir.NumClasses]*interference.Graph
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		graphs[c] = interference.Build(f, live, c)
+		graphs[c].Coalesce(false, config.Total(c))
+	}
+	ranges := liverange.Analyze(f, live, &graphs, pf.ByFunc[fn], nil)
+	return &regalloc.ClassContext{
+		Fn:     f,
+		Class:  class,
+		Graph:  graphs[class],
+		Ranges: ranges,
+		Config: config,
+	}
+}
+
+func TestColorStackLIFO(t *testing.T) {
+	var s regalloc.ColorStack
+	if _, ok := s.Pop(); ok {
+		t.Fatal("empty stack popped")
+	}
+	s.Push(1)
+	s.Push(2)
+	s.Push(3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for want := ir.Reg(3); want >= 1; want-- {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+const pressureSrc = `
+int f(int a, int b, int c) {
+	int d = a + b;
+	int e = b + c;
+	int g = a + c;
+	int h = d + e;
+	int i = e + g;
+	int j = d + g;
+	return h + i + j + a + b + c + d + e + g;
+}
+int main() { return f(1, 2, 3); }`
+
+func TestSimplifierColorsEverythingWithEnoughRegisters(t *testing.T) {
+	ctx := context(t, pressureSrc, "f", machine.NewConfig(14, 4, 12, 0), ir.ClassInt)
+	s := regalloc.NewSimplifier(ctx)
+	stack, spilled := s.Run(regalloc.SimplifyOptions{})
+	if len(spilled) != 0 {
+		t.Fatalf("spilled %v with a huge register file", spilled)
+	}
+	if stack.Len() != len(ctx.Nodes()) {
+		t.Fatalf("stack %d != nodes %d", stack.Len(), len(ctx.Nodes()))
+	}
+}
+
+func TestSimplifierSpillsUnderPressure(t *testing.T) {
+	// With very few registers the clique in f cannot be colored.
+	ctx := context(t, pressureSrc, "f", machine.NewConfig(6, 4, 0, 0), ir.ClassInt)
+	s := regalloc.NewSimplifier(ctx)
+	_, spilled := s.Run(regalloc.SimplifyOptions{})
+	if len(spilled) == 0 {
+		t.Skip("pressure too low to force a spill in this configuration")
+	}
+	// Spill candidates must be spillable.
+	for _, rep := range spilled {
+		if rg := ctx.RangeOf(rep); rg != nil && rg.NoSpill {
+			t.Errorf("spilled unspillable v%d", rep)
+		}
+	}
+}
+
+func TestSimplifierOptimisticPushesInsteadOfSpilling(t *testing.T) {
+	ctx := context(t, pressureSrc, "f", machine.NewConfig(6, 4, 0, 0), ir.ClassInt)
+	s := regalloc.NewSimplifier(ctx)
+	stack, spilled := s.Run(regalloc.SimplifyOptions{Optimistic: true})
+	if len(spilled) != 0 {
+		t.Fatalf("optimistic simplification spilled %v", spilled)
+	}
+	if stack.Len() != len(ctx.Nodes()) {
+		t.Fatalf("stack %d != nodes %d", stack.Len(), len(ctx.Nodes()))
+	}
+}
+
+func TestSimplifierKeyOrdersRemoval(t *testing.T) {
+	ctx := context(t, pressureSrc, "f", machine.NewConfig(14, 4, 12, 0), ir.ClassInt)
+	s := regalloc.NewSimplifier(ctx)
+	// Key = register number: with everything unconstrained the stack
+	// bottom must be the smallest register.
+	stack, _ := s.Run(regalloc.SimplifyOptions{
+		Key: func(rep ir.Reg) float64 { return float64(rep) },
+	})
+	var order []ir.Reg
+	for {
+		r, ok := stack.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, r)
+	}
+	// Popped top-first: must be in descending register order.
+	for i := 1; i < len(order); i++ {
+		if order[i-1] < order[i] {
+			t.Fatalf("stack order not driven by key: %v", order)
+		}
+	}
+}
+
+func TestFreeColorsRespectsNeighbors(t *testing.T) {
+	ctx := context(t, pressureSrc, "f", machine.NewConfig(6, 4, 2, 0), ir.ClassInt)
+	nodes := ctx.Nodes()
+	if len(nodes) < 2 {
+		t.Fatal("expected at least two nodes")
+	}
+	colors := map[ir.Reg]machine.PhysReg{}
+	free0 := ctx.FreeColors(colors, nodes[0])
+	if len(free0) != ctx.N() {
+		t.Fatalf("initial free colors %d != N %d", len(free0), ctx.N())
+	}
+	// Color one node; a neighbor must lose exactly that color.
+	var neighbor ir.Reg = ir.NoReg
+	ctx.Graph.Neighbors(nodes[0], func(n ir.Reg) {
+		if neighbor == ir.NoReg {
+			neighbor = n
+		}
+	})
+	if neighbor == ir.NoReg {
+		t.Skip("node 0 has no neighbors")
+	}
+	colors[nodes[0]] = free0[0]
+	freeN := ctx.FreeColors(colors, neighbor)
+	for _, c := range freeN {
+		if c == free0[0] {
+			t.Fatal("neighbor still sees the taken color")
+		}
+	}
+	caller, callee := ctx.SplitFree(freeN)
+	for _, c := range caller {
+		if !ctx.Config.IsCallerSave(ctx.Class, c) {
+			t.Error("SplitFree misclassified caller reg")
+		}
+	}
+	for _, c := range callee {
+		if !ctx.Config.IsCalleeSave(ctx.Class, c) {
+			t.Error("SplitFree misclassified callee reg")
+		}
+	}
+}
+
+func TestChaitinPrefersKindByCrossing(t *testing.T) {
+	src := `
+int g(int v) { return v + 1; }
+int f(int a) {
+	int crossing = a * 3;
+	int r = g(a);
+	return crossing + r;
+}
+int main() { return f(4); }`
+	ctx := context(t, src, "f", machine.NewConfig(6, 4, 4, 4), ir.ClassInt)
+	strat := &regalloc.Chaitin{}
+	res := strat.Allocate(ctx)
+	if len(res.Spilled) != 0 {
+		t.Fatalf("unexpected spills %v", res.Spilled)
+	}
+	for rep, col := range res.Colors {
+		rg := ctx.RangeOf(rep)
+		if rg == nil {
+			continue
+		}
+		// The base rule: crossing ranges get callee-save when one is
+		// free. With this little pressure, preferences are honored.
+		if rg.CrossesCall && !ctx.Config.IsCalleeSave(ir.ClassInt, col) {
+			t.Errorf("crossing range v%d in caller-save reg %d", rep, col)
+		}
+		if !rg.CrossesCall && !ctx.Config.IsCallerSave(ir.ClassInt, col) {
+			t.Errorf("non-crossing range v%d in callee-save reg %d", rep, col)
+		}
+	}
+}
+
+func TestAllocateFuncConvergesAndValidates(t *testing.T) {
+	prog, err := compile.Source(pressureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	for _, cfgRegs := range []machine.Config{machine.NewConfig(6, 4, 0, 0), machine.Full} {
+		for _, strat := range []regalloc.Strategy{&regalloc.Chaitin{}, &regalloc.Chaitin{Optimistic: true}} {
+			fa, err := regalloc.AllocateFunc(prog.FuncByName["f"], pf.ByFunc["f"], cfgRegs, strat,
+				rewrite.InsertSpills, regalloc.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s at %s: %v", strat.Name(), cfgRegs, err)
+			}
+			if err := rewrite.Validate(fa); err != nil {
+				t.Errorf("%s at %s: invalid: %v", strat.Name(), cfgRegs, err)
+			}
+			if fa.Rounds < 1 {
+				t.Error("rounds not counted")
+			}
+		}
+	}
+}
+
+func TestAllocateFuncDoesNotMutateOriginal(t *testing.T) {
+	prog, err := compile.Source(pressureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName["f"]
+	before := f.String()
+	res, _ := interp.Run(prog, interp.Options{Profile: true})
+	pf := freq.FromProfile(prog, res.Profile)
+	_, err = regalloc.AllocateFunc(f, pf.ByFunc["f"], machine.NewConfig(6, 4, 0, 0),
+		&regalloc.Chaitin{}, rewrite.InsertSpills, regalloc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != before {
+		t.Error("AllocateFunc mutated the input function")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if n := (&regalloc.Chaitin{}).Name(); n != "chaitin" {
+		t.Errorf("name %q", n)
+	}
+	if n := (&regalloc.Chaitin{Optimistic: true}).Name(); !strings.Contains(n, "optimistic") {
+		t.Errorf("name %q", n)
+	}
+}

@@ -1,0 +1,222 @@
+package rewrite_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+)
+
+const callSrc = `
+int g(int v) { return v + 1; }
+int f(int a, int b) {
+	int keep = a * 3;
+	int r = g(b);
+	return keep + r + a;
+}
+int main() { return f(1, 2); }`
+
+func allocate(t *testing.T, src, fn string, config machine.Config, strat regalloc.Strategy) (*regalloc.FuncAlloc, *freq.ProgramFreq) {
+	t.Helper()
+	prog, err := compile.Source(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, interp.Options{Profile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf := freq.FromProfile(prog, res.Profile)
+	fa, err := regalloc.AllocateFunc(prog.FuncByName[fn], pf.ByFunc[fn], config, strat,
+		rewrite.InsertSpills, regalloc.DefaultOptions())
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	return fa, pf
+}
+
+func TestInsertSpillsRewritesAllOccurrences(t *testing.T) {
+	prog, err := compile.Source(callSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName["f"].Clone()
+	// Spill the "keep" variable.
+	var keep ir.Reg = ir.NoReg
+	for r := 0; r < f.NumRegs(); r++ {
+		if f.RegName(ir.Reg(r)) == "keep" {
+			keep = ir.Reg(r)
+		}
+	}
+	if keep == ir.NoReg {
+		t.Fatal("no keep register")
+	}
+	slot := &ir.Symbol{Name: "f.spill.0", Class: ir.ClassInt, Local: true, Spill: true}
+	var temps []ir.Reg
+	rewrite.InsertSpills(f, map[ir.Reg]*ir.Symbol{keep: slot}, func(r ir.Reg) { temps = append(temps, r) })
+
+	if len(temps) == 0 {
+		t.Fatal("no temporaries created")
+	}
+	// keep must no longer occur in any instruction.
+	loads, stores := 0, 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Dst == keep {
+				t.Error("keep still defined")
+			}
+			for _, a := range in.Args {
+				if a == keep {
+					t.Error("keep still used")
+				}
+			}
+			if in.Op == ir.OpLoad && in.Sym == slot {
+				loads++
+			}
+			if in.Op == ir.OpStore && in.Sym == slot {
+				stores++
+			}
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Errorf("spill code incomplete: %d loads, %d stores", loads, stores)
+	}
+	// The slot joined the frame.
+	found := false
+	for _, l := range f.Locals {
+		if l == slot {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("slot not added to Locals")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("rewritten function invalid: %v", err)
+	}
+}
+
+func TestInsertSpillsSpilledParameter(t *testing.T) {
+	prog, err := compile.Source(callSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName["f"].Clone()
+	p := f.Params[0]
+	slot := &ir.Symbol{Name: "f.spill.p", Class: ir.ClassInt, Local: true, Spill: true}
+	rewrite.InsertSpills(f, map[ir.Reg]*ir.Symbol{p: slot}, func(ir.Reg) {})
+	// The parameter register must have been replaced, and the entry
+	// block must begin by storing the incoming value.
+	if f.Params[0] == p {
+		t.Error("spilled parameter not replaced")
+	}
+	first := f.Blocks[0].Instrs[0]
+	if first.Op != ir.OpStore || first.Sym != slot {
+		t.Errorf("entry does not store the incoming parameter: %v", f.InstrString(&first))
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestBuildPlanCallSaves(t *testing.T) {
+	fa, _ := allocate(t, callSrc, "f", machine.NewConfig(6, 4, 0, 0), &regalloc.Chaitin{})
+	plan := rewrite.BuildPlan(fa)
+	// With zero callee-save registers, "keep" and "a" live across g()
+	// in caller-save registers: the call must save at least two.
+	var total int
+	for _, cs := range plan.CallSaves {
+		total += cs.Count()
+	}
+	if total < 2 {
+		t.Errorf("call saves = %d, want >= 2 (keep and a cross the call)", total)
+	}
+	if len(plan.CalleeUsed[ir.ClassInt]) != 0 {
+		t.Error("no callee-save registers exist, none can be used")
+	}
+}
+
+func TestBuildPlanCalleeUsed(t *testing.T) {
+	fa, _ := allocate(t, callSrc, "f", machine.NewConfig(6, 4, 4, 4), &regalloc.Chaitin{})
+	plan := rewrite.BuildPlan(fa)
+	// The base model prefers callee-save for crossing ranges; some
+	// callee register must be in use, and every listed register must
+	// actually be callee-save.
+	if len(plan.CalleeUsed[ir.ClassInt]) == 0 {
+		t.Error("expected callee-save usage under the base model")
+	}
+	for c := range plan.CalleeUsed {
+		for _, pr := range plan.CalleeUsed[c] {
+			if !fa.Config.IsCalleeSave(ir.Class(c), pr) {
+				t.Errorf("register %d listed as callee-save but is not", pr)
+			}
+		}
+	}
+}
+
+func TestValidateAcceptsRealAllocations(t *testing.T) {
+	for _, cfg := range machine.ShortSweep() {
+		fa, _ := allocate(t, callSrc, "f", cfg, &regalloc.Chaitin{})
+		if err := rewrite.Validate(fa); err != nil {
+			t.Errorf("%s: %v", cfg, err)
+		}
+	}
+}
+
+func TestValidateCatchesConflicts(t *testing.T) {
+	fa, _ := allocate(t, callSrc, "f", machine.NewConfig(6, 4, 2, 2), &regalloc.Chaitin{})
+	// Corrupt: give two simultaneously-live registers the same color.
+	// "keep" and the parameter "a" are both live across the call.
+	var keep, a ir.Reg = ir.NoReg, ir.NoReg
+	f := fa.Fn
+	for r := 0; r < f.NumRegs(); r++ {
+		switch f.RegName(ir.Reg(r)) {
+		case "keep":
+			keep = ir.Reg(r)
+		case "a":
+			a = ir.Reg(r)
+		}
+	}
+	if keep == ir.NoReg || a == ir.NoReg {
+		t.Fatal("registers not found")
+	}
+	fa.Colors[keep] = fa.Colors[a]
+	if err := rewrite.Validate(fa); err == nil {
+		t.Fatal("conflicting allocation accepted")
+	} else if !strings.Contains(err.Error(), "simultaneously live") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingColor(t *testing.T) {
+	fa, _ := allocate(t, callSrc, "f", machine.NewConfig(6, 4, 2, 2), &regalloc.Chaitin{})
+	f := fa.Fn
+	for r := 0; r < f.NumRegs(); r++ {
+		if f.RegName(ir.Reg(r)) == "keep" {
+			fa.Colors[r] = machine.NoPhysReg
+		}
+	}
+	if err := rewrite.Validate(fa); err == nil {
+		t.Fatal("missing color accepted")
+	}
+}
+
+func TestValidateCatchesOutOfBankColor(t *testing.T) {
+	fa, _ := allocate(t, callSrc, "f", machine.NewConfig(6, 4, 2, 2), &regalloc.Chaitin{})
+	f := fa.Fn
+	for r := 0; r < f.NumRegs(); r++ {
+		if f.RegName(ir.Reg(r)) == "keep" {
+			fa.Colors[r] = machine.PhysReg(100)
+		}
+	}
+	if err := rewrite.Validate(fa); err == nil {
+		t.Fatal("out-of-bank color accepted")
+	}
+}

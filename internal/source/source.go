@@ -1,0 +1,110 @@
+// Package source provides source positions and diagnostics shared by the
+// MC front end (lexer, parser, type checker).
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position in an MC source file, 1-based in both line and column.
+// The zero Pos is "no position".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col", or "-" for the zero Pos.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p occurs strictly before q in the file.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Diagnostic is a single error or warning produced by a front-end phase.
+type Diagnostic struct {
+	Pos  Pos
+	Msg  string
+	File string // optional file name
+}
+
+// Error implements the error interface.
+func (d *Diagnostic) Error() string {
+	if d.File != "" {
+		return fmt.Sprintf("%s:%s: %s", d.File, d.Pos, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+}
+
+// ErrorList collects diagnostics from a phase. The zero value is ready to
+// use.
+type ErrorList struct {
+	File  string
+	Diags []*Diagnostic
+	limit int // 0 means default
+}
+
+// MaxErrors is the default cap on collected diagnostics; once reached,
+// further Add calls are dropped so a confused parser cannot flood memory.
+const MaxErrors = 100
+
+// Add records a diagnostic at pos.
+func (l *ErrorList) Add(pos Pos, format string, args ...interface{}) {
+	max := l.limit
+	if max == 0 {
+		max = MaxErrors
+	}
+	if len(l.Diags) >= max {
+		return
+	}
+	l.Diags = append(l.Diags, &Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...), File: l.File})
+}
+
+// Len returns the number of collected diagnostics.
+func (l *ErrorList) Len() int { return len(l.Diags) }
+
+// Sort orders the diagnostics by source position.
+func (l *ErrorList) Sort() {
+	sort.SliceStable(l.Diags, func(i, j int) bool {
+		return l.Diags[i].Pos.Before(l.Diags[j].Pos)
+	})
+}
+
+// Err returns nil when the list is empty and the list itself otherwise.
+func (l *ErrorList) Err() error {
+	if len(l.Diags) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error implements the error interface by joining all diagnostics.
+func (l *ErrorList) Error() string {
+	switch len(l.Diags) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l.Diags[0].Error()
+	}
+	var b strings.Builder
+	for i, d := range l.Diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.Error())
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPos(t *testing.T) {
+	var zero Pos
+	if zero.IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+	if zero.String() != "-" {
+		t.Errorf("zero Pos = %q, want -", zero.String())
+	}
+	p := Pos{Line: 3, Col: 7}
+	if !p.IsValid() || p.String() != "3:7" {
+		t.Errorf("Pos = %q, want 3:7", p.String())
+	}
+	if !(Pos{Line: 1, Col: 9}).Before(Pos{Line: 2, Col: 1}) {
+		t.Error("line ordering broken")
+	}
+	if !(Pos{Line: 2, Col: 1}).Before(Pos{Line: 2, Col: 5}) {
+		t.Error("column ordering broken")
+	}
+	if (Pos{Line: 2, Col: 5}).Before(Pos{Line: 2, Col: 5}) {
+		t.Error("Before should be strict")
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var l ErrorList
+	if l.Err() != nil {
+		t.Error("empty list should have nil Err")
+	}
+	l.Add(Pos{Line: 5, Col: 1}, "second %s", "problem")
+	l.Add(Pos{Line: 2, Col: 3}, "first problem")
+	l.Sort()
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Diags[0].Pos.Line != 2 {
+		t.Error("Sort did not order by position")
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "first problem") || !strings.Contains(msg, "second problem") {
+		t.Errorf("Error() = %q", msg)
+	}
+	if err := l.Err(); err == nil {
+		t.Error("non-empty list should return itself as error")
+	}
+}
+
+func TestErrorListFileName(t *testing.T) {
+	l := ErrorList{File: "x.mc"}
+	l.Add(Pos{Line: 1, Col: 1}, "boom")
+	if !strings.Contains(l.Error(), "x.mc:1:1: boom") {
+		t.Errorf("got %q", l.Error())
+	}
+}
+
+func TestErrorListCap(t *testing.T) {
+	var l ErrorList
+	for i := 0; i < MaxErrors+50; i++ {
+		l.Add(Pos{Line: i + 1, Col: 1}, "e")
+	}
+	if l.Len() != MaxErrors {
+		t.Errorf("Len = %d, want cap %d", l.Len(), MaxErrors)
+	}
+}

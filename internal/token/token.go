@@ -1,0 +1,159 @@
+// Package token defines the lexical tokens of the MC language, the small
+// C-like language compiled by this repository's register-allocation
+// pipeline.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds occupy the range (keywordBeg, keywordEnd)
+// and operator kinds the range (operatorBeg, operatorEnd).
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT    // foo
+	INTLIT   // 123
+	FLOATLIT // 1.5
+
+	keywordBeg
+	INT      // int
+	FLOAT    // float
+	VOID     // void
+	IF       // if
+	ELSE     // else
+	WHILE    // while
+	FOR      // for
+	DO       // do
+	RETURN   // return
+	BREAK    // break
+	CONTINUE // continue
+	keywordEnd
+
+	operatorBeg
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	ASSIGN // =
+
+	EQ // ==
+	NE // !=
+	LT // <
+	LE // <=
+	GT // >
+	GE // >=
+
+	AND // &&
+	OR  // ||
+	NOT // !
+
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+	COMMA  // ,
+	SEMI   // ;
+	operatorEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL:  "ILLEGAL",
+	EOF:      "EOF",
+	IDENT:    "IDENT",
+	INTLIT:   "INTLIT",
+	FLOATLIT: "FLOATLIT",
+	INT:      "int",
+	FLOAT:    "float",
+	VOID:     "void",
+	IF:       "if",
+	ELSE:     "else",
+	WHILE:    "while",
+	FOR:      "for",
+	DO:       "do",
+	RETURN:   "return",
+	BREAK:    "break",
+	CONTINUE: "continue",
+	PLUS:     "+",
+	MINUS:    "-",
+	STAR:     "*",
+	SLASH:    "/",
+	PERCENT:  "%",
+	ASSIGN:   "=",
+	EQ:       "==",
+	NE:       "!=",
+	LT:       "<",
+	LE:       "<=",
+	GT:       ">",
+	GE:       ">=",
+	AND:      "&&",
+	OR:       "||",
+	NOT:      "!",
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	LBRACK:   "[",
+	RBRACK:   "]",
+	COMMA:    ",",
+	SEMI:     ";",
+}
+
+// String returns the literal spelling for operators and keywords and the
+// class name for the remaining kinds.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word of MC.
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+// IsOperator reports whether k is an operator or delimiter.
+func (k Kind) IsOperator() bool { return operatorBeg < k && k < operatorEnd }
+
+var keywords = map[string]Kind{}
+
+func init() {
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		keywords[names[k]] = k
+	}
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT when
+// the spelling is not reserved.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Precedence levels for binary operators, higher binds tighter. Non-binary
+// kinds return 0.
+func (k Kind) Precedence() int {
+	switch k {
+	case OR:
+		return 1
+	case AND:
+		return 2
+	case EQ, NE:
+		return 3
+	case LT, LE, GT, GE:
+		return 4
+	case PLUS, MINUS:
+		return 5
+	case STAR, SLASH, PERCENT:
+		return 6
+	}
+	return 0
+}

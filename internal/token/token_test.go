@@ -1,0 +1,67 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	if Lookup("while") != WHILE {
+		t.Error("while should be a keyword")
+	}
+	if Lookup("whilex") != IDENT {
+		t.Error("whilex should be an identifier")
+	}
+	if Lookup("int") != INT || Lookup("float") != FLOAT || Lookup("void") != VOID {
+		t.Error("type keywords broken")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	for k := ILLEGAL; k <= SEMI; k++ {
+		if k.IsKeyword() && k.IsOperator() {
+			t.Errorf("%v is both keyword and operator", k)
+		}
+	}
+	if !IF.IsKeyword() || PLUS.IsKeyword() {
+		t.Error("IsKeyword misclassifies")
+	}
+	if !PLUS.IsOperator() || IF.IsOperator() {
+		t.Error("IsOperator misclassifies")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Kind]string{
+		PLUS: "+", EQ: "==", NE: "!=", AND: "&&", RETURN: "return",
+		IDENT: "IDENT", EOF: "EOF",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// || < && < ==/!= < relational < additive < multiplicative
+	order := [][]Kind{
+		{OR}, {AND}, {EQ, NE}, {LT, LE, GT, GE}, {PLUS, MINUS}, {STAR, SLASH, PERCENT},
+	}
+	prev := 0
+	for _, level := range order {
+		p := level[0].Precedence()
+		if p <= prev {
+			t.Errorf("%v precedence %d not above previous %d", level[0], p, prev)
+		}
+		for _, k := range level {
+			if k.Precedence() != p {
+				t.Errorf("%v and %v differ in precedence", level[0], k)
+			}
+		}
+		prev = p
+	}
+	if NOT.Precedence() != 0 || IDENT.Precedence() != 0 {
+		t.Error("non-binary kinds should have precedence 0")
+	}
+}
