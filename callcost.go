@@ -20,6 +20,7 @@ package callcost
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/cbh"
 	"repro/internal/codegen"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/minterp"
+	"repro/internal/obs"
 	"repro/internal/priority"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
@@ -186,12 +188,54 @@ type Allocation struct {
 }
 
 // AllocOptions re-exports the framework's tunables (coalescing mode,
-// graph reconstruction, round limits).
+// graph reconstruction, round limits, tracing).
 type AllocOptions = regalloc.Options
 
 // DefaultAllocOptions returns the standard configuration: aggressive
-// coalescing, graph reconstruction between rounds.
+// coalescing, graph reconstruction between rounds, no tracer.
 func DefaultAllocOptions() AllocOptions { return regalloc.DefaultOptions() }
+
+// ---------------------------------------------------------------------
+// Observability
+
+// Tracer re-exports the allocator's event-sink interface (package
+// obs): attach one via WithTracer to watch every allocation decision —
+// simplify order, spill choices with their benefit evidence, color
+// assignments, coalescing merges — plus per-phase wall time. The
+// default (no tracer) is a no-op: existing callers are untouched and
+// the allocator performs no extra allocations.
+type Tracer = obs.Tracer
+
+// TraceEvent is one allocator decision or phase boundary.
+type TraceEvent = obs.Event
+
+// StatsSink aggregates phase timings and decision counters in memory.
+type StatsSink = obs.Stats
+
+// WithTracer returns opts with tr attached (context-style option).
+func WithTracer(opts AllocOptions, tr Tracer) AllocOptions {
+	opts.Tracer = tr
+	return opts
+}
+
+// NewJSONLSink returns a sink writing one JSON event per line to w.
+func NewJSONLSink(w io.Writer) Tracer { return obs.NewJSONL(w) }
+
+// NewNarrativeSink returns a sink writing a human-readable allocation
+// narrative to w (what rallocc -explain prints).
+func NewNarrativeSink(w io.Writer) Tracer { return obs.NewNarrative(w) }
+
+// NewStatsSink returns an in-memory aggregator of phase timings and
+// decision counters.
+func NewStatsSink() *StatsSink { return obs.NewStats() }
+
+// MultiSink fans events out to every given sink.
+func MultiSink(ts ...Tracer) Tracer { return obs.NewMulti(ts...) }
+
+// DisabledSink returns a tracer that is permanently off — behaviorally
+// identical to attaching no tracer at all (useful for asserting the
+// traced path costs nothing when disabled).
+func DisabledSink() Tracer { return obs.Disabled{} }
 
 // Allocate register-allocates every function of the program with the
 // default framework options. pf supplies the cost weights (static

@@ -6,6 +6,7 @@
 //	experiments -list
 //	experiments -exp fig2
 //	experiments -all
+//	experiments -timing -exp fig6   (append a per-phase timing table)
 package main
 
 import (
@@ -14,13 +15,37 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	all := flag.Bool("all", false, "run every experiment")
 	exp := flag.String("exp", "", "experiment id to run (see -list)")
+	timing := flag.Bool("timing", false, "print a per-phase allocator timing table after each experiment")
 	flag.Parse()
+
+	env := experiments.NewEnv()
+	var stats *obs.Stats
+	if *timing {
+		stats = obs.NewStats()
+		env.SetTracer(stats)
+	}
+	// runOne executes e and, under -timing, appends the phase-timing
+	// table for the allocations the figure ran (the stats sink is reset
+	// between figures so each table is per-figure).
+	runOne := func(e *experiments.Experiment) error {
+		if err := e.Run(env, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if stats != nil {
+			fmt.Printf("\n%s allocator phase timing (%d events):\n", e.ID, stats.TotalEvents())
+			metrics.WritePhaseTable(os.Stdout, stats)
+			stats.Reset()
+		}
+		return nil
+	}
 
 	switch {
 	case *list:
@@ -28,10 +53,9 @@ func main() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
 	case *all:
-		env := experiments.NewEnv()
 		for _, e := range experiments.All() {
-			if err := e.Run(env, os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			if err := runOne(e); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Println()
@@ -42,7 +66,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *exp)
 			os.Exit(2)
 		}
-		if err := e.Run(experiments.NewEnv(), os.Stdout); err != nil {
+		if err := runOne(e); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

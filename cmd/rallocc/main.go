@@ -13,11 +13,19 @@
 //	-run       execute the allocated program and verify the result
 //	-ir        print the IR after allocation (with spill code)
 //	-S         emit MIPS-flavored assembly
-//	-explain   print per-live-range costs, benefits, and placements
+//	-explain   print the allocation narrative (every decision and why)
+//	-trace     write the allocator's JSONL event log to a file
+//	-stats     print phase timings, decision counters, and the overhead breakdown
 //	-sweep     report overhead across the paper's register sweep
+//
+// -explain, -trace, and -stats are three views of the same event
+// stream (package obs): the narrative is the human rendering, the
+// JSONL log the machine one, and -stats the aggregation — they can
+// never disagree, because they observe identical events.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -25,51 +33,11 @@ import (
 	"strings"
 
 	"repro"
-	"repro/internal/codegen"
 	"repro/internal/freq"
-	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/metrics"
-	"repro/internal/rewrite"
+	"repro/internal/obs"
 )
-
-// explainRanges prints the storage-class story of every live range: the
-// three candidate costs (memory, caller-save, callee-save), the benefit
-// functions the allocator compared, and where the range ended up.
-func explainRanges(plan *rewrite.FuncPlan, config callcost.Config) {
-	fa := plan.Alloc
-	fn := fa.Fn
-	type row struct {
-		rep  ir.Reg
-		name string
-	}
-	var rows []row
-	for rep := range fa.Ranges.Ranges {
-		name := fn.RegName(rep)
-		if name == "" {
-			name = fmt.Sprintf("v%d", int(rep))
-		}
-		rows = append(rows, row{rep, name})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		return fa.Ranges.Ranges[rows[i].rep].SpillCost > fa.Ranges.Ranges[rows[j].rep].SpillCost
-	})
-	fmt.Printf("  %-12s %-6s %10s %10s %10s %8s %10s\n",
-		"range", "class", "spillcost", "callercost", "calleecost", "crosses", "placement")
-	for _, r := range rows {
-		rg := fa.Ranges.Ranges[r.rep]
-		place := "memory"
-		if col := fa.Colors[r.rep]; col != machine.NoPhysReg {
-			place = codegen.RegName(config, rg.Class, col)
-		}
-		crosses := "-"
-		if rg.CrossesCall {
-			crosses = "yes"
-		}
-		fmt.Printf("  %-12s %-6s %10.0f %10.0f %10.0f %8s %10s\n",
-			r.name, rg.Class, rg.SpillCost, rg.CallerCost, rg.CalleeCost, crosses, place)
-	}
-}
 
 func main() {
 	strategy := flag.String("strategy", "improved", "allocation strategy")
@@ -78,7 +46,9 @@ func main() {
 	run := flag.Bool("run", false, "execute the allocated program")
 	printIR := flag.Bool("ir", false, "print the allocated IR")
 	printAsm := flag.Bool("S", false, "emit MIPS-flavored assembly")
-	explain := flag.Bool("explain", false, "print per-live-range costs, benefits, and placements")
+	explain := flag.Bool("explain", false, "print the allocation narrative")
+	traceFile := flag.String("trace", "", "write the JSONL allocator event log to `file`")
+	stats := flag.Bool("stats", false, "print phase timings and decision counters")
 	sweep := flag.Bool("sweep", false, "report overhead across the register sweep")
 	flag.Parse()
 
@@ -87,10 +57,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := mainErr(flag.Arg(0), *strategy, *config, *static, *run, *printIR, *printAsm, *explain, *sweep); err != nil {
+	opts := options{
+		strategy: *strategy, config: *config, static: *static, run: *run,
+		printIR: *printIR, printAsm: *printAsm, explain: *explain,
+		traceFile: *traceFile, stats: *stats, sweep: *sweep,
+	}
+	if err := mainErr(flag.Arg(0), opts); err != nil {
 		fmt.Fprintf(os.Stderr, "rallocc: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+type options struct {
+	strategy, config, traceFile    string
+	static, run, printIR, printAsm bool
+	explain, stats, sweep          bool
 }
 
 func parseStrategy(name string) (callcost.Strategy, error) {
@@ -127,7 +108,47 @@ func parseConfig(s string) (callcost.Config, error) {
 	return callcost.NewConfig(v[0], v[1], v[2], v[3]), nil
 }
 
-func mainErr(path, stratName, configStr string, static, run, printIR, printAsm, explain, sweepAll bool) error {
+// sinks bundles the tracing sinks requested on the command line.
+type sinks struct {
+	narrative *bytes.Buffer // -explain
+	traceOut  *os.File      // -trace
+	stats     *callcost.StatsSink
+	tracer    callcost.Tracer
+}
+
+func buildSinks(o options) (*sinks, error) {
+	s := &sinks{}
+	var ts []callcost.Tracer
+	if o.explain {
+		s.narrative = &bytes.Buffer{}
+		ts = append(ts, callcost.NewNarrativeSink(s.narrative))
+	}
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		s.traceOut = f
+		ts = append(ts, callcost.NewJSONLSink(f))
+	}
+	if o.stats {
+		s.stats = callcost.NewStatsSink()
+		ts = append(ts, s.stats)
+	}
+	if len(ts) > 0 {
+		s.tracer = callcost.MultiSink(ts...)
+	}
+	return s, nil
+}
+
+func (s *sinks) close() error {
+	if s.traceOut != nil {
+		return s.traceOut.Close()
+	}
+	return nil
+}
+
+func mainErr(path string, o options) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -136,13 +157,13 @@ func mainErr(path, stratName, configStr string, static, run, printIR, printAsm, 
 	if err != nil {
 		return err
 	}
-	strat, err := parseStrategy(stratName)
+	strat, err := parseStrategy(o.strategy)
 	if err != nil {
 		return err
 	}
 
 	var pf *freq.ProgramFreq
-	if static {
+	if o.static {
 		pf = prog.StaticFreq()
 	} else {
 		var err error
@@ -152,31 +173,39 @@ func mainErr(path, stratName, configStr string, static, run, printIR, printAsm, 
 		}
 	}
 
-	if sweepAll {
+	sk, err := buildSinks(o)
+	if err != nil {
+		return err
+	}
+	defer sk.close()
+	allocOpts := callcost.WithTracer(callcost.DefaultAllocOptions(), sk.tracer)
+
+	if o.sweep {
 		fmt.Printf("%-14s %12s %12s %12s %12s %12s\n",
 			"(Ri,Rf,Ei,Ef)", "spill", "caller-save", "callee-save", "shuffle", "total")
 		for _, cfg := range machine.Sweep() {
-			alloc, err := prog.Allocate(strat, cfg, pf)
+			alloc, err := prog.AllocateWithOptions(strat, cfg, pf, allocOpts)
 			if err != nil {
 				return err
 			}
-			o := alloc.Overhead(pf)
+			ov := alloc.Overhead(pf)
 			fmt.Printf("%-14s %12.0f %12.0f %12.0f %12.0f %12.0f\n",
-				cfg, o.Spill, o.Caller, o.Callee, o.Shuffle, o.Total())
+				cfg, ov.Spill, ov.Caller, ov.Callee, ov.Shuffle, ov.Total())
 		}
+		printSinks(sk, callcost.Overhead{})
 		return nil
 	}
 
-	cfg, err := parseConfig(configStr)
+	cfg, err := parseConfig(o.config)
 	if err != nil {
 		return err
 	}
-	alloc, err := prog.Allocate(strat, cfg, pf)
+	alloc, err := prog.AllocateWithOptions(strat, cfg, pf, allocOpts)
 	if err != nil {
 		return err
 	}
 
-	if printAsm {
+	if o.printAsm {
 		fmt.Print(alloc.Assembly())
 		return nil
 	}
@@ -190,19 +219,17 @@ func mainErr(path, stratName, configStr string, static, run, printIR, printAsm, 
 	var total callcost.Overhead
 	for _, name := range names {
 		plan := alloc.Plans[name]
-		o := metrics.Analytic(plan, pf.ByFunc[name])
-		total = total.Add(o)
-		fmt.Printf("%-20s %s  (rounds=%d)\n", name, o, plan.Alloc.Rounds)
-		if explain {
-			explainRanges(plan, cfg)
-		}
-		if printIR {
+		ov := metrics.Analytic(plan, pf.ByFunc[name])
+		total = total.Add(ov)
+		fmt.Printf("%-20s %s  (rounds=%d)\n", name, ov, plan.Alloc.Rounds)
+		if o.printIR {
 			fmt.Println(plan.Alloc.Fn.String())
 		}
 	}
 	fmt.Printf("%-20s %s\n", "program", total)
+	printSinks(sk, total)
 
-	if run {
+	if o.run {
 		res, err := alloc.Execute()
 		if err != nil {
 			return err
@@ -220,4 +247,31 @@ func mainErr(path, stratName, configStr string, static, run, printIR, printAsm, 
 			res.Counts.Steps, res.Counts.Cycles, res.Counts.OverheadOps())
 	}
 	return nil
+}
+
+// printSinks replays the narrative and renders the stats tables after
+// the summary. The narrative is the event stream verbatim, so its
+// numbers always agree with -trace output for the same run.
+func printSinks(sk *sinks, total callcost.Overhead) {
+	if sk.narrative != nil {
+		fmt.Printf("\nallocation narrative:\n%s", sk.narrative.String())
+	}
+	if sk.stats != nil {
+		fmt.Printf("\nallocation statistics (%d events):\n", sk.stats.TotalEvents())
+		metrics.WritePhaseTable(os.Stdout, sk.stats)
+		fmt.Printf("\n%-20s %8s %8s %8s %8s %8s %8s\n",
+			"function", "rounds", "merges", "pops", "assigns", "spills", "rewrites")
+		for _, fs := range sk.stats.Funcs() {
+			fmt.Printf("%-20s %8d %8d %8d %8d %8d %8d\n",
+				fs.Fn, fs.Rounds,
+				fs.Counts[obs.KindCoalesceMerge], fs.Counts[obs.KindSimplifyPop],
+				fs.Counts[obs.KindColorAssign], fs.Counts[obs.KindSpillChoice],
+				fs.Counts[obs.KindRewriteInsert])
+		}
+		if total.Total() > 0 {
+			b := total.Breakdown()
+			fmt.Printf("\noverhead breakdown: spill=%.1f%% caller=%.1f%% callee=%.1f%% shuffle=%.1f%%\n",
+				b.Spill, b.Caller, b.Callee, b.Shuffle)
+		}
+	}
 }

@@ -25,6 +25,7 @@ package cbh
 import (
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 )
 
@@ -108,6 +109,10 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			}
 			removeNode(r)
 			stack.Push(r)
+			if ctx.Traced() {
+				ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: r,
+					Reason: obs.ReasonUnconstrained, N: stack.Len()})
+			}
 			progressed = true
 		}
 		if progressed {
@@ -142,6 +147,10 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			for _, pr := range calleeRegs {
 				if !unlocked[pr] {
 					unlocked[pr] = true
+					if ctx.Traced() {
+						ctx.Emit(obs.Event{Kind: obs.KindSpillChoice, Reg: ir.NoReg,
+							Color: pr, Reason: obs.ReasonUnlockCallee, Key: regRangeKey})
+					}
 					break
 				}
 			}
@@ -158,13 +167,22 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			}
 			removeNode(candReg)
 			stack.Push(candReg)
+			if ctx.Traced() {
+				ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: candReg,
+					Reason: obs.ReasonUnspillable, N: stack.Len()})
+			}
 			continue
 		}
 		removeNode(candReg)
 		if s.Optimistic {
 			stack.Push(candReg)
+			if ctx.Traced() {
+				ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: candReg,
+					Key: candKey, Reason: obs.ReasonOptimistic, N: stack.Len()})
+			}
 		} else {
 			res.Spilled = append(res.Spilled, candReg)
+			ctx.EmitSpill(candReg, obs.ReasonBlocked, candKey)
 		}
 	}
 
@@ -197,9 +215,11 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 				// universe is empty (degenerate), fall back to any free
 				// register rather than looping forever.
 				res.Colors[rep] = free[0]
+				ctx.EmitAssign(rep, free[0], false)
 				continue
 			}
 			res.Spilled = append(res.Spilled, rep)
+			ctx.EmitSpill(rep, obs.ReasonNoColor, 0)
 			continue
 		}
 		// Prefer callee-save for crossing ranges (the only choice),
@@ -214,6 +234,7 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			}
 		}
 		res.Colors[rep] = choice
+		ctx.EmitAssign(rep, choice, crosses(rep))
 	}
 	return res
 }

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 )
 
@@ -143,6 +144,7 @@ func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 		free := ctx.FreeColors(res.Colors, rep)
 		if len(free) == 0 {
 			res.Spilled = append(res.Spilled, rep) // optimistic push failed
+			ctx.EmitSpill(rep, obs.ReasonNoColor, 0)
 			continue
 		}
 		caller, callee := ctx.SplitFree(free)
@@ -167,16 +169,19 @@ func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			// is declined (§4).
 			if !kindCallee && rg.BenefitCaller < 0 {
 				res.Spilled = append(res.Spilled, rep)
+				ctx.EmitSpill(rep, obs.ReasonNegativeBenefit, rg.BenefitCaller)
 				continue
 			}
 			if kindCallee && im.CalleeModel == FirstUseCost && !usedCallee[color] && rg.BenefitCallee < 0 {
 				res.Spilled = append(res.Spilled, rep)
+				ctx.EmitSpill(rep, obs.ReasonNegativeBenefit, rg.BenefitCallee)
 				continue
 			}
 			// SharedCost defers the decision to the post-pass below.
 		}
 
 		res.Colors[rep] = color
+		ctx.EmitAssign(rep, color, wantCallee)
 		if kindCallee {
 			usedCallee[color] = true
 			calleeUsers[color] = append(calleeUsers[color], rep)
@@ -209,6 +214,9 @@ func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 				for _, u := range users {
 					delete(res.Colors, u)
 					res.Spilled = append(res.Spilled, u)
+					// Key: the combined spill cost of every user of the
+					// register, the quantity that lost to calleeCost.
+					ctx.EmitSpill(u, obs.ReasonSharedCallee, sum)
 				}
 			}
 		}
@@ -322,6 +330,10 @@ func (im *Improved) preferenceFunc(ctx *regalloc.ClassContext) func(ir.Reg) bool
 		})
 		for _, rep := range wantCallee[:l-m] {
 			forcedCaller[rep] = true
+			if ctx.Traced() {
+				ctx.Emit(obs.Event{Kind: obs.KindPrefDecide, Reg: rep,
+					Key: key(rep), Reason: obs.ReasonForcedCaller, N: l - m})
+			}
 		}
 	}
 

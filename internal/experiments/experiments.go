@@ -21,8 +21,9 @@ import (
 // Env caches compiled benchmark programs and their profiles; compiling
 // and profiling once is what makes the full experiment sweep fast.
 type Env struct {
-	mu    sync.Mutex
-	cache map[string]*Prepared
+	mu     sync.Mutex
+	cache  map[string]*Prepared
+	tracer callcost.Tracer
 }
 
 // Prepared is one benchmark ready for allocation experiments.
@@ -37,10 +38,36 @@ type Prepared struct {
 	RefInt int64
 	// Steps is the profiled instruction count.
 	Steps int64
+	// Opts is the framework configuration every experiment over this
+	// program should allocate with (default options plus the
+	// environment's tracer).
+	Opts callcost.AllocOptions
 }
 
 // NewEnv returns an empty environment.
 func NewEnv() *Env { return &Env{cache: make(map[string]*Prepared)} }
+
+// SetTracer attaches an event sink (usually a stats sink) to every
+// allocation the environment's benchmarks run, so experiments report
+// per-phase timings alongside their tables. Call before the first Get.
+func (e *Env) SetTracer(tr callcost.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = tr
+	for _, p := range e.cache {
+		p.Opts.Tracer = tr
+	}
+}
+
+// Opts returns the framework options experiments should allocate with:
+// the defaults plus the environment's tracer.
+func (e *Env) Opts() callcost.AllocOptions {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	opts := callcost.DefaultAllocOptions()
+	opts.Tracer = e.tracer
+	return opts
+}
 
 // Get compiles and profiles the named benchmark (cached).
 func (e *Env) Get(name string) (*Prepared, error) {
@@ -61,6 +88,8 @@ func (e *Env) Get(name string) (*Prepared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profile %s: %w", name, err)
 	}
+	opts := callcost.DefaultAllocOptions()
+	opts.Tracer = e.tracer
 	p := &Prepared{
 		Name:    name,
 		Program: prog,
@@ -68,6 +97,7 @@ func (e *Env) Get(name string) (*Prepared, error) {
 		Static:  prog.StaticFreq(),
 		RefInt:  res.RetInt,
 		Steps:   res.Steps,
+		Opts:    opts,
 	}
 	e.cache[name] = p
 	return p, nil
@@ -76,7 +106,7 @@ func (e *Env) Get(name string) (*Prepared, error) {
 // Overhead allocates prog with strat at cfg under weights pf and
 // returns the analytic overhead decomposition under the same weights.
 func (p *Prepared) Overhead(strat callcost.Strategy, cfg callcost.Config, pf *freq.ProgramFreq) (callcost.Overhead, error) {
-	alloc, err := p.Program.Allocate(strat, cfg, pf)
+	alloc, err := p.Program.AllocateWithOptions(strat, cfg, pf, p.Opts)
 	if err != nil {
 		return callcost.Overhead{}, fmt.Errorf("%s: %s at %s: %w", p.Name, strat.Name(), cfg, err)
 	}

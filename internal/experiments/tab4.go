@@ -31,7 +31,7 @@ func Speedups(env *Env, programs []string) ([]Tab4Row, error) {
 		}
 		cfg := callcost.FullMachine()
 		cycles := func(strat callcost.Strategy) (float64, error) {
-			alloc, err := p.Program.Allocate(strat, cfg, p.Dynamic)
+			alloc, err := p.Program.AllocateWithOptions(strat, cfg, p.Dynamic, p.Opts)
 			if err != nil {
 				return 0, err
 			}

@@ -31,6 +31,12 @@ type Graph struct {
 	parent []ir.Reg
 	adj    []map[ir.Reg]struct{}
 	occurs []bool // vreg appears in the code (def, use, or live param)
+
+	// TraceMerge, when non-nil, observes each coalescing merge: kept is
+	// the surviving representative, gone the representative merged into
+	// it. Set by the framework when a tracer is attached; never set on
+	// the untraced path.
+	TraceMerge func(kept, gone ir.Reg)
 }
 
 // Build constructs the graph for the given bank from liveness info.
@@ -237,7 +243,14 @@ func (g *Graph) Coalesce(conservative bool, k int) int {
 				if conservative && !g.briggsOK(d, s, k) {
 					continue
 				}
-				g.Union(d, s)
+				kept := g.Union(d, s)
+				if g.TraceMerge != nil {
+					gone := d
+					if kept == d {
+						gone = s
+					}
+					g.TraceMerge(kept, gone)
+				}
 				merged++
 				changed = true
 			}

@@ -18,10 +18,12 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/freq"
 	"repro/internal/ir"
 	"repro/internal/minterp"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 )
 
@@ -44,6 +46,38 @@ func (o Overhead) Add(p Overhead) Overhead {
 		Caller:  o.Caller + p.Caller,
 		Callee:  o.Callee + p.Callee,
 		Shuffle: o.Shuffle + p.Shuffle,
+	}
+}
+
+// Sub returns the component-wise difference o − p, e.g. the overhead
+// a technique removed relative to a baseline.
+func (o Overhead) Sub(p Overhead) Overhead {
+	return Overhead{
+		Spill:   o.Spill - p.Spill,
+		Caller:  o.Caller - p.Caller,
+		Callee:  o.Callee - p.Callee,
+		Shuffle: o.Shuffle - p.Shuffle,
+	}
+}
+
+// Percent returns 100·part/total, or 0 when total is 0 — the shared
+// convention of the stats sink's tables and the experiment reports.
+func Percent(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * part / total
+}
+
+// Breakdown returns each component as a percentage of the total (all
+// zeros for a zero overhead).
+func (o Overhead) Breakdown() Overhead {
+	t := o.Total()
+	return Overhead{
+		Spill:   Percent(o.Spill, t),
+		Caller:  Percent(o.Caller, t),
+		Callee:  Percent(o.Callee, t),
+		Shuffle: Percent(o.Shuffle, t),
 	}
 }
 
@@ -108,6 +142,20 @@ func FromCounts(c minterp.Counts) Overhead {
 		Callee:  c.CalleeSaves + c.CalleeRestores,
 		Shuffle: c.Shuffles,
 	}
+}
+
+// WritePhaseTable renders the per-phase wall-time aggregation of a
+// stats sink as a table with a percentage-share column. It is the
+// common renderer behind rallocc -stats and experiments -timing.
+func WritePhaseTable(w io.Writer, s *obs.Stats) {
+	total := float64(s.PhaseTotal().Nanoseconds())
+	fmt.Fprintf(w, "%-14s %8s %12s %8s\n", "phase", "runs", "total(ms)", "share")
+	for _, ps := range s.Phases() {
+		ns := float64(ps.Total.Nanoseconds())
+		fmt.Fprintf(w, "%-14s %8d %12.3f %7.1f%%\n",
+			ps.Phase, ps.Count, ns/1e6, Percent(ns, total))
+	}
+	fmt.Fprintf(w, "%-14s %8s %12.3f %7.1f%%\n", "all", "", total/1e6, Percent(total, total))
 }
 
 // Ratio returns base/improved, the paper's y-axis. A ratio above 1

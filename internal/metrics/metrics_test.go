@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/compile"
 	"repro/internal/freq"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/minterp"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
 )
@@ -27,6 +29,70 @@ func TestOverheadArithmetic(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), "total=10") {
 		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestOverheadSub(t *testing.T) {
+	none := metrics.Overhead{Spill: 5, Caller: 8, Callee: 2, Shuffle: 40}
+	aggressive := metrics.Overhead{Spill: 5, Caller: 6, Callee: 2, Shuffle: 10}
+	removed := none.Sub(aggressive)
+	want := metrics.Overhead{Spill: 0, Caller: 2, Callee: 0, Shuffle: 30}
+	if removed != want {
+		t.Errorf("Sub = %+v, want %+v", removed, want)
+	}
+	// Sub is the inverse of Add.
+	if got := none.Sub(aggressive).Add(aggressive); got != none {
+		t.Errorf("Sub then Add = %+v, want %+v", got, none)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := metrics.Percent(25, 200); got != 12.5 {
+		t.Errorf("Percent(25, 200) = %v, want 12.5", got)
+	}
+	if got := metrics.Percent(3, 0); got != 0 {
+		t.Errorf("Percent(x, 0) = %v, want 0", got)
+	}
+	if got := metrics.Percent(0, 0); got != 0 {
+		t.Errorf("Percent(0, 0) = %v, want 0", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	o := metrics.Overhead{Spill: 10, Caller: 20, Callee: 30, Shuffle: 40}
+	b := o.Breakdown()
+	want := metrics.Overhead{Spill: 10, Caller: 20, Callee: 30, Shuffle: 40}
+	if b != want {
+		t.Errorf("Breakdown = %+v, want %+v", b, want)
+	}
+	if sum := b.Spill + b.Caller + b.Callee + b.Shuffle; math.Abs(sum-100) > 1e-9 {
+		t.Errorf("breakdown components sum to %v, want 100", sum)
+	}
+	if z := (metrics.Overhead{}).Breakdown(); z != (metrics.Overhead{}) {
+		t.Errorf("zero overhead breakdown = %+v, want all zeros", z)
+	}
+}
+
+func TestWritePhaseTable(t *testing.T) {
+	s := obs.NewStats()
+	s.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: "f", Phase: obs.PhaseColor, Dur: 3 * time.Millisecond})
+	s.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: "f", Phase: obs.PhaseLiveness, Dur: time.Millisecond})
+	var buf strings.Builder
+	metrics.WritePhaseTable(&buf, s)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, two phases, "all" row
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Pipeline order: liveness before color.
+	if !strings.HasPrefix(lines[1], "liveness") || !strings.HasPrefix(lines[2], "color") {
+		t.Errorf("phases out of pipeline order:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "25.0%") || !strings.Contains(lines[2], "75.0%") {
+		t.Errorf("share column wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "100.0%") || !strings.Contains(lines[3], "4.000") {
+		t.Errorf("all row wrong:\n%s", out)
 	}
 }
 

@@ -1,0 +1,200 @@
+// Golden and end-to-end tests of the event stream. They live in
+// package obs_test so they can drive the public callcost API (package
+// obs itself sits below the allocator and cannot import it).
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// allocateQuickstart register-allocates testdata/quickstart.mc with the
+// improved allocator on the default configuration, feeding tr. Static
+// frequencies keep the run (and therefore the event stream) fully
+// deterministic.
+func allocateQuickstart(t *testing.T, tr callcost.Tracer) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "quickstart.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := callcost.Compile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := callcost.WithTracer(callcost.DefaultAllocOptions(), tr)
+	if _, err := prog.AllocateWithOptions(callcost.ImprovedAll(),
+		callcost.NewConfig(8, 6, 4, 4), prog.StaticFreq(), opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scrubDurations canonicalizes a JSONL stream: every line is parsed,
+// the wall-time field (the only nondeterministic one) is dropped, and
+// the object is re-marshaled with sorted keys.
+func scrubDurations(t *testing.T, raw []byte) string {
+	t.Helper()
+	var out strings.Builder
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		delete(m, "dur_us")
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// TestJSONLGoldenQuickstart pins the full decision stream of the
+// quickstart program. Regenerate with:
+//
+//	go test ./internal/obs -run Golden -update
+func TestJSONLGoldenQuickstart(t *testing.T) {
+	var buf bytes.Buffer
+	allocateQuickstart(t, callcost.NewJSONLSink(&buf))
+	got := scrubDurations(t, buf.Bytes())
+
+	// The acceptance kinds must be present regardless of golden drift.
+	for _, kind := range []string{"phase_start", "phase_end", "simplify_pop", "color_assign"} {
+		if !strings.Contains(got, fmt.Sprintf("%q:%q", "kind", kind)) {
+			t.Errorf("stream has no %s event", kind)
+		}
+	}
+
+	golden := filepath.Join("testdata", "quickstart.jsonl.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := range gotLines {
+			if i >= len(wantLines) || gotLines[i] != wantLines[i] {
+				t.Fatalf("event stream diverges from golden at line %d:\n got %s\nwant %s\n(run with -update to regenerate)",
+					i+1, gotLines[i], wantLines[min(i, len(wantLines)-1)])
+			}
+		}
+		t.Fatalf("event stream shorter than golden: %d vs %d lines", len(gotLines), len(wantLines))
+	}
+}
+
+// TestNarrativeAgreesWithJSONL feeds one run to both sinks and checks
+// that every color_assign and spill_choice event's numbers reappear
+// verbatim in the narrative — the acceptance criterion that -explain
+// and -trace can never disagree.
+func TestNarrativeAgreesWithJSONL(t *testing.T) {
+	var jsonl, story bytes.Buffer
+	allocateQuickstart(t, callcost.MultiSink(
+		callcost.NewJSONLSink(&jsonl), callcost.NewNarrativeSink(&story)))
+	narrative := story.String()
+
+	assigns := 0
+	for _, line := range strings.Split(strings.TrimSpace(jsonl.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatal(err)
+		}
+		switch m["kind"] {
+		case "color_assign":
+			assigns++
+			want := fmt.Sprintf("assign v%d -> %s r%d (wanted %s; spill_cost=%g benefit_caller=%g benefit_callee=%g)",
+				int(m["reg"].(float64)), m["chosen"], int(m["color"].(float64)), m["wanted"],
+				m["spill_cost"].(float64), m["benefit_caller"].(float64), m["benefit_callee"].(float64))
+			if !strings.Contains(narrative, want) {
+				t.Errorf("narrative missing %q", want)
+			}
+		case "simplify_pop":
+			want := fmt.Sprintf("simplify v%d: key=%g (%s)",
+				int(m["reg"].(float64)), m["key"].(float64), m["reason"])
+			if !strings.Contains(narrative, want) {
+				t.Errorf("narrative missing %q", want)
+			}
+		}
+	}
+	if assigns == 0 {
+		t.Fatal("no color_assign events in the stream")
+	}
+}
+
+// TestStatsSeesFullPipeline checks the aggregation sink against the
+// same run: every standard phase ran, and the decision counters are
+// consistent with what a coloring of three functions must produce.
+func TestStatsSeesFullPipeline(t *testing.T) {
+	stats := callcost.NewStatsSink()
+	allocateQuickstart(t, stats)
+	// At (8,6,4,4) the quickstart never spills, so spill-rewrite may be
+	// absent; the five analysis/coloring phases must all have run, in
+	// pipeline order.
+	var names []string
+	for _, ps := range stats.Phases() {
+		if ps.Count == 0 || ps.Total <= 0 {
+			t.Errorf("phase %s ran %d times with total %v", ps.Phase, ps.Count, ps.Total)
+		}
+		names = append(names, ps.Phase)
+	}
+	want := []string{"liveness", "build-graph", "coalesce", "liverange", "color"}
+	if got := strings.Join(names, ","); got != strings.Join(want, ",") &&
+		got != strings.Join(append(want, "spill-rewrite"), ",") {
+		t.Fatalf("phases = %v, want %v (optionally + spill-rewrite)", names, want)
+	}
+	funcs := stats.Funcs()
+	if len(funcs) != 3 {
+		t.Fatalf("got %d functions, want 3", len(funcs))
+	}
+	for _, fs := range funcs {
+		if fs.Rounds < 1 {
+			t.Errorf("%s: no rounds observed", fs.Fn)
+		}
+	}
+}
+
+// TestNoTracerAddsNoAllocations is the zero-overhead guarantee: a full
+// allocation with a nil tracer allocates exactly as much as one with a
+// disabled tracer, i.e. the guarded emission sites construct nothing.
+func TestNoTracerAddsNoAllocations(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "quickstart.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := callcost.Compile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := prog.StaticFreq()
+	cfg := callcost.NewConfig(8, 6, 4, 4)
+	measure := func(opts callcost.AllocOptions) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := prog.AllocateWithOptions(callcost.ImprovedAll(), cfg, pf, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	bare := measure(callcost.DefaultAllocOptions())
+	disabled := measure(callcost.WithTracer(callcost.DefaultAllocOptions(), callcost.DisabledSink()))
+	if bare != disabled {
+		t.Errorf("nil tracer allocates %v per run, disabled tracer %v — the guarded path must cost the same",
+			bare, disabled)
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL writes each event as one JSON object per line. Field sets are
+// per-kind (a phase boundary has no benefit numbers; a color choice
+// has no duration), and keys are emitted in sorted order, so the
+// stream is deterministic except for the dur_us timing fields.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL returns a sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Enabled implements Tracer.
+func (s *JSONL) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (s *JSONL) Emit(ev Event) {
+	m := ev.jsonMap()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc.Encode(m) //nolint:errcheck // tracing is best-effort
+}
+
+// jsonMap renders the kind-specific field set of ev. encoding/json
+// marshals map keys in sorted order, which keeps the line layout
+// stable for golden tests.
+func (ev Event) jsonMap() map[string]any {
+	m := map[string]any{
+		"kind": ev.Kind.String(),
+		"fn":   ev.Fn,
+	}
+	bank := func() {
+		m["class"] = ev.Class.String()
+		m["round"] = ev.Round
+	}
+	benefits := func() {
+		m["spill_cost"] = ev.Cost
+		m["benefit_caller"] = ev.BenefitCaller
+		m["benefit_callee"] = ev.BenefitCallee
+	}
+	switch ev.Kind {
+	case KindPhaseStart:
+		m["phase"] = ev.Phase
+		m["round"] = ev.Round
+	case KindPhaseEnd:
+		m["phase"] = ev.Phase
+		m["round"] = ev.Round
+		m["dur_us"] = float64(ev.Dur.Nanoseconds()) / 1e3
+	case KindSimplifyPop:
+		bank()
+		m["reg"] = int(ev.Reg)
+		m["key"] = ev.Key
+		m["reason"] = ev.Reason
+	case KindSpillChoice:
+		bank()
+		m["reg"] = int(ev.Reg)
+		m["reason"] = ev.Reason
+		m["key"] = ev.Key
+		benefits()
+	case KindColorAssign:
+		bank()
+		m["reg"] = int(ev.Reg)
+		m["color"] = int(ev.Color)
+		m["wanted"] = ev.Wanted
+		m["chosen"] = ev.Chosen
+		benefits()
+	case KindCoalesceMerge:
+		bank()
+		m["reg"] = int(ev.Reg)
+		m["with"] = int(ev.With)
+	case KindRewriteInsert:
+		bank()
+		m["reg"] = int(ev.Reg)
+		m["slot"] = ev.Slot
+		m["members"] = ev.N
+	case KindPrefDecide:
+		bank()
+		m["reg"] = int(ev.Reg)
+		m["key"] = ev.Key
+		m["reason"] = ev.Reason
+	}
+	return m
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Narrative renders the event stream as a human-readable allocation
+// story: one indented line per decision, grouped under a heading per
+// function. Benefit numbers are printed with %g, the same rendering
+// encoding/json uses for float64, so a narrative line and the JSONL
+// event for the same decision always show identical numbers.
+//
+// Phase boundaries are deliberately omitted — the narrative is the
+// story of *decisions*; timing lives in the Stats sink.
+type Narrative struct {
+	mu     sync.Mutex
+	w      io.Writer
+	lastFn string
+}
+
+// NewNarrative returns a sink writing the story to w.
+func NewNarrative(w io.Writer) *Narrative {
+	return &Narrative{w: w}
+}
+
+// Enabled implements Tracer.
+func (s *Narrative) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (s *Narrative) Emit(ev Event) {
+	if ev.Kind == KindPhaseStart || ev.Kind == KindPhaseEnd {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev.Fn != s.lastFn {
+		fmt.Fprintf(s.w, "%s:\n", ev.Fn)
+		s.lastFn = ev.Fn
+	}
+	pre := fmt.Sprintf("  r%d [%s]", ev.Round, ev.Class)
+	reg := func(r ir.Reg) string { return fmt.Sprintf("v%d", int(r)) }
+	switch ev.Kind {
+	case KindSimplifyPop:
+		fmt.Fprintf(s.w, "%s simplify %s: key=%g (%s)\n", pre, reg(ev.Reg), ev.Key, ev.Reason)
+	case KindSpillChoice:
+		if ev.Reason == ReasonUnlockCallee {
+			fmt.Fprintf(s.w, "%s unlock callee-save r%d: save/restore %g beats cheapest spill\n",
+				pre, int(ev.Color), ev.Key)
+			return
+		}
+		fmt.Fprintf(s.w, "%s spill %s -> memory: %s key=%g (spill_cost=%g benefit_caller=%g benefit_callee=%g)\n",
+			pre, reg(ev.Reg), ev.Reason, ev.Key, ev.Cost, ev.BenefitCaller, ev.BenefitCallee)
+	case KindColorAssign:
+		fmt.Fprintf(s.w, "%s assign %s -> %s r%d (wanted %s; spill_cost=%g benefit_caller=%g benefit_callee=%g)\n",
+			pre, reg(ev.Reg), ev.Chosen, int(ev.Color), ev.Wanted, ev.Cost, ev.BenefitCaller, ev.BenefitCallee)
+	case KindCoalesceMerge:
+		fmt.Fprintf(s.w, "%s coalesce %s <- %s\n", pre, reg(ev.Reg), reg(ev.With))
+	case KindRewriteInsert:
+		fmt.Fprintf(s.w, "%s rewrite %s to slot %s (%d member regs)\n", pre, reg(ev.Reg), ev.Slot, ev.N)
+	case KindPrefDecide:
+		fmt.Fprintf(s.w, "%s prefer-caller %s: callee-save oversubscribed at a call, key=%g (%s)\n",
+			pre, reg(ev.Reg), ev.Key, ev.Reason)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "unknown" || s == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("kind name %q duplicated", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestMultiFansOutAndSkipsDisabled(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	m := NewMulti(a, Disabled{}, nil, b)
+	if !m.Enabled() {
+		t.Fatal("multi with enabled members should be enabled")
+	}
+	m.Emit(Event{Kind: KindColorAssign, Fn: "f"})
+	if a.Count(KindColorAssign) != 1 || b.Count(KindColorAssign) != 1 {
+		t.Fatalf("both sinks should see the event: a=%d b=%d",
+			a.Count(KindColorAssign), b.Count(KindColorAssign))
+	}
+	if NewMulti(Disabled{}, nil).Enabled() {
+		t.Fatal("multi of disabled members should be disabled")
+	}
+}
+
+func TestNewMultiSingleSinkIsDirect(t *testing.T) {
+	s := NewStats()
+	if got := NewMulti(nil, s); got != Tracer(s) {
+		t.Fatalf("single-sink multi should return the sink itself, got %T", got)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	s := NewStats()
+	s.Emit(Event{Kind: KindPhaseStart, Fn: "f", Phase: PhaseColor, Round: 0})
+	s.Emit(Event{Kind: KindPhaseEnd, Fn: "f", Phase: PhaseColor, Round: 0, Dur: 2 * time.Millisecond})
+	s.Emit(Event{Kind: KindPhaseEnd, Fn: "g", Phase: PhaseColor, Round: 1, Dur: 3 * time.Millisecond})
+	s.Emit(Event{Kind: KindPhaseEnd, Fn: "g", Phase: PhaseLiveness, Round: 1, Dur: time.Millisecond})
+	s.Emit(Event{Kind: KindSpillChoice, Fn: "g", Round: 1, Reason: ReasonBlocked})
+
+	if got := s.Count(KindPhaseEnd); got != 3 {
+		t.Fatalf("phase-end count = %d, want 3", got)
+	}
+	if got := s.TotalEvents(); got != 5 {
+		t.Fatalf("total events = %d, want 5", got)
+	}
+	if got := s.PhaseTotal(); got != 6*time.Millisecond {
+		t.Fatalf("phase total = %v, want 6ms", got)
+	}
+	phases := s.Phases()
+	if len(phases) != 2 || phases[0].Phase != PhaseLiveness || phases[1].Phase != PhaseColor {
+		t.Fatalf("phases not in pipeline order: %+v", phases)
+	}
+	if phases[1].Count != 2 || phases[1].Total != 5*time.Millisecond {
+		t.Fatalf("color phase aggregate wrong: %+v", phases[1])
+	}
+	funcs := s.Funcs()
+	if len(funcs) != 2 || funcs[0].Fn != "f" || funcs[1].Fn != "g" {
+		t.Fatalf("funcs not in discovery order: %+v", funcs)
+	}
+	if funcs[1].Rounds != 2 {
+		t.Fatalf("g rounds = %d, want 2 (round index 1 observed)", funcs[1].Rounds)
+	}
+	s.Reset()
+	if s.TotalEvents() != 0 || len(s.Phases()) != 0 {
+		t.Fatal("reset should clear everything")
+	}
+}
+
+func TestJSONLEmitsValidPerKindLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(Event{Kind: KindPhaseEnd, Fn: "f", Phase: PhaseColor, Round: 0, Dur: time.Millisecond})
+	s.Emit(Event{Kind: KindColorAssign, Fn: "f", Reg: 3, Color: 2,
+		Wanted: KindCallee, Chosen: KindCaller, Cost: 10, BenefitCaller: 4, BenefitCallee: -2})
+	s.Emit(Event{Kind: KindSpillChoice, Fn: "f", Reg: 5, Reason: ReasonBlocked, Key: 1.5})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatalf("line 2 not valid JSON: %v", err)
+	}
+	for _, key := range []string{"kind", "fn", "reg", "color", "wanted", "chosen",
+		"spill_cost", "benefit_caller", "benefit_callee"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("color_assign line missing %q: %s", key, lines[1])
+		}
+	}
+	if m["kind"] != "color_assign" || m["benefit_callee"] != -2.0 {
+		t.Fatalf("unexpected color_assign payload: %s", lines[1])
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("phase_end line not valid JSON: %v", err)
+	}
+	if m["dur_us"] != 1000.0 {
+		t.Fatalf("dur_us = %v, want 1000", m["dur_us"])
+	}
+}
+
+func TestNarrativeGroupsByFunctionAndSkipsPhases(t *testing.T) {
+	var buf bytes.Buffer
+	n := NewNarrative(&buf)
+	n.Emit(Event{Kind: KindPhaseStart, Fn: "f", Phase: PhaseColor})
+	n.Emit(Event{Kind: KindSimplifyPop, Fn: "f", Reg: 1, Key: 3, Reason: ReasonUnconstrained})
+	n.Emit(Event{Kind: KindColorAssign, Fn: "f", Reg: 1, Color: 0,
+		Wanted: KindCaller, Chosen: KindCaller, Cost: 12, BenefitCaller: 12, BenefitCallee: -8})
+	n.Emit(Event{Kind: KindSpillChoice, Fn: "g", Reg: 2, Reason: ReasonNegativeBenefit, Key: -1})
+	out := buf.String()
+	for _, want := range []string{"f:\n", "g:\n",
+		"simplify v1: key=3 (unconstrained)",
+		"assign v1 -> caller r0 (wanted caller; spill_cost=12 benefit_caller=12 benefit_callee=-8)",
+		"spill v2 -> memory: negative-benefit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("narrative missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, PhaseColor) {
+		t.Errorf("narrative should omit phase events:\n%s", out)
+	}
+}
+
+func TestDisabledTracerEmitsNothingAndAllocatesNothing(t *testing.T) {
+	var tr Tracer = Disabled{}
+	if tr.Enabled() {
+		t.Fatal("Disabled reports enabled")
+	}
+	// The guarded emission pattern used throughout the allocator: with
+	// a disabled (or nil) tracer, no event is constructed and nothing
+	// is allocated.
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr != nil && tr.Enabled() {
+			tr.Emit(Event{Kind: KindColorAssign, Fn: "f", Reg: 1, Cost: 2})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guarded emission allocated %v times per run, want 0", allocs)
+	}
+}

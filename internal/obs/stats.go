@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PhaseStat aggregates one pipeline phase: how often it ran and its
+// total wall time (from PhaseEnd events).
+type PhaseStat struct {
+	Phase string
+	Count int
+	Total time.Duration
+}
+
+// FuncStats aggregates one function's allocation.
+type FuncStats struct {
+	Fn     string
+	Rounds int // build→color→spill iterations observed
+	Phases map[string]*PhaseStat
+	Counts [NumKinds]int
+}
+
+// Stats is the in-memory aggregation sink: per-function and
+// program-wide phase timings plus decision counters. It is safe for
+// concurrent emission.
+type Stats struct {
+	mu     sync.Mutex
+	funcs  map[string]*FuncStats
+	order  []string // function discovery order
+	phases map[string]*PhaseStat
+	counts [NumKinds]int
+}
+
+// NewStats returns an empty aggregator.
+func NewStats() *Stats {
+	return &Stats{
+		funcs:  make(map[string]*FuncStats),
+		phases: make(map[string]*PhaseStat),
+	}
+}
+
+// Enabled implements Tracer.
+func (s *Stats) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (s *Stats) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := s.funcs[ev.Fn]
+	if fs == nil {
+		fs = &FuncStats{Fn: ev.Fn, Phases: make(map[string]*PhaseStat)}
+		s.funcs[ev.Fn] = fs
+		s.order = append(s.order, ev.Fn)
+	}
+	fs.Counts[ev.Kind]++
+	s.counts[ev.Kind]++
+	if ev.Round+1 > fs.Rounds {
+		fs.Rounds = ev.Round + 1
+	}
+	if ev.Kind != KindPhaseEnd {
+		return
+	}
+	for _, m := range []map[string]*PhaseStat{fs.Phases, s.phases} {
+		ps := m[ev.Phase]
+		if ps == nil {
+			ps = &PhaseStat{Phase: ev.Phase}
+			m[ev.Phase] = ps
+		}
+		ps.Count++
+		ps.Total += ev.Dur
+	}
+}
+
+// Reset clears every aggregate, so one Stats can be reused between
+// experiments.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.funcs = make(map[string]*FuncStats)
+	s.order = nil
+	s.phases = make(map[string]*PhaseStat)
+	s.counts = [NumKinds]int{}
+}
+
+// Count returns how many events of kind k were recorded.
+func (s *Stats) Count(k Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[k]
+}
+
+// TotalEvents returns the number of events recorded.
+func (s *Stats) TotalEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+// Phases returns the program-wide phase aggregates in pipeline order
+// (phases not of the standard pipeline follow, alphabetically).
+func (s *Stats) Phases() []PhaseStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return phaseLines(s.phases)
+}
+
+// PhaseTotal returns the summed wall time of every phase.
+func (s *Stats) PhaseTotal() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t time.Duration
+	for _, ps := range s.phases {
+		t += ps.Total
+	}
+	return t
+}
+
+// Funcs returns a snapshot of the per-function aggregates in discovery
+// order.
+func (s *Stats) Funcs() []FuncStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FuncStats, 0, len(s.order))
+	for _, name := range s.order {
+		fs := s.funcs[name]
+		cp := FuncStats{Fn: fs.Fn, Rounds: fs.Rounds, Counts: fs.Counts,
+			Phases: make(map[string]*PhaseStat, len(fs.Phases))}
+		for k, v := range fs.Phases {
+			c := *v
+			cp.Phases[k] = &c
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// pipelineOrder positions the standard phases as the pipeline runs
+// them.
+var pipelineOrder = map[string]int{
+	PhaseLiveness: 0,
+	PhaseBuild:    1,
+	PhaseCoalesce: 2,
+	PhaseRanges:   3,
+	PhaseColor:    4,
+	PhaseRewrite:  5,
+}
+
+func phaseLines(m map[string]*PhaseStat) []PhaseStat {
+	out := make([]PhaseStat, 0, len(m))
+	for _, ps := range m {
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, iok := pipelineOrder[out[i].Phase]
+		oj, jok := pipelineOrder[out[j].Phase]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok != jok:
+			return iok
+		default:
+			return out[i].Phase < out[j].Phase
+		}
+	})
+	return out
+}

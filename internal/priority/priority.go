@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 )
 
@@ -137,6 +138,7 @@ func (c *Chow) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 		// register (Chow allocates only profitable ranges).
 		if rg != nil && !rg.NoSpill && prio[rep] < 0 {
 			res.Spilled = append(res.Spilled, rep)
+			ctx.EmitSpill(rep, obs.ReasonNegativePriority, prio[rep])
 			continue
 		}
 		free := ctx.FreeColors(res.Colors, rep)
@@ -147,9 +149,11 @@ func (c *Chow) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 				// register by stealing the first bank register. The
 				// validator would flag a real conflict.
 				res.Colors[rep] = machine.PhysReg(0)
+				ctx.EmitAssign(rep, res.Colors[rep], false)
 				continue
 			}
 			res.Spilled = append(res.Spilled, rep)
+			ctx.EmitSpill(rep, obs.ReasonNoColor, prio[rep])
 			continue
 		}
 		caller, callee := ctx.SplitFree(free)
@@ -164,6 +168,7 @@ func (c *Chow) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 		default:
 			res.Colors[rep] = callee[0]
 		}
+		ctx.EmitAssign(rep, res.Colors[rep], preferCallee)
 	}
 	return res
 }

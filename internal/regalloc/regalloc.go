@@ -22,6 +22,7 @@ package regalloc
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/freq"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/liveness"
 	"repro/internal/liverange"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Strategy is one register-allocation approach: it performs the color
@@ -54,6 +56,66 @@ type ClassContext struct {
 	// Round is the allocation round (0-based); spill code from earlier
 	// rounds is already in Fn.
 	Round int
+	// Tracer receives the strategy's decision events; nil disables
+	// tracing. Strategies emit through Traced/Emit so the disabled
+	// path constructs nothing.
+	Tracer obs.Tracer
+}
+
+// Traced reports whether decision events should be emitted. Strategies
+// guard every emission on it so an untraced run pays nothing.
+func (ctx *ClassContext) Traced() bool { return ctx.Tracer != nil && ctx.Tracer.Enabled() }
+
+// Emit stamps ev with the context's function, bank, and round and
+// sends it to the tracer. Safe to call untraced (it is a no-op), but
+// call sites should guard with Traced to skip event construction.
+func (ctx *ClassContext) Emit(ev obs.Event) {
+	if ctx.Tracer == nil || !ctx.Tracer.Enabled() {
+		return
+	}
+	ev.Fn = ctx.Fn.Name
+	ev.Class = ctx.Class
+	ev.Round = ctx.Round
+	ctx.Tracer.Emit(ev)
+}
+
+// EmitAssign emits the ColorAssign event for rep: the color, the kind
+// wanted and taken, and the benefit evidence behind the choice.
+func (ctx *ClassContext) EmitAssign(rep ir.Reg, color machine.PhysReg, wantCallee bool) {
+	if !ctx.Traced() {
+		return
+	}
+	ev := obs.Event{
+		Kind:   obs.KindColorAssign,
+		Reg:    rep,
+		Color:  color,
+		Wanted: kindName(wantCallee),
+		Chosen: kindName(ctx.Config.IsCalleeSave(ctx.Class, color)),
+	}
+	if rg := ctx.RangeOf(rep); rg != nil {
+		ev.Cost, ev.BenefitCaller, ev.BenefitCallee = rg.SpillCost, rg.BenefitCaller, rg.BenefitCallee
+	}
+	ctx.Emit(ev)
+}
+
+// EmitSpill emits the SpillChoice event for rep with the reason and
+// the heuristic key that condemned it, plus the range's cost evidence.
+func (ctx *ClassContext) EmitSpill(rep ir.Reg, reason string, key float64) {
+	if !ctx.Traced() {
+		return
+	}
+	ev := obs.Event{Kind: obs.KindSpillChoice, Reg: rep, Reason: reason, Key: key}
+	if rg := ctx.RangeOf(rep); rg != nil {
+		ev.Cost, ev.BenefitCaller, ev.BenefitCallee = rg.SpillCost, rg.BenefitCaller, rg.BenefitCallee
+	}
+	ctx.Emit(ev)
+}
+
+func kindName(callee bool) string {
+	if callee {
+		return obs.KindCallee
+	}
+	return obs.KindCaller
 }
 
 // N returns the number of allocable registers in this bank.
@@ -270,6 +332,10 @@ func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 		if best != ir.NoReg {
 			remove(best)
 			stack.Push(best)
+			if s.ctx.Traced() {
+				s.ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: best,
+					Key: bestKey, Reason: obs.ReasonUnconstrained, N: stack.Len()})
+			}
 			continue
 		}
 
@@ -318,13 +384,22 @@ func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 			}
 			remove(cand)
 			stack.Push(cand)
+			if s.ctx.Traced() {
+				s.ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: cand,
+					Reason: obs.ReasonUnspillable, N: stack.Len()})
+			}
 			continue
 		}
 		remove(cand)
 		if opts.Optimistic {
 			stack.Push(cand)
+			if s.ctx.Traced() {
+				s.ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: cand,
+					Key: candKey, Reason: obs.ReasonOptimistic, N: stack.Len()})
+			}
 		} else {
 			spilled = append(spilled, cand)
+			s.ctx.EmitSpill(cand, obs.ReasonBlocked, candKey)
 		}
 	}
 	return stack, spilled
@@ -371,12 +446,14 @@ func (c *Chaitin) Allocate(ctx *ClassContext) *ClassResult {
 		if len(free) == 0 {
 			// Only possible for optimistically pushed nodes.
 			res.Spilled = append(res.Spilled, rep)
+			ctx.EmitSpill(rep, obs.ReasonNoColor, 0)
 			continue
 		}
 		caller, callee := ctx.SplitFree(free)
 		rg := ctx.RangeOf(rep)
 		preferCallee := rg != nil && rg.CrossesCall
 		res.Colors[rep] = pickPreferred(caller, callee, preferCallee)
+		ctx.EmitAssign(rep, res.Colors[rep], preferCallee)
 	}
 	return res
 }
@@ -416,6 +493,10 @@ type Options struct {
 	Rebuild bool
 	// MaxRounds bounds build→color→spill iterations.
 	MaxRounds int
+	// Tracer receives decision events and phase timings (package obs).
+	// Nil — the default — disables tracing; every emission site is
+	// guarded, so the untraced path adds no work and no allocations.
+	Tracer obs.Tracer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -473,10 +554,20 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 	var lastSpilled map[ir.Reg]*ir.Symbol
 	lastTemps := make(map[ir.Reg]bool)
 
+	tr := opts.Tracer
+	traced := tr != nil && tr.Enabled()
+	var t0 time.Time
+
 	for round := 0; round < opts.MaxRounds; round++ {
+		if traced {
+			t0 = phaseStart(tr, work.Name, round, obs.PhaseLiveness)
+		}
 		g := cfg.New(work)
 		live := liveness.Compute(work, g)
-		var graphs [ir.NumClasses]*interference.Graph
+		if traced {
+			phaseEnd(tr, work.Name, round, obs.PhaseLiveness, t0)
+			t0 = phaseStart(tr, work.Name, round, obs.PhaseBuild)
+		}
 		for c := ir.Class(0); c < ir.NumClasses; c++ {
 			if round == 0 || opts.Rebuild {
 				baseGraphs[c] = interference.Build(work, live, c)
@@ -484,14 +575,37 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 				baseGraphs[c] = interference.Reconstruct(baseGraphs[c], work, live, lastSpilled,
 					func(r ir.Reg) bool { return lastTemps[r] })
 			}
+		}
+		if traced {
+			phaseEnd(tr, work.Name, round, obs.PhaseBuild, t0)
+			t0 = phaseStart(tr, work.Name, round, obs.PhaseCoalesce)
+		}
+		var graphs [ir.NumClasses]*interference.Graph
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
 			if opts.Coalesce {
 				graphs[c] = baseGraphs[c].Clone()
+				if traced {
+					class, rnd := c, round
+					graphs[c].TraceMerge = func(kept, gone ir.Reg) {
+						tr.Emit(obs.Event{Kind: obs.KindCoalesceMerge, Fn: work.Name,
+							Class: class, Round: rnd, Reg: kept, With: gone})
+					}
+				}
 				graphs[c].Coalesce(opts.ConservativeCoalesce, config.Total(c))
+				graphs[c].TraceMerge = nil
 			} else {
 				graphs[c] = baseGraphs[c]
 			}
 		}
+		if traced {
+			phaseEnd(tr, work.Name, round, obs.PhaseCoalesce, t0)
+			t0 = phaseStart(tr, work.Name, round, obs.PhaseRanges)
+		}
 		ranges := liverange.Analyze(work, live, &graphs, ff, isNoSpill)
+		if traced {
+			phaseEnd(tr, work.Name, round, obs.PhaseRanges, t0)
+			t0 = phaseStart(tr, work.Name, round, obs.PhaseColor)
+		}
 
 		spillSet := make(map[ir.Reg]*ir.Symbol)
 		colors := make([]machine.PhysReg, work.NumRegs())
@@ -506,6 +620,7 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 				Ranges: ranges,
 				Config: config,
 				Round:  round,
+				Tracer: tr,
 			}
 			res := strat.Allocate(ctx)
 			for rep, col := range res.Colors {
@@ -520,10 +635,18 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 					Local: true,
 					Spill: true,
 				}
-				for _, m := range graphs[c].Members(rep) {
+				members := graphs[c].Members(rep)
+				for _, m := range members {
 					spillSet[m] = slot
 				}
+				if traced {
+					tr.Emit(obs.Event{Kind: obs.KindRewriteInsert, Fn: work.Name,
+						Class: c, Round: round, Reg: rep, Slot: slot.Name, N: len(members)})
+				}
 			}
+		}
+		if traced {
+			phaseEnd(tr, work.Name, round, obs.PhaseColor, t0)
 		}
 
 		if len(spillSet) == 0 {
@@ -543,12 +666,30 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 		}
 		lastSpilled = spillSet
 		lastTemps = make(map[ir.Reg]bool)
+		if traced {
+			t0 = phaseStart(tr, work.Name, round, obs.PhaseRewrite)
+		}
 		insertSpills(work, spillSet, func(t ir.Reg) {
 			noSpill[t] = true
 			lastTemps[t] = true
 		})
+		if traced {
+			phaseEnd(tr, work.Name, round, obs.PhaseRewrite, t0)
+		}
 	}
 	return nil, fmt.Errorf("regalloc: %s did not converge on %s after %d rounds", strat.Name(), fn.Name, opts.MaxRounds)
+}
+
+// phaseStart emits the PhaseStart event and opens the timing window.
+// Callers guard on the tracer being enabled.
+func phaseStart(tr obs.Tracer, fn string, round int, phase string) time.Time {
+	tr.Emit(obs.Event{Kind: obs.KindPhaseStart, Fn: fn, Round: round, Phase: phase})
+	return time.Now()
+}
+
+// phaseEnd emits the PhaseEnd event carrying the measured wall time.
+func phaseEnd(tr obs.Tracer, fn string, round int, phase string, t0 time.Time) {
+	tr.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: fn, Round: round, Phase: phase, Dur: time.Since(t0)})
 }
 
 // SortRegs sorts a register slice in increasing order (a convenience

@@ -13,6 +13,7 @@ import (
 	"repro/internal/liveness"
 	"repro/internal/liverange"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
 )
@@ -266,5 +267,25 @@ func TestStrategyNames(t *testing.T) {
 	}
 	if n := (&regalloc.Chaitin{Optimistic: true}).Name(); !strings.Contains(n, "optimistic") {
 		t.Errorf("name %q", n)
+	}
+}
+
+// TestUntracedEmitAllocatesNothing pins the zero-cost contract of the
+// emission helpers: with no tracer attached (the default), Emit,
+// EmitAssign, and EmitSpill must not construct events or allocate.
+func TestUntracedEmitAllocatesNothing(t *testing.T) {
+	ctx := context(t, pressureSrc, "f", machine.NewConfig(6, 4, 0, 0), ir.ClassInt)
+	if ctx.Traced() {
+		t.Fatal("fresh context must be untraced")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ctx.Traced() {
+			ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: 1, Key: 2})
+		}
+		ctx.EmitAssign(1, 0, false)
+		ctx.EmitSpill(1, obs.ReasonBlocked, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("untraced emission allocated %v times per run, want 0", allocs)
 	}
 }
