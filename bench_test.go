@@ -19,6 +19,7 @@ import (
 	"repro/internal/interference"
 	"repro/internal/ir"
 	"repro/internal/liveness"
+	"repro/internal/liverange"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
 )
@@ -141,21 +142,76 @@ func BenchmarkLiveness(b *testing.B) {
 	prog := callcost.MustCompile(benchprog.ByName("tomcatv").Source)
 	fn := prog.IR.FuncByName["main"]
 	g := cfg.New(fn)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		liveness.Compute(fn, g)
 	}
 }
 
-// BenchmarkInterferenceBuild measures graph construction.
-func BenchmarkInterferenceBuild(b *testing.B) {
+// benchGraphSetup compiles the largest benchprog function (fpppp's
+// twoel) and returns everything the per-phase micro-benchmarks need.
+func benchGraphSetup(b *testing.B) (*ir.Func, *liveness.Info) {
+	b.Helper()
 	prog := callcost.MustCompile(benchprog.ByName("fpppp").Source)
 	fn := prog.IR.FuncByName["twoel"]
 	g := cfg.New(fn)
-	live := liveness.Compute(fn, g)
+	return fn, liveness.Compute(fn, g)
+}
+
+// BenchmarkInterferenceBuild measures graph construction.
+func BenchmarkInterferenceBuild(b *testing.B) {
+	fn, live := benchGraphSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		interference.Build(fn, live, ir.ClassFloat)
+	}
+}
+
+// BenchmarkCoalesce measures the coalescing phase as the driver runs
+// it: clone the base graph, then coalesce the clone aggressively.
+func BenchmarkCoalesce(b *testing.B) {
+	fn, live := benchGraphSetup(b)
+	base := interference.Build(fn, live, ir.ClassFloat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := base.Clone()
+		g.Coalesce(false, 16)
+	}
+}
+
+// BenchmarkSimplify measures worklist simplification over the coalesced
+// graph of the largest benchprog function, at a register count low
+// enough that the blocked-spill path is exercised too.
+func BenchmarkSimplify(b *testing.B) {
+	p, err := benchEnv.Get("fpppp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn := p.Program.IR.FuncByName["twoel"]
+	g := cfg.New(fn)
+	live := liveness.Compute(fn, g)
+	cfgRegs := callcost.NewConfig(8, 6, 2, 2)
+	var graphs [ir.NumClasses]*interference.Graph
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		graphs[c] = interference.Build(fn, live, c)
+		graphs[c].Coalesce(false, cfgRegs.Total(c))
+	}
+	ranges := liverange.Analyze(fn, live, &graphs, p.Dynamic.ByFunc["twoel"], nil)
+	ctx := &regalloc.ClassContext{
+		Fn:     fn,
+		Class:  ir.ClassFloat,
+		Graph:  graphs[ir.ClassFloat],
+		Ranges: ranges,
+		Config: cfgRegs,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := regalloc.NewSimplifier(ctx)
+		s.Run(regalloc.SimplifyOptions{})
 	}
 }
 

@@ -86,6 +86,90 @@ func (s *Set) ForEach(f func(i int)) {
 	}
 }
 
+// Triangular is a bit matrix over unordered pairs {a, b} of values in
+// [0, n), a ≠ b — the membership half of Chaitin's dual interference
+// representation. Storage is the strict lower triangle, packed row by
+// row: pair {a, b} with a > b lives at bit a*(a-1)/2 + b, so the whole
+// matrix costs n*(n-1)/2 bits.
+type Triangular struct {
+	words []uint64
+	n     int
+}
+
+// NewTriangular returns an empty pair matrix over [0, n).
+func NewTriangular(n int) *Triangular {
+	return &Triangular{words: make([]uint64, (pairIndex(n, 0)+63)/64), n: n}
+}
+
+// pairIndex maps the unordered pair {a, b}, a > b, to its bit index.
+func pairIndex(a, b int) int { return a*(a-1)/2 + b }
+
+func order(a, b int) (int, int) {
+	if a < b {
+		return b, a
+	}
+	return a, b
+}
+
+// Len returns the capacity of the matrix.
+func (t *Triangular) Len() int { return t.n }
+
+// Grow extends the matrix to cover values in [0, n). Existing pairs are
+// preserved (the triangular layout appends rows; no re-indexing).
+func (t *Triangular) Grow(n int) {
+	if n <= t.n {
+		return
+	}
+	t.n = n
+	need := (pairIndex(n, 0) + 63) / 64
+	if need > len(t.words) {
+		if need <= cap(t.words) {
+			t.words = t.words[:need]
+		} else {
+			w := make([]uint64, need, need+need/2)
+			copy(w, t.words)
+			t.words = w
+		}
+	}
+}
+
+// Set inserts the pair {a, b}. Setting a == b is a no-op.
+func (t *Triangular) Set(a, b int) {
+	if a == b {
+		return
+	}
+	hi, lo := order(a, b)
+	i := pairIndex(hi, lo)
+	t.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Unset removes the pair {a, b}.
+func (t *Triangular) Unset(a, b int) {
+	if a == b {
+		return
+	}
+	hi, lo := order(a, b)
+	i := pairIndex(hi, lo)
+	t.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Has reports whether the pair {a, b} is present. Has(a, a) is false.
+func (t *Triangular) Has(a, b int) bool {
+	if a == b {
+		return false
+	}
+	hi, lo := order(a, b)
+	i := pairIndex(hi, lo)
+	return t.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Clone returns an independent copy of t.
+func (t *Triangular) Clone() *Triangular {
+	c := &Triangular{words: make([]uint64, len(t.words)), n: t.n}
+	copy(c.words, t.words)
+	return c
+}
+
 // Equal reports whether s and t contain the same elements.
 func (s *Set) Equal(t *Set) bool {
 	if len(s.words) != len(t.words) {

@@ -30,13 +30,16 @@ type CalleeModelRow struct {
 	Ratio []float64
 }
 
-// CalleeModelAblation measures §4's first-use vs shared comparison.
+// CalleeModelAblation measures §4's first-use vs shared comparison,
+// one program per worker.
 func CalleeModelAblation(env *Env) ([]CalleeModelRow, error) {
-	var rows []CalleeModelRow
-	for _, name := range benchprog.Names() {
+	names := benchprog.Names()
+	rows := make([]CalleeModelRow, len(names))
+	err := forEachIndexed(len(names), func(i int) error {
+		name := names[i]
 		p, err := env.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := CalleeModelRow{Program: name}
 		for _, cfg := range ablationConfigs() {
@@ -45,15 +48,19 @@ func CalleeModelAblation(env *Env) ([]CalleeModelRow, error) {
 			firstUse.CalleeModel = core.FirstUseCost
 			so, err := p.Overhead(shared, cfg, p.Dynamic)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fo, err := p.Overhead(firstUse, cfg, p.Dynamic)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Ratio = append(row.Ratio, callcost.Ratio(fo.Total(), so.Total()))
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -66,13 +73,16 @@ type KeyStrategyRow struct {
 	Ratio   []float64
 }
 
-// KeyStrategyAblation measures §5's key comparison.
+// KeyStrategyAblation measures §5's key comparison, one program per
+// worker.
 func KeyStrategyAblation(env *Env) ([]KeyStrategyRow, error) {
-	var rows []KeyStrategyRow
-	for _, name := range benchprog.Names() {
+	names := benchprog.Names()
+	rows := make([]KeyStrategyRow, len(names))
+	err := forEachIndexed(len(names), func(i int) error {
+		name := names[i]
 		p, err := env.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := KeyStrategyRow{Program: name}
 		for _, cfg := range ablationConfigs() {
@@ -81,15 +91,19 @@ func KeyStrategyAblation(env *Env) ([]KeyStrategyRow, error) {
 			maxk.Key = core.KeyMax
 			do, err := p.Overhead(delta, cfg, p.Dynamic)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mo, err := p.Overhead(maxk, cfg, p.Dynamic)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Ratio = append(row.Ratio, callcost.Ratio(mo.Total(), do.Total()))
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -105,35 +119,41 @@ type PriorityOrderingRow struct {
 	SortUnc  float64
 }
 
-// PriorityOrderingAblation measures §9.1.
+// PriorityOrderingAblation measures §9.1, one (program, configuration)
+// cell per worker.
 func PriorityOrderingAblation(env *Env) ([]PriorityOrderingRow, error) {
-	var rows []PriorityOrderingRow
-	for _, name := range benchprog.Names() {
+	names := benchprog.Names()
+	cfgs := ablationConfigs()
+	rows := make([]PriorityOrderingRow, len(names)*len(cfgs))
+	err := forEachIndexed(len(rows), func(i int) error {
+		name, cfg := names[i/len(cfgs)], cfgs[i%len(cfgs)]
 		p, err := env.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, cfg := range ablationConfigs() {
-			s, err := p.Overhead(callcost.Priority(callcost.PrioritySorting), cfg, p.Dynamic)
-			if err != nil {
-				return nil, err
-			}
-			r, err := p.Overhead(callcost.Priority(callcost.PriorityRemovingUnconstrained), cfg, p.Dynamic)
-			if err != nil {
-				return nil, err
-			}
-			su, err := p.Overhead(callcost.Priority(callcost.PrioritySortingUnconstrained), cfg, p.Dynamic)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PriorityOrderingRow{
-				Program:  name,
-				Config:   cfg,
-				Sorting:  s.Total(),
-				Removing: r.Total(),
-				SortUnc:  su.Total(),
-			})
+		s, err := p.Overhead(callcost.Priority(callcost.PrioritySorting), cfg, p.Dynamic)
+		if err != nil {
+			return err
 		}
+		r, err := p.Overhead(callcost.Priority(callcost.PriorityRemovingUnconstrained), cfg, p.Dynamic)
+		if err != nil {
+			return err
+		}
+		su, err := p.Overhead(callcost.Priority(callcost.PrioritySortingUnconstrained), cfg, p.Dynamic)
+		if err != nil {
+			return err
+		}
+		rows[i] = PriorityOrderingRow{
+			Program:  name,
+			Config:   cfg,
+			Sorting:  s.Total(),
+			Removing: r.Total(),
+			SortUnc:  su.Total(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -20,10 +20,20 @@ import (
 
 // Env caches compiled benchmark programs and their profiles; compiling
 // and profiling once is what makes the full experiment sweep fast.
+// Get is safe for concurrent use and single-flights per program, so
+// parallel experiments compiling distinct benchmarks proceed
+// concurrently while duplicate requests share one compilation.
 type Env struct {
 	mu     sync.Mutex
-	cache  map[string]*Prepared
+	cache  map[string]*envEntry
 	tracer callcost.Tracer
+}
+
+// envEntry single-flights the compile+profile of one benchmark.
+type envEntry struct {
+	once sync.Once
+	p    *Prepared
+	err  error
 }
 
 // Prepared is one benchmark ready for allocation experiments.
@@ -45,7 +55,7 @@ type Prepared struct {
 }
 
 // NewEnv returns an empty environment.
-func NewEnv() *Env { return &Env{cache: make(map[string]*Prepared)} }
+func NewEnv() *Env { return &Env{cache: make(map[string]*envEntry)} }
 
 // SetTracer attaches an event sink (usually a stats sink) to every
 // allocation the environment's benchmarks run, so experiments report
@@ -54,8 +64,10 @@ func (e *Env) SetTracer(tr callcost.Tracer) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.tracer = tr
-	for _, p := range e.cache {
-		p.Opts.Tracer = tr
+	for _, ent := range e.cache {
+		if ent.p != nil {
+			ent.p.Opts.Tracer = tr
+		}
 	}
 }
 
@@ -69,13 +81,24 @@ func (e *Env) Opts() callcost.AllocOptions {
 	return opts
 }
 
-// Get compiles and profiles the named benchmark (cached).
+// Get compiles and profiles the named benchmark (cached). Concurrent
+// Gets of the same name share one compilation; Gets of distinct names
+// run concurrently — the mutex guards only the cache map, not the work.
 func (e *Env) Get(name string) (*Prepared, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if p, ok := e.cache[name]; ok {
-		return p, nil
+	ent, ok := e.cache[name]
+	if !ok {
+		ent = &envEntry{}
+		e.cache[name] = ent
 	}
+	tracer := e.tracer
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.p, ent.err = prepare(name, tracer) })
+	return ent.p, ent.err
+}
+
+// prepare compiles and profiles one benchmark.
+func prepare(name string, tracer callcost.Tracer) (*Prepared, error) {
 	bp := benchprog.ByName(name)
 	if bp == nil {
 		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
@@ -89,8 +112,8 @@ func (e *Env) Get(name string) (*Prepared, error) {
 		return nil, fmt.Errorf("experiments: profile %s: %w", name, err)
 	}
 	opts := callcost.DefaultAllocOptions()
-	opts.Tracer = e.tracer
-	p := &Prepared{
+	opts.Tracer = tracer
+	return &Prepared{
 		Name:    name,
 		Program: prog,
 		Dynamic: freq.FromProfile(prog.IR, res.Profile),
@@ -98,9 +121,7 @@ func (e *Env) Get(name string) (*Prepared, error) {
 		RefInt:  res.RetInt,
 		Steps:   res.Steps,
 		Opts:    opts,
-	}
-	e.cache[name] = p
-	return p, nil
+	}, nil
 }
 
 // Overhead allocates prog with strat at cfg under weights pf and

@@ -24,25 +24,31 @@ func PriorityComparison(env *Env, program string, dynamic bool) ([]Fig10Row, err
 		return nil, err
 	}
 	pf := p.Freq(dynamic)
-	var rows []Fig10Row
-	for _, cfg := range sweep() {
+	cfgs := sweep()
+	rows := make([]Fig10Row, len(cfgs))
+	err = forEachIndexed(len(cfgs), func(i int) error {
+		cfg := cfgs[i]
 		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		impr, err := p.Overhead(callcost.ImprovedAll(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prio, err := p.Overhead(callcost.Priority(callcost.PrioritySorting), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig10Row{
+		rows[i] = Fig10Row{
 			Config:   cfg,
 			Improved: callcost.Ratio(base.Total(), impr.Total()),
 			Priority: callcost.Ratio(base.Total(), prio.Total()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -59,18 +65,26 @@ func init() {
 			"outcome classes: tie, improved wins, no clear winner",
 		Run: func(env *Env, w io.Writer) error {
 			header(w, "Figure 10 — improved Chaitin vs priority-based (ratios over base Chaitin)")
-			for _, prog := range Fig10Programs {
+			// One work item per (program, weight model); print in order.
+			stats := make([][]Fig10Row, len(Fig10Programs))
+			dyns := make([][]Fig10Row, len(Fig10Programs))
+			err := forEachIndexed(2*len(Fig10Programs), func(i int) error {
+				rows, err := PriorityComparison(env, Fig10Programs[i/2], i%2 == 1)
+				if i%2 == 0 {
+					stats[i/2] = rows
+				} else {
+					dyns[i/2] = rows
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			for pi, prog := range Fig10Programs {
 				fmt.Fprintf(w, "\n%s\n%-14s %18s %18s %18s %18s\n", prog,
 					"(Ri,Rf,Ei,Ef)", "improved(static)", "priority(static)",
 					"improved(dyn)", "priority(dyn)")
-				stat, err := PriorityComparison(env, prog, false)
-				if err != nil {
-					return err
-				}
-				dyn, err := PriorityComparison(env, prog, true)
-				if err != nil {
-					return err
-				}
+				stat, dyn := stats[pi], dyns[pi]
 				for i := range stat {
 					fmt.Fprintf(w, "%-14s %18.2f %18.2f %18.2f %18.2f\n",
 						stat[i].Config, stat[i].Improved, stat[i].Priority,

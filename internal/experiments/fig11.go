@@ -23,25 +23,31 @@ func CBHComparison(env *Env, program string, dynamic bool) ([]Fig11Row, error) {
 		return nil, err
 	}
 	pf := p.Freq(dynamic)
-	var rows []Fig11Row
-	for _, cfg := range sweep() {
+	cfgs := sweep()
+	rows := make([]Fig11Row, len(cfgs))
+	err = forEachIndexed(len(cfgs), func(i int) error {
+		cfg := cfgs[i]
 		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		impr, err := p.Overhead(callcost.ImprovedAll(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cbh, err := p.Overhead(callcost.CBH(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig11Row{
+		rows[i] = Fig11Row{
 			Config:   cfg,
 			Improved: callcost.Ratio(base.Total(), impr.Total()),
 			CBH:      callcost.Ratio(base.Total(), cbh.Total()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -58,18 +64,26 @@ func init() {
 			"callee-save registers exist",
 		Run: func(env *Env, w io.Writer) error {
 			header(w, "Figure 11 — improved Chaitin vs CBH (ratios over base Chaitin)")
-			for _, prog := range Fig11Programs {
+			// One work item per (program, weight model); print in order.
+			stats := make([][]Fig11Row, len(Fig11Programs))
+			dyns := make([][]Fig11Row, len(Fig11Programs))
+			err := forEachIndexed(2*len(Fig11Programs), func(i int) error {
+				rows, err := CBHComparison(env, Fig11Programs[i/2], i%2 == 1)
+				if i%2 == 0 {
+					stats[i/2] = rows
+				} else {
+					dyns[i/2] = rows
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			for pi, prog := range Fig11Programs {
 				fmt.Fprintf(w, "\n%s\n%-14s %18s %18s %18s %18s\n", prog,
 					"(Ri,Rf,Ei,Ef)", "improved(static)", "cbh(static)",
 					"improved(dyn)", "cbh(dyn)")
-				stat, err := CBHComparison(env, prog, false)
-				if err != nil {
-					return err
-				}
-				dyn, err := CBHComparison(env, prog, true)
-				if err != nil {
-					return err
-				}
+				stat, dyn := stats[pi], dyns[pi]
 				for i := range stat {
 					fmt.Fprintf(w, "%-14s %18.2f %18.2f %18.2f %18.2f\n",
 						stat[i].Config, stat[i].Improved, stat[i].CBH,

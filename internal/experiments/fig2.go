@@ -21,13 +21,18 @@ func CostDecomposition(env *Env, program string, strat callcost.Strategy) ([]Fig
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig2Row
-	for _, cfg := range sweep() {
-		o, err := p.Overhead(strat, cfg, p.Dynamic)
+	cfgs := sweep()
+	rows := make([]Fig2Row, len(cfgs))
+	err = forEachIndexed(len(cfgs), func(i int) error {
+		o, err := p.Overhead(strat, cfgs[i], p.Dynamic)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig2Row{Config: cfg, Cost: o})
+		rows[i] = Fig2Row{Config: cfgs[i], Cost: o}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

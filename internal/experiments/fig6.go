@@ -33,21 +33,27 @@ func ImprovementRatios(env *Env, program string, dynamic bool) ([]Fig6Row, error
 		return nil, err
 	}
 	pf := p.Freq(dynamic)
-	var rows []Fig6Row
-	for _, cfg := range sweep() {
+	cfgs := sweep()
+	rows := make([]Fig6Row, len(cfgs))
+	err = forEachIndexed(len(cfgs), func(i int) error {
+		cfg := cfgs[i]
 		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig6Row{Config: cfg}
 		for _, combo := range Fig6Combos {
 			o, err := p.Overhead(combo.Strat(), cfg, pf)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Ratio = append(row.Ratio, callcost.Ratio(base.Total(), o.Total()))
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -64,11 +70,18 @@ func init() {
 			"less overhead); programs fall into the paper's four classes",
 		Run: func(env *Env, w io.Writer) error {
 			header(w, "Figure 6 — improvement ratios over base Chaitin (dynamic weights)")
-			for _, prog := range Fig6Programs {
-				rows, err := ImprovementRatios(env, prog, true)
-				if err != nil {
-					return err
-				}
+			// Compute every program's rows in parallel, print in order.
+			byProg := make([][]Fig6Row, len(Fig6Programs))
+			err := forEachIndexed(len(Fig6Programs), func(i int) error {
+				rows, err := ImprovementRatios(env, Fig6Programs[i], true)
+				byProg[i] = rows
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			for pi, prog := range Fig6Programs {
+				rows := byProg[pi]
 				fmt.Fprintf(w, "\n%s\n%-14s", prog, "(Ri,Rf,Ei,Ef)")
 				for _, c := range Fig6Combos {
 					fmt.Fprintf(w, " %8s", c.Label)

@@ -22,44 +22,49 @@ type CoalescingRow struct {
 }
 
 // CoalescingAblation measures the three coalescing modes under the
-// improved allocator.
+// improved allocator, one (program, configuration) cell per worker.
 func CoalescingAblation(env *Env) ([]CoalescingRow, error) {
-	var rows []CoalescingRow
-	for _, name := range benchprog.Names() {
+	names := benchprog.Names()
+	cfgs := []callcost.Config{callcost.NewConfig(6, 4, 2, 2), callcost.FullMachine()}
+	rows := make([]CoalescingRow, len(names)*len(cfgs))
+	err := forEachIndexed(len(rows), func(i int) error {
+		name, cfg := names[i/len(cfgs)], cfgs[i%len(cfgs)]
 		p, err := env.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, cfg := range []callcost.Config{callcost.NewConfig(6, 4, 2, 2), callcost.FullMachine()} {
-			measure := func(opts callcost.AllocOptions) (callcost.Overhead, error) {
-				alloc, err := p.Program.AllocateWithOptions(callcost.ImprovedAll(), cfg, p.Dynamic, opts)
-				if err != nil {
-					return callcost.Overhead{}, err
-				}
-				return alloc.Overhead(p.Dynamic), nil
-			}
-			aggressive := p.Opts
-			briggs := p.Opts
-			briggs.ConservativeCoalesce = true
-			off := p.Opts
-			off.Coalesce = false
-			a, err := measure(aggressive)
+		measure := func(opts callcost.AllocOptions) (callcost.Overhead, error) {
+			alloc, err := p.Program.AllocateWithOptions(callcost.ImprovedAll(), cfg, p.Dynamic, opts)
 			if err != nil {
-				return nil, err
+				return callcost.Overhead{}, err
 			}
-			b, err := measure(briggs)
-			if err != nil {
-				return nil, err
-			}
-			n, err := measure(off)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, CoalescingRow{
-				Program: name, Config: cfg,
-				Aggressive: a, Briggs: b, None: n,
-			})
+			return alloc.Overhead(p.Dynamic), nil
 		}
+		aggressive := p.Opts
+		briggs := p.Opts
+		briggs.ConservativeCoalesce = true
+		off := p.Opts
+		off.Coalesce = false
+		a, err := measure(aggressive)
+		if err != nil {
+			return err
+		}
+		b, err := measure(briggs)
+		if err != nil {
+			return err
+		}
+		n, err := measure(off)
+		if err != nil {
+			return err
+		}
+		rows[i] = CoalescingRow{
+			Program: name, Config: cfg,
+			Aggressive: a, Briggs: b, None: n,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -74,13 +79,16 @@ type SpillHeuristicRow struct {
 	CostOverDegSq float64
 }
 
-// SpillHeuristicAblation measures the three spill heuristics.
+// SpillHeuristicAblation measures the three spill heuristics, one
+// program per worker.
 func SpillHeuristicAblation(env *Env) ([]SpillHeuristicRow, error) {
-	var rows []SpillHeuristicRow
-	for _, name := range benchprog.Names() {
+	names := benchprog.Names()
+	rows := make([]SpillHeuristicRow, len(names))
+	err := forEachIndexed(len(names), func(i int) error {
+		name := names[i]
 		p, err := env.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := callcost.NewConfig(6, 4, 0, 0)
 		measure := func(h regalloc.SpillHeuristic) (float64, error) {
@@ -92,20 +100,24 @@ func SpillHeuristicAblation(env *Env) ([]SpillHeuristicRow, error) {
 		}
 		cd, err := measure(regalloc.CostOverDegree)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pl, err := measure(regalloc.PlainCost)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sq, err := measure(regalloc.CostOverDegreeSq)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, SpillHeuristicRow{
+		rows[i] = SpillHeuristicRow{
 			Program: name, Config: cfg,
 			CostOverDeg: cd, Plain: pl, CostOverDegSq: sq,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -47,22 +47,30 @@ func runOptimisticTable(env *Env, w io.Writer, dynamic bool) error {
 	if dynamic {
 		kind = "dynamic"
 	}
+	cfgs := tab23Configs()
+	names := benchprog.Names()
+	// Compute the whole program × configuration grid in parallel, then
+	// print; one work item per cell keeps the pool busy to the end.
+	ratios := make([]float64, len(names)*len(cfgs))
+	err := forEachIndexed(len(ratios), func(i int) error {
+		r, err := OptimisticRatio(env, names[i/len(cfgs)], cfgs[i%len(cfgs)], dynamic)
+		ratios[i] = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\nBase-Chaitin/Optimistic overhead ratio (%s information)\n", kind)
 	fmt.Fprintf(w, "entries < 1.00: optimistic coloring INCREASED the overhead\n\n")
-	cfgs := tab23Configs()
 	fmt.Fprintf(w, "%-10s", "program")
 	for _, c := range cfgs {
 		fmt.Fprintf(w, " %13s", c.String())
 	}
 	fmt.Fprintln(w)
-	for _, name := range benchprog.Names() {
+	for ni, name := range names {
 		fmt.Fprintf(w, "%-10s", name)
-		for _, cfg := range cfgs {
-			r, err := OptimisticRatio(env, name, cfg, dynamic)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " %13.2f", r)
+		for ci := range cfgs {
+			fmt.Fprintf(w, " %13.2f", ratios[ni*len(cfgs)+ci])
 		}
 		fmt.Fprintln(w)
 	}
@@ -86,30 +94,36 @@ func Fig9(env *Env) ([]Fig9Row, error) {
 		return nil, err
 	}
 	pf := p.Static
-	var rows []Fig9Row
-	for _, cfg := range sweep() {
+	cfgs := sweep()
+	rows := make([]Fig9Row, len(cfgs))
+	err = forEachIndexed(len(cfgs), func(i int) error {
+		cfg := cfgs[i]
 		base, err := p.Overhead(callcost.Chaitin(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt, err := p.Overhead(callcost.Optimistic(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		impr, err := p.Overhead(callcost.ImprovedAll(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		both, err := p.Overhead(callcost.ImprovedOptimistic(), cfg, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig9Row{
+		rows[i] = Fig9Row{
 			Config:     cfg,
 			Optimistic: callcost.Ratio(base.Total(), opt.Total()),
 			Improved:   callcost.Ratio(base.Total(), impr.Total()),
 			Both:       callcost.Ratio(base.Total(), both.Total()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

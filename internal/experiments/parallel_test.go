@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexedFillsEverySlot(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	got := make([]int, 100)
+	if err := forEachIndexed(len(got), func(i int) error {
+		got[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachIndexedReturnsLowestIndexError(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	err3 := errors.New("item 3")
+	err7 := errors.New("item 7")
+	err := forEachIndexed(10, func(i int) error {
+		switch i {
+		case 3:
+			return err3
+		case 7:
+			return err7
+		}
+		return nil
+	})
+	if err != err3 {
+		t.Fatalf("got %v, want the lowest-index error %v", err, err3)
+	}
+}
+
+func TestForEachIndexedBoundsWorkers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	var active, peak int64
+	err := forEachIndexed(64, func(i int) error {
+		n := atomic.AddInt64(&active, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		atomic.AddInt64(&active, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > 4 {
+		t.Fatalf("observed %d concurrent items, pool bound is 4", got)
+	}
+}
+
+// TestExperimentOutputDeterministic runs a parallelized experiment
+// twice with extra workers and requires byte-identical output: the
+// worker pool must only change wall time, never rows or their order.
+func TestExperimentOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	e := ByID("fig2")
+	if e == nil {
+		t.Fatal("fig2 not registered")
+	}
+	env := NewEnv()
+	var first, second bytes.Buffer
+	if err := e.Run(env, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(env, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("experiment output changed between runs:\n--- first\n%s\n--- second\n%s",
+			first.String(), second.String())
+	}
+}

@@ -21,13 +21,14 @@ type Tab4Row struct {
 // Tab4Programs are the programs of the paper's Table 4.
 var Tab4Programs = []string{"compress", "eqntott", "li", "sc", "spice"}
 
-// Speedups measures Table 4.
+// Speedups measures Table 4, one program per worker.
 func Speedups(env *Env, programs []string) ([]Tab4Row, error) {
-	var rows []Tab4Row
-	for _, name := range programs {
+	rows := make([]Tab4Row, len(programs))
+	err := forEachIndexed(len(programs), func(i int) error {
+		name := programs[i]
 		p, err := env.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := callcost.FullMachine()
 		cycles := func(strat callcost.Strategy) (float64, error) {
@@ -47,18 +48,22 @@ func Speedups(env *Env, programs []string) ([]Tab4Row, error) {
 		}
 		opt, err := cycles(callcost.Optimistic())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		impr, err := cycles(callcost.ImprovedAll())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Tab4Row{
+		rows[i] = Tab4Row{
 			Program:          name,
 			OptimisticCycles: opt,
 			ImprovedCycles:   impr,
 			SpeedupPercent:   (opt - impr) / impr * 100,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

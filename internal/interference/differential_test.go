@@ -1,0 +1,168 @@
+package interference_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/cfg"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/randprog"
+)
+
+// TestDifferentialGraphVsReference holds the bit-matrix graph equal to
+// the retained map-based reference implementation over generated
+// programs: same nodes, same degrees, same neighbor sets, same pairwise
+// interference, and — clone by clone — the same coalescing decision
+// sequence under both the aggressive and the Briggs-conservative test.
+func TestDifferentialGraphVsReference(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v", seed, err)
+		}
+		for _, fn := range prog.IR.Funcs {
+			g := cfg.New(fn)
+			live := liveness.Compute(fn, g)
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				tag := fmt.Sprintf("seed %d fn %s class %v", seed, fn.Name, c)
+				fast := interference.Build(fn, live, c)
+				ref := interference.BuildRef(fn, live, c)
+				compareGraphs(t, tag+" build", fast, ref)
+
+				for _, mode := range []struct {
+					name         string
+					conservative bool
+					k            int
+				}{
+					{"aggressive k=4", false, 4},
+					{"aggressive k=8", false, 8},
+					{"briggs k=4", true, 4},
+					{"briggs k=8", true, 8},
+				} {
+					fc := fast.Clone()
+					rc := interference.BuildRef(fn, live, c)
+					var fastMerges, refMerges [][2]ir.Reg
+					fc.TraceMerge = func(kept, gone ir.Reg) {
+						fastMerges = append(fastMerges, [2]ir.Reg{kept, gone})
+					}
+					rc.TraceMerge = func(kept, gone ir.Reg) {
+						refMerges = append(refMerges, [2]ir.Reg{kept, gone})
+					}
+					fm := fc.Coalesce(mode.conservative, mode.k)
+					rm := rc.Coalesce(mode.conservative, mode.k)
+					if fm != rm {
+						t.Fatalf("%s %s: merged %d live ranges, reference merged %d",
+							tag, mode.name, fm, rm)
+					}
+					if !reflect.DeepEqual(fastMerges, refMerges) {
+						t.Fatalf("%s %s: merge sequence diverged\nfast: %v\nref:  %v",
+							tag, mode.name, fastMerges, refMerges)
+					}
+					compareGraphs(t, tag+" "+mode.name, fc, rc)
+				}
+			}
+		}
+	}
+}
+
+// regsEqual compares register slices element-wise, treating nil and
+// empty as equal.
+func regsEqual(a, b []ir.Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// slotNames projects a spill-slot map to its stable content (the slot
+// symbols are freshly allocated pointers each run).
+func slotNames(slots map[ir.Reg]*ir.Symbol) map[ir.Reg]string {
+	out := make(map[ir.Reg]string, len(slots))
+	for r, s := range slots {
+		out[r] = s.Name
+	}
+	return out
+}
+
+// compareGraphs asserts structural equality of the two representations.
+func compareGraphs(t *testing.T, tag string, fast *interference.Graph, ref *interference.RefGraph) {
+	t.Helper()
+	fn, rn := fast.Nodes(), ref.Nodes()
+	if !regsEqual(fn, rn) {
+		t.Fatalf("%s: nodes diverged\nfast: %v\nref:  %v", tag, fn, rn)
+	}
+	for _, r := range fn {
+		if fd, rd := fast.Degree(r), ref.Degree(r); fd != rd {
+			t.Fatalf("%s: degree(%v) = %d, reference %d", tag, r, fd, rd)
+		}
+		if fns, rns := fast.NeighborsSorted(r), ref.SortedNeighbors(r); !regsEqual(fns, rns) {
+			t.Fatalf("%s: neighbors(%v) diverged\nfast: %v\nref:  %v", tag, r, fns, rns)
+		}
+	}
+	for i, a := range fn {
+		for _, b := range fn[i+1:] {
+			if fi, ri := fast.Interfere(a, b), ref.Interfere(a, b); fi != ri {
+				t.Fatalf("%s: Interfere(%v,%v) = %v, reference %v", tag, a, b, fi, ri)
+			}
+		}
+	}
+}
+
+// TestDifferentialAllocationDeterministic extends the differential
+// property to whole allocations: allocating the same generated program
+// twice must produce identical plans, pinning the data-structure
+// rewrite to byte-stable allocator decisions.
+func TestDifferentialAllocationDeterministic(t *testing.T) {
+	cfgs := []callcost.Config{
+		callcost.NewConfig(6, 4, 0, 0),
+		callcost.NewConfig(8, 6, 4, 4),
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pf := prog.StaticFreq()
+		for _, strat := range []callcost.Strategy{callcost.Chaitin(), callcost.ImprovedAll()} {
+			for _, cfg := range cfgs {
+				a1, err := prog.Allocate(strat, cfg, pf)
+				if err != nil {
+					t.Fatalf("seed %d: %s at %s: %v", seed, strat.Name(), cfg, err)
+				}
+				a2, err := prog.Allocate(strat, cfg, pf)
+				if err != nil {
+					t.Fatalf("seed %d: %s at %s (rerun): %v", seed, strat.Name(), cfg, err)
+				}
+				for name, p1 := range a1.Plans {
+					p2 := a2.Plans[name]
+					if p2 == nil {
+						t.Fatalf("seed %d: %s at %s: %s missing from rerun", seed, strat.Name(), cfg, name)
+					}
+					if !reflect.DeepEqual(p1.Alloc.Colors, p2.Alloc.Colors) {
+						t.Fatalf("seed %d: %s at %s: %s colors changed between identical runs\n%v\n%v",
+							seed, strat.Name(), cfg, name, p1.Alloc.Colors, p2.Alloc.Colors)
+					}
+					if !reflect.DeepEqual(slotNames(p1.Alloc.SlotOf), slotNames(p2.Alloc.SlotOf)) {
+						t.Fatalf("seed %d: %s at %s: %s spill slots changed between identical runs",
+							seed, strat.Name(), cfg, name)
+					}
+					if !reflect.DeepEqual(p1.CalleeUsed, p2.CalleeUsed) {
+						t.Fatalf("seed %d: %s at %s: %s callee-save usage changed between identical runs",
+							seed, strat.Name(), cfg, name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -50,16 +50,7 @@ func Regions(g *cfg.Graph) []Region {
 // identical to a monolithic Build — the test suite holds the two equal
 // — so its value is construction locality, not allocation quality.
 func BuildFused(fn *ir.Func, g *cfg.Graph, live *liveness.Info, class ir.Class) *Graph {
-	fused := &Graph{
-		Fn:     fn,
-		Class:  class,
-		parent: make([]ir.Reg, fn.NumRegs()),
-		adj:    make([]map[ir.Reg]struct{}, fn.NumRegs()),
-		occurs: make([]bool, fn.NumRegs()),
-	}
-	for i := range fused.parent {
-		fused.parent[i] = ir.Reg(i)
-	}
+	fused := newGraph(fn, class, fn.NumRegs())
 	for _, region := range Regions(g) {
 		partial := buildRegion(fn, live, class, region.Blocks)
 		fuse(fused, partial)
@@ -73,7 +64,7 @@ func BuildFused(fn *ir.Func, g *cfg.Graph, live *liveness.Info, class ir.Class) 
 		if mine(p) {
 			params = append(params, p)
 			if live.In[0].Has(int(p)) {
-				fused.occurs[p] = true
+				fused.setOccurs(p)
 			}
 		}
 	}
@@ -93,27 +84,18 @@ func BuildFused(fn *ir.Func, g *cfg.Graph, live *liveness.Info, class ir.Class) 
 // region from outside keeps its edges, which is exactly what makes the
 // later fusion a plain union.
 func buildRegion(fn *ir.Func, live *liveness.Info, class ir.Class, blocks []int) *Graph {
-	p := &Graph{
-		Fn:     fn,
-		Class:  class,
-		parent: make([]ir.Reg, fn.NumRegs()),
-		adj:    make([]map[ir.Reg]struct{}, fn.NumRegs()),
-		occurs: make([]bool, fn.NumRegs()),
-	}
-	for i := range p.parent {
-		p.parent[i] = ir.Reg(i)
-	}
+	p := newGraph(fn, class, fn.NumRegs())
 	mine := func(r ir.Reg) bool { return fn.RegClass(r) == class }
 	for _, id := range blocks {
 		b := fn.Blocks[id]
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if in.HasDst() && mine(in.Dst) {
-				p.occurs[in.Dst] = true
+				p.setOccurs(in.Dst)
 			}
 			for _, a := range in.Args {
 				if mine(a) {
-					p.occurs[a] = true
+					p.setOccurs(a)
 				}
 			}
 		}
@@ -141,16 +123,8 @@ func buildRegion(fn *ir.Func, live *liveness.Info, class ir.Class, blocks []int)
 // fuse merges the partial graph src into dst: node occurrences and
 // edges are unioned.
 func fuse(dst, src *Graph) {
-	for r := range src.occurs {
-		if src.occurs[r] {
-			dst.occurs[r] = true
-		}
+	for _, r := range src.nodes {
+		dst.setOccurs(r)
 	}
-	for r, adj := range src.adj {
-		for n := range adj {
-			if ir.Reg(r) < n { // each edge once
-				dst.addEdge(ir.Reg(r), n)
-			}
-		}
-	}
+	src.forEachEdge(func(a, b ir.Reg) { dst.addEdge(a, b) })
 }

@@ -10,9 +10,19 @@
 // Function parameters are all defined at entry simultaneously, so the
 // parameters live into the entry block mutually interfere.
 //
+// The representation is Chaitin's dual one: a triangular bit matrix
+// answers Interfere in O(1), and per-node adjacency vectors drive
+// iteration. Adjacency vectors are append-only; an entry goes stale
+// when its node is merged away by coalescing or removed by spilling,
+// and iteration skips (and compacts) stale entries by checking that the
+// entry is still a union-find representative whose edge bit is set.
+// Degrees are maintained incrementally, so Degree is O(1).
+//
 // The graph embeds a union-find so that coalescing (merging the two
 // ends of a copy) updates interference in place; Find maps any virtual
-// register to the representative of its live range.
+// register to the representative of its live range. Each union-find
+// class is additionally threaded on a circular member list, making
+// Members O(|class|) instead of a scan over every register.
 package interference
 
 import (
@@ -29,8 +39,17 @@ type Graph struct {
 	Class ir.Class
 
 	parent []ir.Reg
-	adj    []map[ir.Reg]struct{}
-	occurs []bool // vreg appears in the code (def, use, or live param)
+	next   []ir.Reg   // circular member list per union-find class
+	adj    [][]ir.Reg // adjacency vectors; may hold stale entries
+	deg    []int32    // live distinct-neighbor count per representative
+	matrix *bitset.Triangular
+	occurs []bool   // vreg appears in the code (def, use, or live param)
+	nodes  []ir.Reg // every reg of this bank that ever occurred
+	listed []bool   // reg already appended to nodes
+
+	// briggsOK scratch: epoch-stamped visited marks.
+	mark  []uint32
+	epoch uint32
 
 	// TraceMerge, when non-nil, observes each coalescing merge: kept is
 	// the surviving representative, gone the representative merged into
@@ -39,19 +58,38 @@ type Graph struct {
 	TraceMerge func(kept, gone ir.Reg)
 }
 
-// Build constructs the graph for the given bank from liveness info.
-func Build(fn *ir.Func, live *liveness.Info, class ir.Class) *Graph {
-	n := fn.NumRegs()
+// newGraph returns an empty graph over n registers.
+func newGraph(fn *ir.Func, class ir.Class, n int) *Graph {
 	g := &Graph{
 		Fn:     fn,
 		Class:  class,
 		parent: make([]ir.Reg, n),
-		adj:    make([]map[ir.Reg]struct{}, n),
+		next:   make([]ir.Reg, n),
+		adj:    make([][]ir.Reg, n),
+		deg:    make([]int32, n),
+		matrix: bitset.NewTriangular(n),
 		occurs: make([]bool, n),
+		listed: make([]bool, n),
 	}
 	for i := range g.parent {
 		g.parent[i] = ir.Reg(i)
+		g.next[i] = ir.Reg(i)
 	}
+	return g
+}
+
+// setOccurs marks r as occurring and registers it as a node candidate.
+func (g *Graph) setOccurs(r ir.Reg) {
+	g.occurs[r] = true
+	if !g.listed[r] {
+		g.listed[r] = true
+		g.nodes = append(g.nodes, r)
+	}
+}
+
+// Build constructs the graph for the given bank from liveness info.
+func Build(fn *ir.Func, live *liveness.Info, class ir.Class) *Graph {
+	g := newGraph(fn, class, fn.NumRegs())
 
 	mine := func(r ir.Reg) bool { return fn.RegClass(r) == class }
 
@@ -59,11 +97,11 @@ func Build(fn *ir.Func, live *liveness.Info, class ir.Class) *Graph {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if in.HasDst() && mine(in.Dst) {
-				g.occurs[in.Dst] = true
+				g.setOccurs(in.Dst)
 			}
 			for _, a := range in.Args {
 				if mine(a) {
-					g.occurs[a] = true
+					g.setOccurs(a)
 				}
 			}
 		}
@@ -95,7 +133,7 @@ func Build(fn *ir.Func, live *liveness.Info, class ir.Class) *Graph {
 		if mine(p) {
 			params = append(params, p)
 			if live.In[0].Has(int(p)) {
-				g.occurs[p] = true
+				g.setOccurs(p)
 			}
 		}
 	}
@@ -109,18 +147,18 @@ func Build(fn *ir.Func, live *liveness.Info, class ir.Class) *Graph {
 	return g
 }
 
+// addEdge records the edge a–b (both must currently be representatives
+// or freshly built original registers). O(1): one matrix test, two
+// vector appends, two degree bumps.
 func (g *Graph) addEdge(a, b ir.Reg) {
-	if a == b {
+	if a == b || g.matrix.Has(int(a), int(b)) {
 		return
 	}
-	if g.adj[a] == nil {
-		g.adj[a] = make(map[ir.Reg]struct{})
-	}
-	if g.adj[b] == nil {
-		g.adj[b] = make(map[ir.Reg]struct{})
-	}
-	g.adj[a][b] = struct{}{}
-	g.adj[b][a] = struct{}{}
+	g.matrix.Set(int(a), int(b))
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.deg[a]++
+	g.deg[b]++
 }
 
 // Find returns the representative live range of r.
@@ -138,8 +176,15 @@ func (g *Graph) Interfere(a, b ir.Reg) bool {
 	if ra == rb {
 		return false
 	}
-	_, ok := g.adj[ra][rb]
-	return ok
+	return g.matrix.Has(int(ra), int(rb))
+}
+
+// alive reports whether an adjacency entry x of representative rep is
+// still current: x must itself be a representative and the edge bit
+// must still be set (removeNode clears bits; merged-away nodes stop
+// being representatives).
+func (g *Graph) alive(rep, x ir.Reg) bool {
+	return g.parent[x] == x && g.matrix.Has(int(rep), int(x))
 }
 
 // Union merges the live range of b into that of a (both are resolved to
@@ -152,71 +197,99 @@ func (g *Graph) Union(a, b ir.Reg) ir.Reg {
 		return ra
 	}
 	// Merge the smaller adjacency set into the larger.
-	if len(g.adj[rb]) > len(g.adj[ra]) {
+	if g.deg[rb] > g.deg[ra] {
 		ra, rb = rb, ra
 	}
 	g.parent[rb] = ra
+	g.next[ra], g.next[rb] = g.next[rb], g.next[ra] // splice member cycles
 	if g.occurs[rb] {
-		g.occurs[ra] = true
+		g.setOccurs(ra)
 	}
-	for n := range g.adj[rb] {
-		delete(g.adj[n], rb)
-		if n != ra {
-			g.addEdge(ra, n)
+	for _, n := range g.adj[rb] {
+		if g.parent[n] != n || !g.matrix.Has(int(rb), int(n)) {
+			continue // stale entry
+		}
+		if n == ra {
+			// The (buggy-caller) case of uniting interfering ranges:
+			// the ra–rb edge disappears into the merged node.
+			g.matrix.Unset(int(ra), int(rb))
+			g.deg[ra]--
+			continue
+		}
+		if g.matrix.Has(int(ra), int(n)) {
+			// n was adjacent to both; it loses one distinct neighbor.
+			g.deg[n]--
+		} else {
+			g.matrix.Set(int(ra), int(n))
+			g.adj[ra] = append(g.adj[ra], n)
+			g.adj[n] = append(g.adj[n], ra)
+			g.deg[ra]++
+			// deg[n] is unchanged: neighbor rb was replaced by ra.
 		}
 	}
 	g.adj[rb] = nil
+	g.deg[rb] = 0
 	return ra
 }
 
 // Degree returns the number of distinct neighboring live ranges of the
-// representative r.
-func (g *Graph) Degree(r ir.Reg) int { return len(g.adj[g.Find(r)]) }
+// representative r. O(1).
+func (g *Graph) Degree(r ir.Reg) int { return int(g.deg[g.Find(r)]) }
 
-// Neighbors calls f for each neighbor of the representative r.
+// Neighbors calls f for each neighbor of the representative r. Stale
+// adjacency entries are compacted away in place as a side effect, so
+// repeated iteration after heavy coalescing stays linear in the live
+// degree. f must not mutate the graph.
 func (g *Graph) Neighbors(r ir.Reg, f func(n ir.Reg)) {
-	for n := range g.adj[g.Find(r)] {
+	rep := g.Find(r)
+	list := g.adj[rep]
+	w := 0
+	for _, n := range list {
+		if !g.alive(rep, n) {
+			continue
+		}
+		list[w] = n
+		w++
 		f(n)
+	}
+	if w != len(list) {
+		g.adj[rep] = list[:w]
 	}
 }
 
 // NeighborsSorted returns the neighbors in increasing register order,
 // for deterministic iteration.
 func (g *Graph) NeighborsSorted(r ir.Reg) []ir.Reg {
-	ns := make([]ir.Reg, 0, len(g.adj[g.Find(r)]))
-	for n := range g.adj[g.Find(r)] {
-		ns = append(ns, n)
-	}
+	ns := make([]ir.Reg, 0, g.Degree(r))
+	g.Neighbors(r, func(n ir.Reg) { ns = append(ns, n) })
 	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 	return ns
 }
 
 // Nodes returns the representatives of this bank that occur in the code,
-// in increasing register order (deterministic).
+// in increasing register order (deterministic). Only registers that
+// ever occurred are scanned, not the whole register space.
 func (g *Graph) Nodes() []ir.Reg {
-	var out []ir.Reg
-	for r := 0; r < len(g.parent); r++ {
-		reg := ir.Reg(r)
-		if g.Fn.RegClass(reg) != g.Class {
-			continue
+	out := make([]ir.Reg, 0, len(g.nodes))
+	for _, r := range g.nodes {
+		if g.parent[r] == r && g.occurs[r] {
+			out = append(out, r)
 		}
-		if g.Find(reg) != reg || !g.occurs[g.Find(reg)] {
-			continue
-		}
-		out = append(out, reg)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Members returns all virtual registers whose live range is represented
-// by rep, including rep itself.
+// by rep, including rep itself, in increasing register order. The walk
+// follows the class's member cycle, so the cost is O(|members|), not a
+// scan over every register.
 func (g *Graph) Members(rep ir.Reg) []ir.Reg {
-	var out []ir.Reg
-	for r := range g.parent {
-		if g.Find(ir.Reg(r)) == rep {
-			out = append(out, ir.Reg(r))
-		}
+	out := []ir.Reg{rep}
+	for r := g.next[rep]; r != rep; r = g.next[r] {
+		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -227,62 +300,86 @@ func (g *Graph) Members(rep ir.Reg) []ir.Reg {
 // has fewer than k neighbors of significant degree), which never
 // increases spilling.
 func (g *Graph) Coalesce(conservative bool, k int) int {
+	// One pass over the body collects this bank's moves in program
+	// order; the fixpoint rounds then rescan only those.
+	type move struct{ dst, src ir.Reg }
+	var moves []move
+	for _, b := range g.Fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpMove && g.Fn.RegClass(in.Dst) == g.Class {
+				moves = append(moves, move{in.Dst, in.Args[0]})
+			}
+		}
+	}
 	merged := 0
 	for changed := true; changed; {
 		changed = false
-		for _, b := range g.Fn.Blocks {
-			for i := range b.Instrs {
-				in := &b.Instrs[i]
-				if in.Op != ir.OpMove || g.Fn.RegClass(in.Dst) != g.Class {
-					continue
-				}
-				d, s := g.Find(in.Dst), g.Find(in.Args[0])
-				if d == s || g.Interfere(d, s) {
-					continue
-				}
-				if conservative && !g.briggsOK(d, s, k) {
-					continue
-				}
-				kept := g.Union(d, s)
-				if g.TraceMerge != nil {
-					gone := d
-					if kept == d {
-						gone = s
-					}
-					g.TraceMerge(kept, gone)
-				}
-				merged++
-				changed = true
+		for _, mv := range moves {
+			d, s := g.Find(mv.dst), g.Find(mv.src)
+			if d == s || g.matrix.Has(int(d), int(s)) {
+				continue
 			}
+			if conservative && !g.briggsOK(d, s, k) {
+				continue
+			}
+			kept := g.Union(d, s)
+			if g.TraceMerge != nil {
+				gone := d
+				if kept == d {
+					gone = s
+				}
+				g.TraceMerge(kept, gone)
+			}
+			merged++
+			changed = true
 		}
 	}
 	return merged
 }
 
-// briggsOK implements the Briggs conservative-coalescing test.
+// briggsOK implements the Briggs conservative-coalescing test. The
+// visited set is an epoch-stamped scratch array on the graph, so the
+// test allocates nothing after the first call.
 func (g *Graph) briggsOK(a, b ir.Reg, k int) bool {
-	seen := make(map[ir.Reg]struct{})
+	if g.mark == nil {
+		g.mark = make([]uint32, len(g.parent))
+	}
+	g.epoch++
 	high := 0
 	count := func(r ir.Reg) {
-		for n := range g.adj[r] {
-			if _, dup := seen[n]; dup {
-				continue
+		g.Neighbors(r, func(n ir.Reg) {
+			if g.mark[n] == g.epoch {
+				return
 			}
-			seen[n] = struct{}{}
-			deg := len(g.adj[n])
+			g.mark[n] = g.epoch
+			deg := int(g.deg[n])
 			// If n neighbors both a and b, its degree in the merged
 			// graph drops by one.
-			_, na := g.adj[a][n]
-			_, nb := g.adj[b][n]
-			if na && nb {
+			if g.matrix.Has(int(a), int(n)) && g.matrix.Has(int(b), int(n)) {
 				deg--
 			}
 			if deg >= k {
 				high++
 			}
-		}
+		})
 	}
 	count(a)
 	count(b)
 	return high < k
+}
+
+// forEachEdge calls f(a, b) once per live edge, with a < b.
+func (g *Graph) forEachEdge(f func(a, b ir.Reg)) {
+	for r := range g.adj {
+		rep := ir.Reg(r)
+		if g.parent[rep] != rep {
+			continue
+		}
+		for _, n := range g.adj[rep] {
+			if rep < n && g.alive(rep, n) {
+				f(rep, n)
+			}
+		}
+	}
 }

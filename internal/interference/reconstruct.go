@@ -13,18 +13,18 @@ func (g *Graph) Clone() *Graph {
 		Fn:     g.Fn,
 		Class:  g.Class,
 		parent: append([]ir.Reg(nil), g.parent...),
-		adj:    make([]map[ir.Reg]struct{}, len(g.adj)),
+		next:   append([]ir.Reg(nil), g.next...),
+		adj:    make([][]ir.Reg, len(g.adj)),
+		deg:    append([]int32(nil), g.deg...),
+		matrix: g.matrix.Clone(),
 		occurs: append([]bool(nil), g.occurs...),
+		nodes:  append([]ir.Reg(nil), g.nodes...),
+		listed: append([]bool(nil), g.listed...),
 	}
-	for i, m := range g.adj {
-		if m == nil {
-			continue
+	for i, l := range g.adj {
+		if len(l) > 0 {
+			c.adj[i] = append([]ir.Reg(nil), l...)
 		}
-		nm := make(map[ir.Reg]struct{}, len(m))
-		for k := range m {
-			nm[k] = struct{}{}
-		}
-		c.adj[i] = nm
 	}
 	return c
 }
@@ -32,19 +32,34 @@ func (g *Graph) Clone() *Graph {
 // grow extends the graph's tables to cover registers created after it
 // was built.
 func (g *Graph) grow(n int) {
+	g.matrix.Grow(n)
+	if g.mark != nil {
+		for len(g.mark) < n {
+			g.mark = append(g.mark, 0)
+		}
+	}
 	for len(g.parent) < n {
 		g.parent = append(g.parent, ir.Reg(len(g.parent)))
+		g.next = append(g.next, ir.Reg(len(g.next)))
 		g.adj = append(g.adj, nil)
+		g.deg = append(g.deg, 0)
 		g.occurs = append(g.occurs, false)
+		g.listed = append(g.listed, false)
 	}
 }
 
 // removeNode deletes a register's edges and marks it non-occurring.
+// Edge bits are cleared so the adjacency entries pointing back at r go
+// stale; the vectors themselves compact lazily on iteration.
 func (g *Graph) removeNode(r ir.Reg) {
-	for n := range g.adj[r] {
-		delete(g.adj[n], r)
+	for _, n := range g.adj[r] {
+		if g.alive(r, n) {
+			g.matrix.Unset(int(r), int(n))
+			g.deg[n]--
+		}
 	}
 	g.adj[r] = nil
+	g.deg[r] = 0
 	g.occurs[r] = false
 }
 
@@ -82,11 +97,11 @@ func Reconstruct(prev *Graph, fn *ir.Func, live *liveness.Info, spilled map[ir.R
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if in.HasDst() && mine(in.Dst) && isNew(in.Dst) {
-				g.occurs[in.Dst] = true
+				g.setOccurs(in.Dst)
 			}
 			for _, a := range in.Args {
 				if mine(a) && isNew(a) {
-					g.occurs[a] = true
+					g.setOccurs(a)
 				}
 			}
 		}
@@ -124,7 +139,7 @@ func Reconstruct(prev *Graph, fn *ir.Func, live *liveness.Info, spilled map[ir.R
 		if mine(p) {
 			params = append(params, p)
 			if isNew(p) && live.In[0].Has(int(p)) {
-				g.occurs[p] = true
+				g.setOccurs(p)
 			}
 		}
 	}

@@ -1,0 +1,253 @@
+package interference
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// RefGraph is the retained reference implementation of the interference
+// graph: per-node Go map adjacency, exactly the pre-bit-matrix design.
+// It exists only as the executable specification for the differential
+// tests — the production Graph must agree with it on edges, degrees,
+// and coalescing decisions — and is not used by the allocator.
+type RefGraph struct {
+	Fn    *ir.Func
+	Class ir.Class
+
+	parent []ir.Reg
+	adj    []map[ir.Reg]struct{}
+	occurs []bool
+
+	// TraceMerge observes each coalescing merge, like Graph.TraceMerge.
+	TraceMerge func(kept, gone ir.Reg)
+}
+
+// BuildRef constructs the reference graph for the given bank.
+func BuildRef(fn *ir.Func, live *liveness.Info, class ir.Class) *RefGraph {
+	n := fn.NumRegs()
+	g := &RefGraph{
+		Fn:     fn,
+		Class:  class,
+		parent: make([]ir.Reg, n),
+		adj:    make([]map[ir.Reg]struct{}, n),
+		occurs: make([]bool, n),
+	}
+	for i := range g.parent {
+		g.parent[i] = ir.Reg(i)
+	}
+
+	mine := func(r ir.Reg) bool { return fn.RegClass(r) == class }
+
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.HasDst() && mine(in.Dst) {
+				g.occurs[in.Dst] = true
+			}
+			for _, a := range in.Args {
+				if mine(a) {
+					g.occurs[a] = true
+				}
+			}
+		}
+	}
+
+	for _, b := range fn.Blocks {
+		live.WalkBlock(b, func(in *ir.Instr, after *bitset.Set) {
+			if !in.HasDst() || !mine(in.Dst) {
+				return
+			}
+			d := in.Dst
+			var moveSrc ir.Reg = ir.NoReg
+			if in.Op == ir.OpMove {
+				moveSrc = in.Args[0]
+			}
+			after.ForEach(func(i int) {
+				r := ir.Reg(i)
+				if r == d || r == moveSrc || !mine(r) {
+					return
+				}
+				g.addEdge(d, r)
+			})
+		})
+	}
+
+	params := make([]ir.Reg, 0, len(fn.Params))
+	for _, p := range fn.Params {
+		if mine(p) {
+			params = append(params, p)
+			if live.In[0].Has(int(p)) {
+				g.occurs[p] = true
+			}
+		}
+	}
+	for i, p := range params {
+		for _, q := range params[i+1:] {
+			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
+				g.addEdge(p, q)
+			}
+		}
+	}
+	return g
+}
+
+func (g *RefGraph) addEdge(a, b ir.Reg) {
+	if a == b {
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[ir.Reg]struct{})
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[ir.Reg]struct{})
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// Find returns the representative live range of r.
+func (g *RefGraph) Find(r ir.Reg) ir.Reg {
+	for g.parent[r] != r {
+		g.parent[r] = g.parent[g.parent[r]]
+		r = g.parent[r]
+	}
+	return r
+}
+
+// Interfere reports whether the live ranges of a and b conflict.
+func (g *RefGraph) Interfere(a, b ir.Reg) bool {
+	ra, rb := g.Find(a), g.Find(b)
+	if ra == rb {
+		return false
+	}
+	_, ok := g.adj[ra][rb]
+	return ok
+}
+
+// Union merges the live range of b into that of a.
+func (g *RefGraph) Union(a, b ir.Reg) ir.Reg {
+	ra, rb := g.Find(a), g.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if len(g.adj[rb]) > len(g.adj[ra]) {
+		ra, rb = rb, ra
+	}
+	g.parent[rb] = ra
+	if g.occurs[rb] {
+		g.occurs[ra] = true
+	}
+	for n := range g.adj[rb] {
+		delete(g.adj[n], rb)
+		if n != ra {
+			g.addEdge(ra, n)
+		}
+	}
+	g.adj[rb] = nil
+	return ra
+}
+
+// Degree returns the number of distinct neighboring live ranges.
+func (g *RefGraph) Degree(r ir.Reg) int { return len(g.adj[g.Find(r)]) }
+
+// Nodes returns the occurring representatives in increasing order.
+func (g *RefGraph) Nodes() []ir.Reg {
+	var out []ir.Reg
+	for r := 0; r < len(g.parent); r++ {
+		reg := ir.Reg(r)
+		if g.Fn.RegClass(reg) != g.Class {
+			continue
+		}
+		if g.Find(reg) != reg || !g.occurs[g.Find(reg)] {
+			continue
+		}
+		out = append(out, reg)
+	}
+	return out
+}
+
+// Members returns the virtual registers represented by rep.
+func (g *RefGraph) Members(rep ir.Reg) []ir.Reg {
+	var out []ir.Reg
+	for r := range g.parent {
+		if g.Find(ir.Reg(r)) == rep {
+			out = append(out, ir.Reg(r))
+		}
+	}
+	return out
+}
+
+// Coalesce performs the same aggressive or Briggs-conservative
+// coalescing as Graph.Coalesce, with the reference data structures.
+func (g *RefGraph) Coalesce(conservative bool, k int) int {
+	merged := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpMove || g.Fn.RegClass(in.Dst) != g.Class {
+					continue
+				}
+				d, s := g.Find(in.Dst), g.Find(in.Args[0])
+				if d == s || g.Interfere(d, s) {
+					continue
+				}
+				if conservative && !g.briggsOK(d, s, k) {
+					continue
+				}
+				kept := g.Union(d, s)
+				if g.TraceMerge != nil {
+					gone := d
+					if kept == d {
+						gone = s
+					}
+					g.TraceMerge(kept, gone)
+				}
+				merged++
+				changed = true
+			}
+		}
+	}
+	return merged
+}
+
+func (g *RefGraph) briggsOK(a, b ir.Reg, k int) bool {
+	seen := make(map[ir.Reg]struct{})
+	high := 0
+	count := func(r ir.Reg) {
+		for n := range g.adj[r] {
+			if _, dup := seen[n]; dup {
+				continue
+			}
+			seen[n] = struct{}{}
+			deg := len(g.adj[n])
+			_, na := g.adj[a][n]
+			_, nb := g.adj[b][n]
+			if na && nb {
+				deg--
+			}
+			if deg >= k {
+				high++
+			}
+		}
+	}
+	count(a)
+	count(b)
+	return high < k
+}
+
+// SortedNeighbors returns the neighbors of the representative of r in
+// increasing order.
+func (g *RefGraph) SortedNeighbors(r ir.Reg) []ir.Reg {
+	rep := g.Find(r)
+	ns := make([]ir.Reg, 0, len(g.adj[rep]))
+	for n := range g.adj[rep] {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}

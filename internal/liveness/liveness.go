@@ -19,6 +19,17 @@ type Info struct {
 	Fn  *ir.Func
 	In  []*bitset.Set
 	Out []*bitset.Set
+
+	// Scratch reused across WalkBlock and LiveAcrossCalls calls, so the
+	// per-block walks allocate nothing after warm-up. Each walker owns
+	// its own sets (WalkBlock inside a LiveAcrossCalls visit is fine),
+	// but neither walker may be re-entered from its own visit callback,
+	// and an Info must not be walked from two goroutines at once.
+	walk     *bitset.Set
+	callWalk *bitset.Set
+	cross    *bitset.Set
+	callIdx  []int
+	callLive []*bitset.Set
 }
 
 // Compute runs the dataflow to fixpoint.
@@ -85,7 +96,11 @@ func Compute(fn *ir.Func, g *cfg.Graph) *Info {
 // it. The set passed to visit is reused between calls; clone it to keep
 // it. The walk mutates its own working set only.
 func (info *Info) WalkBlock(b *ir.Block, visit func(in *ir.Instr, liveAfter *bitset.Set)) {
-	live := info.Out[b.ID].Clone()
+	if info.walk == nil {
+		info.walk = bitset.New(info.Fn.NumRegs())
+	}
+	live := info.walk
+	live.Copy(info.Out[b.ID])
 	for i := len(b.Instrs) - 1; i >= 0; i-- {
 		in := &b.Instrs[i]
 		visit(in, live)
@@ -105,20 +120,27 @@ func (info *Info) WalkBlock(b *ir.Block, visit func(in *ir.Instr, liveAfter *bit
 // the block, the instruction index, the call instruction, and the
 // crossing set (reused; clone to keep).
 func (info *Info) LiveAcrossCalls(visit func(b *ir.Block, idx int, call *ir.Instr, crossing *bitset.Set)) {
-	cross := bitset.New(info.Fn.NumRegs())
+	nr := info.Fn.NumRegs()
+	if info.cross == nil {
+		info.cross = bitset.New(nr)
+		info.callWalk = bitset.New(nr)
+	}
+	cross := info.cross
 	for _, b := range info.Fn.Blocks {
 		// Gather instruction indices of calls, then a single backward
-		// walk computing live-after at each call.
-		type callPoint struct {
-			idx  int
-			live *bitset.Set
-		}
-		var calls []callPoint
-		live := info.Out[b.ID].Clone()
+		// walk computing live-after at each call. The index slice and
+		// the per-call live sets are pooled on info.
+		calls := info.callIdx[:0]
+		live := info.callWalk
+		live.Copy(info.Out[b.ID])
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := &b.Instrs[i]
 			if in.Op == ir.OpCall {
-				calls = append(calls, callPoint{idx: i, live: live.Clone()})
+				if len(calls) == len(info.callLive) {
+					info.callLive = append(info.callLive, bitset.New(nr))
+				}
+				info.callLive[len(calls)].Copy(live)
+				calls = append(calls, i)
 			}
 			if in.HasDst() {
 				live.Remove(int(in.Dst))
@@ -127,15 +149,16 @@ func (info *Info) LiveAcrossCalls(visit func(b *ir.Block, idx int, call *ir.Inst
 				live.Add(int(a))
 			}
 		}
+		info.callIdx = calls
 		// Visit in forward order for deterministic iteration.
 		for i := len(calls) - 1; i >= 0; i-- {
-			cp := calls[i]
-			call := &b.Instrs[cp.idx]
-			cross.Copy(cp.live)
+			idx := calls[i]
+			call := &b.Instrs[idx]
+			cross.Copy(info.callLive[i])
 			if call.HasDst() {
 				cross.Remove(int(call.Dst))
 			}
-			visit(b, cp.idx, call, cross)
+			visit(b, idx, call, cross)
 		}
 	}
 }

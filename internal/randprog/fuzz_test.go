@@ -16,7 +16,7 @@ import (
 // explores seeds indefinitely; the corpus seeds below run in normal
 // test mode.
 func FuzzDifferential(f *testing.F) {
-	for seed := int64(0); seed < 6; seed++ {
+	for seed := int64(0); seed < 10; seed++ {
 		f.Add(seed)
 	}
 	strategies := []callcost.Strategy{

@@ -60,6 +60,14 @@ type ClassContext struct {
 	// tracing. Strategies emit through Traced/Emit so the disabled
 	// path constructs nothing.
 	Tracer obs.Tracer
+
+	// Scratch buffers backing FreeColors and SplitFree. The assignment
+	// loop calls both once per popped node, so the buffers turn the two
+	// hottest per-node queries into zero-allocation operations.
+	freeTaken     []bool
+	freeScratch   []machine.PhysReg
+	callerScratch []machine.PhysReg
+	calleeScratch []machine.PhysReg
 }
 
 // Traced reports whether decision events should be emitted. Strategies
@@ -173,25 +181,39 @@ func (s *ColorStack) Len() int { return len(s.items) }
 // FreeColors returns the physical registers of the bank not taken by
 // any already-colored neighbor of rep, in increasing order (caller-save
 // first, then callee-save, matching the bank layout).
+//
+// The returned slice is scratch owned by ctx: it is overwritten by the
+// next FreeColors call, so callers must not retain it across calls.
 func (ctx *ClassContext) FreeColors(colors map[ir.Reg]machine.PhysReg, rep ir.Reg) []machine.PhysReg {
 	n := ctx.N()
-	taken := make([]bool, n)
+	if cap(ctx.freeTaken) < n {
+		ctx.freeTaken = make([]bool, n)
+	}
+	taken := ctx.freeTaken[:n]
+	for i := range taken {
+		taken[i] = false
+	}
 	ctx.Graph.Neighbors(rep, func(nb ir.Reg) {
 		if c, ok := colors[nb]; ok && c != machine.NoPhysReg {
 			taken[c] = true
 		}
 	})
-	free := make([]machine.PhysReg, 0, n)
+	free := ctx.freeScratch[:0]
 	for i := 0; i < n; i++ {
 		if !taken[i] {
 			free = append(free, machine.PhysReg(i))
 		}
 	}
+	ctx.freeScratch = free
 	return free
 }
 
 // SplitFree partitions free colors into caller-save and callee-save.
+//
+// Like FreeColors, the returned slices are ctx-owned scratch and are
+// overwritten by the next SplitFree call.
 func (ctx *ClassContext) SplitFree(free []machine.PhysReg) (caller, callee []machine.PhysReg) {
+	caller, callee = ctx.callerScratch[:0], ctx.calleeScratch[:0]
 	for _, r := range free {
 		if ctx.Config.IsCallerSave(ctx.Class, r) {
 			caller = append(caller, r)
@@ -199,6 +221,7 @@ func (ctx *ClassContext) SplitFree(free []machine.PhysReg) (caller, callee []mac
 			callee = append(callee, r)
 		}
 	}
+	ctx.callerScratch, ctx.calleeScratch = caller, callee
 	return caller, callee
 }
 
@@ -207,35 +230,97 @@ func (ctx *ClassContext) SplitFree(free []machine.PhysReg) (caller, callee []mac
 
 // Simplifier runs Chaitin simplification over the bank's graph with a
 // pluggable ordering key and spill heuristic.
+//
+// Selection is worklist-driven: two binary heaps replace the original
+// whole-slice rescans, making Run near-linear (O(E + V log V)) instead
+// of quadratic, while popping nodes in exactly the same order.
 type Simplifier struct {
 	ctx     *ClassContext
-	deg     map[ir.Reg]int
-	removed map[ir.Reg]bool
 	nodes   []ir.Reg
+	deg     []int32 // indexed by register, valid for members
+	removed []bool  // indexed by register
+	member  []bool  // indexed by register: node of this run
 }
 
 // NewSimplifier prepares simplification state for ctx.
 func NewSimplifier(ctx *ClassContext) *Simplifier {
+	n := ctx.Fn.NumRegs()
 	s := &Simplifier{
 		ctx:     ctx,
-		deg:     make(map[ir.Reg]int),
-		removed: make(map[ir.Reg]bool),
 		nodes:   ctx.Nodes(),
+		deg:     make([]int32, n),
+		removed: make([]bool, n),
+		member:  make([]bool, n),
 	}
-	nodeSet := make(map[ir.Reg]bool, len(s.nodes))
 	for _, r := range s.nodes {
-		nodeSet[r] = true
+		s.member[r] = true
 	}
 	for _, r := range s.nodes {
-		d := 0
-		ctx.Graph.Neighbors(r, func(n ir.Reg) {
-			if nodeSet[n] {
+		d := int32(0)
+		ctx.Graph.Neighbors(r, func(nb ir.Reg) {
+			if s.member[nb] {
 				d++
 			}
 		})
 		s.deg[r] = d
 	}
 	return s
+}
+
+// regHeap is a binary min-heap of (key, reg) pairs ordered
+// lexicographically — smallest key first, ties to the smaller register.
+// That ordering is exactly the tie-break rule of the original
+// linear-scan selection, so heap pops reproduce its choices.
+type regHeap []regHeapItem
+
+type regHeapItem struct {
+	key float64
+	reg ir.Reg
+}
+
+func (h regHeap) less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].reg < h[j].reg
+}
+
+func (h *regHeap) push(it regHeapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *regHeap) pop() regHeapItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.less(l, m) {
+			m = l
+		}
+		if r < last && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
 }
 
 // SpillHeuristic selects how the blocked-simplification spill candidate
@@ -270,7 +355,9 @@ func (h SpillHeuristic) String() string {
 type SimplifyOptions struct {
 	// Key orders unconstrained nodes: the node with the smallest key is
 	// removed first (ends up deepest in the stack). Nil means removal
-	// in register order (plain Chaitin).
+	// in register order (plain Chaitin). Key must be a pure function of
+	// rep for the duration of the run — the worklist caches its value
+	// when a node becomes unconstrained.
 	Key func(rep ir.Reg) float64
 	// Optimistic pushes would-be spills onto the stack ("optimistic
 	// coloring", Briggs) instead of spilling immediately.
@@ -285,6 +372,13 @@ type SimplifyOptions struct {
 // Run simplifies the graph to an ordering. It returns the color stack
 // and the representatives spilled when simplification blocked (empty
 // when Optimistic).
+//
+// The unconstrained worklist is exact because degrees only fall: a node
+// crosses the degree-<N threshold at most once, and its ordering key is
+// static (SimplifyOptions.Key), so heap order equals rescan order. The
+// spill heap is lazily rekeyed: cost/degree keys only grow as neighbor
+// removal shrinks degrees, so a stored key is a lower bound and
+// pop-recompute-reinsert terminates with the exact minimum.
 func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 	n := s.ctx.N()
 	stack := &ColorStack{}
@@ -300,14 +394,49 @@ func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 			return 0
 		}
 	}
+	keyOf := func(r ir.Reg) float64 {
+		if opts.Key != nil {
+			return opts.Key(r)
+		}
+		return 0
+	}
+	heurKey := func(r ir.Reg) float64 {
+		d := int(s.deg[r])
+		if d <= 0 {
+			d = 1
+		}
+		switch opts.Heuristic {
+		case PlainCost:
+			return spillCostOf(r)
+		case CostOverDegreeSq:
+			return spillCostOf(r) / float64(d*d)
+		default:
+			return spillCostOf(r) / float64(d)
+		}
+	}
+
+	// simplify holds every currently unconstrained node; spillable
+	// holds every spillable node still in the graph (keys possibly
+	// stale, never overestimates).
+	simplify := make(regHeap, 0, len(s.nodes))
+	var spillable regHeap
+	for _, r := range s.nodes {
+		if int(s.deg[r]) < n {
+			simplify.push(regHeapItem{keyOf(r), r})
+		}
+		if rg := s.ctx.RangeOf(r); rg == nil || !rg.NoSpill {
+			spillable.push(regHeapItem{heurKey(r), r})
+		}
+	}
 
 	remove := func(r ir.Reg) {
 		s.removed[r] = true
 		remaining--
 		s.ctx.Graph.Neighbors(r, func(nb ir.Reg) {
-			if !s.removed[nb] {
-				if _, ok := s.deg[nb]; ok {
-					s.deg[nb]--
+			if s.member[nb] && !s.removed[nb] {
+				s.deg[nb]--
+				if int(s.deg[nb]) == n-1 {
+					simplify.push(regHeapItem{keyOf(nb), nb})
 				}
 			}
 		})
@@ -315,59 +444,36 @@ func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 
 	for remaining > 0 {
 		// Unconstrained node with the smallest key.
-		best := ir.NoReg
-		bestKey := 0.0
-		for _, r := range s.nodes {
-			if s.removed[r] || s.deg[r] >= n {
-				continue
-			}
-			k := 0.0
-			if opts.Key != nil {
-				k = opts.Key(r)
-			}
-			if best == ir.NoReg || k < bestKey || (k == bestKey && r < best) {
-				best, bestKey = r, k
-			}
-		}
-		if best != ir.NoReg {
-			remove(best)
-			stack.Push(best)
+		if len(simplify) > 0 {
+			it := simplify.pop()
+			remove(it.reg)
+			stack.Push(it.reg)
 			if s.ctx.Traced() {
-				s.ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: best,
-					Key: bestKey, Reason: obs.ReasonUnconstrained, N: stack.Len()})
+				s.ctx.Emit(obs.Event{Kind: obs.KindSimplifyPop, Reg: it.reg,
+					Key: it.key, Reason: obs.ReasonUnconstrained, N: stack.Len()})
 			}
 			continue
 		}
 
 		// Simplification blocked: every remaining node has degree >= n.
 		// Choose a spill candidate by min cost/degree among spillable
-		// nodes.
+		// nodes, fixing stale keys as they surface.
 		cand := ir.NoReg
 		candKey := 0.0
-		for _, r := range s.nodes {
-			if s.removed[r] {
+		for len(spillable) > 0 {
+			top := spillable[0]
+			if s.removed[top.reg] {
+				spillable.pop()
 				continue
 			}
-			rg := s.ctx.RangeOf(r)
-			if rg != nil && rg.NoSpill {
+			if k := heurKey(top.reg); k != top.key {
+				spillable.pop()
+				spillable.push(regHeapItem{k, top.reg})
 				continue
 			}
-			d := s.deg[r]
-			if d <= 0 {
-				d = 1
-			}
-			var k float64
-			switch opts.Heuristic {
-			case PlainCost:
-				k = spillCostOf(r)
-			case CostOverDegreeSq:
-				k = spillCostOf(r) / float64(d*d)
-			default:
-				k = spillCostOf(r) / float64(d)
-			}
-			if cand == ir.NoReg || k < candKey || (k == candKey && r < cand) {
-				cand, candKey = r, k
-			}
+			cand, candKey = top.reg, top.key
+			spillable.pop()
+			break
 		}
 		if cand == ir.NoReg {
 			// Only unspillable nodes remain; push the lowest-degree one
@@ -375,9 +481,6 @@ func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 			// configurations, since spill temporaries have tiny
 			// degree).
 			for _, r := range s.nodes {
-				if s.removed[r] && cand != ir.NoReg {
-					continue
-				}
 				if !s.removed[r] && (cand == ir.NoReg || s.deg[r] < s.deg[cand]) {
 					cand = r
 				}

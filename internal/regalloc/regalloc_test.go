@@ -150,7 +150,8 @@ func TestFreeColorsRespectsNeighbors(t *testing.T) {
 		t.Fatal("expected at least two nodes")
 	}
 	colors := map[ir.Reg]machine.PhysReg{}
-	free0 := ctx.FreeColors(colors, nodes[0])
+	// FreeColors returns ctx-owned scratch; copy before the next call.
+	free0 := append([]machine.PhysReg(nil), ctx.FreeColors(colors, nodes[0])...)
 	if len(free0) != ctx.N() {
 		t.Fatalf("initial free colors %d != N %d", len(free0), ctx.N())
 	}
