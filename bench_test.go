@@ -215,6 +215,29 @@ func BenchmarkSimplify(b *testing.B) {
 	}
 }
 
+// BenchmarkRanges measures live-range analysis (costs, degrees, areas)
+// over the coalesced graphs of the largest benchprog function — the
+// phase the prepared-function cache shares across strategy cells.
+func BenchmarkRanges(b *testing.B) {
+	p, err := benchEnv.Get("fpppp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn := p.Program.IR.FuncByName["twoel"]
+	live := liveness.Compute(fn, cfg.New(fn))
+	var graphs [ir.NumClasses]*interference.Graph
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		graphs[c] = interference.Build(fn, live, c)
+		graphs[c].Coalesce(false, 0)
+	}
+	ff := p.Dynamic.ByFunc["twoel"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		liverange.Analyze(fn, live, &graphs, ff, nil)
+	}
+}
+
 // BenchmarkAllocateBase measures a whole-program base allocation.
 func BenchmarkAllocateBase(b *testing.B) {
 	benchAllocate(b, callcost.Chaitin())
@@ -238,6 +261,36 @@ func benchAllocate(b *testing.B, strat callcost.Strategy) {
 		if _, err := p.Program.Allocate(strat, cfgRegs, p.Dynamic); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAllocateProgram measures repeated whole-program allocations
+// of the same compiled program — the shape of a figure sweep — with the
+// shared prepared-function cache on (the default) and off. The gap
+// between the two sub-benchmarks is what round-0 sharing buys.
+func BenchmarkAllocateProgram(b *testing.B) {
+	p, err := benchEnv.Get("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgRegs := callcost.NewConfig(8, 6, 4, 4)
+	for _, mode := range []struct {
+		name   string
+		noPrep bool
+	}{
+		{"prep-cache", false},
+		{"no-prep-cache", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := callcost.DefaultAllocOptions()
+			opts.NoPrepCache = mode.noPrep
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Program.AllocateWithOptions(callcost.ImprovedAll(), cfgRegs, p.Dynamic, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

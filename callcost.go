@@ -21,6 +21,7 @@ package callcost
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cbh"
 	"repro/internal/codegen"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/minterp"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/priority"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
@@ -126,11 +128,16 @@ func Strategies() map[string]Strategy {
 // ---------------------------------------------------------------------
 // Programs
 
-// Program is a compiled MC program plus cached frequency information.
+// Program is a compiled MC program plus cached frequency information
+// and cached per-function allocation prep (see Prepare).
 type Program struct {
 	IR *ir.Program
 
+	staticOnce sync.Once
 	staticFreq *freq.ProgramFreq
+
+	prepOnce sync.Once
+	prep     *PreparedProgram
 }
 
 // Compile compiles MC source text.
@@ -167,12 +174,39 @@ func (p *Program) Profile() (*freq.ProgramFreq, *interp.Result, error) {
 	return freq.FromProfile(p.IR, res.Profile), res, nil
 }
 
-// StaticFreq returns the estimated (compile-time) frequency table.
+// StaticFreq returns the estimated (compile-time) frequency table,
+// computed once. Safe for concurrent use.
 func (p *Program) StaticFreq() *freq.ProgramFreq {
-	if p.staticFreq == nil {
-		p.staticFreq = freq.Static(p.IR)
-	}
+	p.staticOnce.Do(func() { p.staticFreq = freq.Static(p.IR) })
 	return p.staticFreq
+}
+
+// PreparedProgram caches, per function, the allocation artifacts that
+// depend only on the IR: CFG, liveness, and base interference graphs
+// (plus the round-0 coalesce/range results the default configuration
+// also shares). One PreparedProgram serves every (strategy, config)
+// cell of a sweep; all methods are safe for concurrent use.
+type PreparedProgram struct {
+	funcs map[string]*regalloc.PreparedFunc
+}
+
+// Func returns the prepared state of the named function, or nil.
+func (pp *PreparedProgram) Func(name string) *regalloc.PreparedFunc { return pp.funcs[name] }
+
+// Prepare returns the program's prep cache, creating it on first call.
+// The artifacts themselves are built lazily, on each function's first
+// allocation. Allocate and AllocateWithOptions use the cache
+// automatically; Prepare exists for callers that want to share it
+// explicitly or warm it up.
+func (p *Program) Prepare() *PreparedProgram {
+	p.prepOnce.Do(func() {
+		pp := &PreparedProgram{funcs: make(map[string]*regalloc.PreparedFunc, len(p.IR.Funcs))}
+		for _, fn := range p.IR.Funcs {
+			pp.funcs[fn.Name] = regalloc.Prepare(fn)
+		}
+		p.prep = pp
+	})
+	return p.prep
 }
 
 // ---------------------------------------------------------------------
@@ -245,6 +279,14 @@ func (p *Program) Allocate(strat Strategy, config Config, pf *freq.ProgramFreq) 
 }
 
 // AllocateWithOptions is Allocate with explicit framework options.
+//
+// Functions are allocated on a bounded worker pool (opts.Parallel
+// workers; 0 selects GOMAXPROCS, 1 forces sequential). Functions are
+// independent and every result lands in an index-addressed slot, so
+// Colors, SlotOf, and the assembly output are byte-identical to the
+// sequential path. A non-nil enabled Tracer forces the sequential path
+// so the event stream stays in program order. Round-0 artifacts come
+// from the program's prep cache unless opts.NoPrepCache is set.
 func (p *Program) AllocateWithOptions(strat Strategy, config Config, pf *freq.ProgramFreq, opts AllocOptions) (*Allocation, error) {
 	if !config.Valid() {
 		return nil, fmt.Errorf("callcost: configuration %s below the calling-convention minimum (%d,%d,0,0)",
@@ -256,19 +298,44 @@ func (p *Program) AllocateWithOptions(strat Strategy, config Config, pf *freq.Pr
 		Strategy: strat.Name(),
 		Plans:    make(map[string]*rewrite.FuncPlan, len(p.IR.Funcs)),
 	}
-	for _, fn := range p.IR.Funcs {
+	var prep *PreparedProgram
+	if !opts.NoPrepCache {
+		prep = p.Prepare()
+	}
+	workers := opts.Parallel
+	if opts.Tracer != nil && opts.Tracer.Enabled() {
+		workers = 1
+	}
+	funcs := p.IR.Funcs
+	plans := make([]*rewrite.FuncPlan, len(funcs))
+	err := par.ForEachIndexed(len(funcs), workers, func(i int) error {
+		fn := funcs[i]
 		ff := pf.ByFunc[fn.Name]
 		if ff == nil {
-			return nil, fmt.Errorf("callcost: no frequency info for %s", fn.Name)
+			return fmt.Errorf("callcost: no frequency info for %s", fn.Name)
 		}
-		fa, err := regalloc.AllocateFunc(fn, ff, config, strat, rewrite.InsertSpills, opts)
+		pfn := (*regalloc.PreparedFunc)(nil)
+		if prep != nil {
+			pfn = prep.Func(fn.Name)
+		}
+		if pfn == nil {
+			pfn = regalloc.Prepare(fn)
+		}
+		fa, err := regalloc.AllocatePrepared(pfn, ff, config, strat, rewrite.InsertSpills, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := rewrite.Validate(fa); err != nil {
-			return nil, fmt.Errorf("callcost: %s produced an invalid allocation: %w", strat.Name(), err)
+			return fmt.Errorf("callcost: %s produced an invalid allocation: %w", strat.Name(), err)
 		}
-		a.Plans[fn.Name] = rewrite.BuildPlan(fa)
+		plans[i] = rewrite.BuildPlan(fa)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fn := range funcs {
+		a.Plans[fn.Name] = plans[i]
 	}
 	return a, nil
 }

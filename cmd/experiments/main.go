@@ -24,6 +24,8 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	exp := flag.String("exp", "", "experiment id to run (see -list)")
 	timing := flag.Bool("timing", false, "print a per-phase allocator timing table after each experiment")
+	parallel := flag.Int("parallel", 0, "per-function allocation workers (0 = all cores, 1 = sequential); output is identical either way")
+	noPrepCache := flag.Bool("noprepcache", false, "disable the shared round-0 prep cache (rebuild CFG/liveness/graphs per cell), for A/B timing")
 	flag.Parse()
 
 	env := experiments.NewEnv()
@@ -32,6 +34,8 @@ func main() {
 		stats = obs.NewStats()
 		env.SetTracer(stats)
 	}
+	env.SetParallel(*parallel)
+	env.SetPrepCache(!*noPrepCache)
 	// runOne executes e and, under -timing, appends the phase-timing
 	// table for the allocations the figure ran (the stats sink is reset
 	// between figures so each table is per-figure).

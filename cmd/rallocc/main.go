@@ -17,6 +17,8 @@
 //	-trace     write the allocator's JSONL event log to a file
 //	-stats     print phase timings, decision counters, and the overhead breakdown
 //	-sweep     report overhead across the paper's register sweep
+//	-parallel  per-function allocation workers (0 = all cores, 1 = sequential)
+//	-noprepcache  rebuild round-0 artifacts per allocation instead of sharing them
 //
 // -explain, -trace, and -stats are three views of the same event
 // stream (package obs): the narrative is the human rendering, the
@@ -50,6 +52,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write the JSONL allocator event log to `file`")
 	stats := flag.Bool("stats", false, "print phase timings and decision counters")
 	sweep := flag.Bool("sweep", false, "report overhead across the register sweep")
+	parallel := flag.Int("parallel", 0, "per-function allocation workers (0 = all cores, 1 = sequential); output is identical either way")
+	noPrepCache := flag.Bool("noprepcache", false, "disable the shared round-0 prep cache, for A/B timing")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -61,6 +65,7 @@ func main() {
 		strategy: *strategy, config: *config, static: *static, run: *run,
 		printIR: *printIR, printAsm: *printAsm, explain: *explain,
 		traceFile: *traceFile, stats: *stats, sweep: *sweep,
+		parallel: *parallel, noPrepCache: *noPrepCache,
 	}
 	if err := mainErr(flag.Arg(0), opts); err != nil {
 		fmt.Fprintf(os.Stderr, "rallocc: %v\n", err)
@@ -72,6 +77,8 @@ type options struct {
 	strategy, config, traceFile    string
 	static, run, printIR, printAsm bool
 	explain, stats, sweep          bool
+	parallel                       int
+	noPrepCache                    bool
 }
 
 func parseStrategy(name string) (callcost.Strategy, error) {
@@ -179,6 +186,8 @@ func mainErr(path string, o options) error {
 	}
 	defer sk.close()
 	allocOpts := callcost.WithTracer(callcost.DefaultAllocOptions(), sk.tracer)
+	allocOpts.Parallel = o.parallel
+	allocOpts.NoPrepCache = o.noPrepCache
 
 	if o.sweep {
 		fmt.Printf("%-14s %12s %12s %12s %12s %12s\n",

@@ -24,9 +24,11 @@ import (
 // parallel experiments compiling distinct benchmarks proceed
 // concurrently while duplicate requests share one compilation.
 type Env struct {
-	mu     sync.Mutex
-	cache  map[string]*envEntry
-	tracer callcost.Tracer
+	mu       sync.Mutex
+	cache    map[string]*envEntry
+	tracer   callcost.Tracer
+	parallel int  // per-function allocation workers (AllocOptions.Parallel)
+	noPrep   bool // disable the per-program round-0 prep cache
 }
 
 // envEntry single-flights the compile+profile of one benchmark.
@@ -71,13 +73,43 @@ func (e *Env) SetTracer(tr callcost.Tracer) {
 	}
 }
 
+// SetParallel bounds the per-function allocation worker pool of every
+// allocation the environment's benchmarks run (0 = GOMAXPROCS, 1 =
+// sequential). Output is byte-identical either way.
+func (e *Env) SetParallel(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.parallel = n
+	for _, ent := range e.cache {
+		if ent.p != nil {
+			ent.p.Opts.Parallel = n
+		}
+	}
+}
+
+// SetPrepCache toggles the per-program sharing of round-0 prep
+// artifacts (on by default); off exists for A/B timing runs.
+func (e *Env) SetPrepCache(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.noPrep = !on
+	for _, ent := range e.cache {
+		if ent.p != nil {
+			ent.p.Opts.NoPrepCache = !on
+		}
+	}
+}
+
 // Opts returns the framework options experiments should allocate with:
-// the defaults plus the environment's tracer.
+// the defaults plus the environment's tracer and parallel/prep-cache
+// settings.
 func (e *Env) Opts() callcost.AllocOptions {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	opts := callcost.DefaultAllocOptions()
 	opts.Tracer = e.tracer
+	opts.Parallel = e.parallel
+	opts.NoPrepCache = e.noPrep
 	return opts
 }
 
@@ -91,14 +123,14 @@ func (e *Env) Get(name string) (*Prepared, error) {
 		ent = &envEntry{}
 		e.cache[name] = ent
 	}
-	tracer := e.tracer
+	tracer, parallel, noPrep := e.tracer, e.parallel, e.noPrep
 	e.mu.Unlock()
-	ent.once.Do(func() { ent.p, ent.err = prepare(name, tracer) })
+	ent.once.Do(func() { ent.p, ent.err = prepare(name, tracer, parallel, noPrep) })
 	return ent.p, ent.err
 }
 
 // prepare compiles and profiles one benchmark.
-func prepare(name string, tracer callcost.Tracer) (*Prepared, error) {
+func prepare(name string, tracer callcost.Tracer, parallel int, noPrep bool) (*Prepared, error) {
 	bp := benchprog.ByName(name)
 	if bp == nil {
 		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
@@ -113,6 +145,8 @@ func prepare(name string, tracer callcost.Tracer) (*Prepared, error) {
 	}
 	opts := callcost.DefaultAllocOptions()
 	opts.Tracer = tracer
+	opts.Parallel = parallel
+	opts.NoPrepCache = noPrep
 	return &Prepared{
 		Name:    name,
 		Program: prog,

@@ -1,57 +1,11 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/par"
 
-// forEachIndexed runs f(0)..f(n-1) on a bounded worker pool (at most
-// GOMAXPROCS goroutines) and returns the error of the lowest-indexed
-// failing call, or nil.
-//
-// Determinism contract: f writes its result into an index-addressed
-// slot of a caller-owned slice, never appends to shared state, so the
-// collected rows are identical to a sequential loop regardless of
-// scheduling — only wall time changes. Experiments print strictly after
-// forEachIndexed returns.
+// forEachIndexed runs f(0)..f(n-1) on a GOMAXPROCS-bounded worker pool
+// and returns the error of the lowest-indexed failing call, or nil.
+// See par.ForEachIndexed for the determinism contract: results land in
+// index-addressed slots, experiments print strictly after it returns.
 func forEachIndexed(n int, f func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = f(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return par.ForEachIndexed(n, 0, f)
 }

@@ -64,7 +64,27 @@ func TestDifferentialGraphVsReference(t *testing.T) {
 							tag, mode.name, fastMerges, refMerges)
 					}
 					compareGraphs(t, tag+" "+mode.name, fc, rc)
+
+					// The copy-on-write snapshot must behave exactly like
+					// the deep clone.
+					sc := fast.Snapshot()
+					var snapMerges [][2]ir.Reg
+					sc.TraceMerge = func(kept, gone ir.Reg) {
+						snapMerges = append(snapMerges, [2]ir.Reg{kept, gone})
+					}
+					if sm := sc.Coalesce(mode.conservative, mode.k); sm != rm {
+						t.Fatalf("%s %s: snapshot merged %d live ranges, reference merged %d",
+							tag, mode.name, sm, rm)
+					}
+					if !reflect.DeepEqual(snapMerges, refMerges) {
+						t.Fatalf("%s %s: snapshot merge sequence diverged\nsnap: %v\nref:  %v",
+							tag, mode.name, snapMerges, refMerges)
+					}
+					compareGraphs(t, tag+" "+mode.name+" snapshot", sc, rc)
 				}
+				// Every clone and snapshot above left the base graph
+				// exactly as built.
+				compareGraphs(t, tag+" base-after-modes", fast, ref)
 			}
 		}
 	}

@@ -47,6 +47,13 @@ type Graph struct {
 	nodes  []ir.Reg // every reg of this bank that ever occurred
 	listed []bool   // reg already appended to nodes
 
+	// cow, when non-nil, marks this graph as an unprivatized
+	// copy-on-write snapshot of cow: every slice and the bit matrix
+	// alias the base's storage. Mutators call privatize first; readers
+	// (Find, Neighbors) take write-free paths while cow is set. See
+	// Snapshot in snapshot.go.
+	cow *Graph
+
 	// briggsOK scratch: epoch-stamped visited marks.
 	mark  []uint32
 	epoch uint32
@@ -80,6 +87,10 @@ func newGraph(fn *ir.Func, class ir.Class, n int) *Graph {
 
 // setOccurs marks r as occurring and registers it as a node candidate.
 func (g *Graph) setOccurs(r ir.Reg) {
+	if g.occurs[r] && g.listed[r] {
+		return
+	}
+	g.privatize()
 	g.occurs[r] = true
 	if !g.listed[r] {
 		g.listed[r] = true
@@ -154,6 +165,7 @@ func (g *Graph) addEdge(a, b ir.Reg) {
 	if a == b || g.matrix.Has(int(a), int(b)) {
 		return
 	}
+	g.privatize()
 	g.matrix.Set(int(a), int(b))
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
@@ -163,6 +175,14 @@ func (g *Graph) addEdge(a, b ir.Reg) {
 
 // Find returns the representative live range of r.
 func (g *Graph) Find(r ir.Reg) ir.Reg {
+	if g.cow != nil {
+		// Shared storage: walk without path halving so concurrent
+		// snapshot readers never write.
+		for g.parent[r] != r {
+			r = g.parent[r]
+		}
+		return r
+	}
 	for g.parent[r] != r {
 		g.parent[r] = g.parent[g.parent[r]] // path halving
 		r = g.parent[r]
@@ -196,6 +216,7 @@ func (g *Graph) Union(a, b ir.Reg) ir.Reg {
 	if ra == rb {
 		return ra
 	}
+	g.privatize()
 	// Merge the smaller adjacency set into the larger.
 	if g.deg[rb] > g.deg[ra] {
 		ra, rb = rb, ra
@@ -243,6 +264,15 @@ func (g *Graph) Degree(r ir.Reg) int { return int(g.deg[g.Find(r)]) }
 func (g *Graph) Neighbors(r ir.Reg, f func(n ir.Reg)) {
 	rep := g.Find(r)
 	list := g.adj[rep]
+	if g.cow != nil {
+		// Shared storage: iterate without compacting.
+		for _, n := range list {
+			if g.alive(rep, n) {
+				f(n)
+			}
+		}
+		return
+	}
 	w := 0
 	for _, n := range list {
 		if !g.alive(rep, n) {

@@ -32,6 +32,7 @@ func (g *Graph) Clone() *Graph {
 // grow extends the graph's tables to cover registers created after it
 // was built.
 func (g *Graph) grow(n int) {
+	g.privatize()
 	g.matrix.Grow(n)
 	if g.mark != nil {
 		for len(g.mark) < n {
@@ -52,6 +53,7 @@ func (g *Graph) grow(n int) {
 // Edge bits are cleared so the adjacency entries pointing back at r go
 // stale; the vectors themselves compact lazily on iteration.
 func (g *Graph) removeNode(r ir.Reg) {
+	g.privatize()
 	for _, n := range g.adj[r] {
 		if g.alive(r, n) {
 			g.matrix.Unset(int(r), int(n))
@@ -81,6 +83,10 @@ func (g *Graph) removeNode(r ir.Reg) {
 // fn must be the rewritten function, live its fresh liveness, spilled
 // the removed registers, and isNew must report registers created by the
 // spill rewrite.
+//
+// prev is patched in place; pass a Snapshot when the original must
+// survive — the first mutation privatizes the snapshot's storage and
+// the snapshotted base stays intact.
 func Reconstruct(prev *Graph, fn *ir.Func, live *liveness.Info, spilled map[ir.Reg]*ir.Symbol, isNew func(ir.Reg) bool) *Graph {
 	g := prev
 	g.Fn = fn

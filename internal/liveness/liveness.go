@@ -32,6 +32,14 @@ type Info struct {
 	callLive []*bitset.Set
 }
 
+// Fork returns a view of info sharing the immutable In/Out sets but
+// owning fresh walk scratch, so several goroutines can walk one
+// computed liveness result concurrently — each through its own fork.
+// The sets themselves must no longer be mutated once forked.
+func (info *Info) Fork() *Info {
+	return &Info{Fn: info.Fn, In: info.In, Out: info.Out}
+}
+
 // Compute runs the dataflow to fixpoint.
 func Compute(fn *ir.Func, g *cfg.Graph) *Info {
 	n := len(fn.Blocks)

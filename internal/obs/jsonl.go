@@ -88,6 +88,8 @@ func (ev Event) jsonMap() map[string]any {
 		m["reg"] = int(ev.Reg)
 		m["key"] = ev.Key
 		m["reason"] = ev.Reason
+	case KindPrepCache:
+		m["round"] = ev.Round
 	}
 	return m
 }

@@ -55,6 +55,11 @@ const (
 	// KindPrefDecide records the preference-decision pass (§6) forcing
 	// a call-crossing live range from callee-save to caller-save.
 	KindPrefDecide
+	// KindPrepCache records that round 0 was satisfied from the
+	// function's prepared-artifact cache: CFG, liveness, and the base
+	// interference graphs were reused instead of rebuilt. Emitted only
+	// on a hit, so a single cold allocation's event stream is unchanged.
+	KindPrepCache
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -79,6 +84,8 @@ func (k Kind) String() string {
 		return "rewrite_insert"
 	case KindPrefDecide:
 		return "pref_decide"
+	case KindPrepCache:
+		return "prep_cache"
 	}
 	return "unknown"
 }

@@ -1,0 +1,64 @@
+// Package par provides the bounded index-parallel loop shared by the
+// allocator driver (per-function parallel allocation) and the
+// experiment harness (parallel sweep cells).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndexed runs f(0)..f(n-1) on a bounded worker pool and returns
+// the error of the lowest-indexed failing call, or nil. workers <= 0
+// selects GOMAXPROCS; workers == 1 degenerates to a plain sequential
+// loop on the calling goroutine (with its early-exit-on-error
+// behavior).
+//
+// Determinism contract: f writes its result into an index-addressed
+// slot of a caller-owned slice, never appends to shared state, so the
+// collected results are identical to a sequential loop regardless of
+// scheduling — only wall time changes. Callers print or merge strictly
+// after ForEachIndexed returns.
+func ForEachIndexed(n, workers int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -600,6 +600,16 @@ type Options struct {
 	// Nil — the default — disables tracing; every emission site is
 	// guarded, so the untraced path adds no work and no allocations.
 	Tracer obs.Tracer
+	// Parallel bounds the per-function worker pool used by
+	// Program.AllocateWithOptions: 0 selects GOMAXPROCS, 1 forces the
+	// sequential path, n > 1 caps the pool at n. Output is
+	// byte-identical either way; a non-nil Tracer forces sequential so
+	// the event stream stays in program order.
+	Parallel int
+	// NoPrepCache disables Program-level sharing of prepared round-0
+	// artifacts (CFG, liveness, base interference graphs): every
+	// allocation rebuilds from scratch. Exists for A/B benchmarking.
+	NoPrepCache bool
 }
 
 // DefaultOptions returns the standard configuration.
@@ -609,9 +619,10 @@ func DefaultOptions() Options {
 
 // FuncAlloc is the final allocation of one function.
 type FuncAlloc struct {
-	// Fn is the rewritten function: the original plus spill code. Block
-	// IDs are preserved, so frequency tables for the original remain
-	// valid.
+	// Fn is the allocated function. When spill code was needed it is a
+	// rewritten clone of the original (block IDs are preserved, so
+	// frequency tables for the original remain valid); when no live
+	// range spilled it aliases the original function unchanged.
 	Fn *ir.Func
 	// Colors assigns every virtual register of Fn a physical register
 	// in its bank; spilled registers were rewritten away and map to
@@ -623,6 +634,11 @@ type FuncAlloc struct {
 	Rounds int
 	// Ranges is the live-range analysis of the final round.
 	Ranges *liverange.Set
+	// Live is the liveness of Fn from the final round. Consumers that
+	// need liveness of the allocated function (rewrite.Validate,
+	// rewrite.BuildPlan) reuse it — through their own Fork — instead of
+	// recomputing. Nil for hand-constructed FuncAllocs.
+	Live *liveness.Info
 	// Graphs holds the final interference graphs per bank.
 	Graphs [ir.NumClasses]*interference.Graph
 	// Config echoes the register configuration used.
@@ -639,13 +655,27 @@ type SpillInserter func(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(i
 
 // AllocateFunc runs the full framework loop on fn: build, coalesce,
 // color (via strat), and iterate through spill-code insertion until no
-// live range spills. fn itself is not modified; the returned FuncAlloc
-// holds a rewritten clone.
+// live range spills. fn itself is not modified; when spill code is
+// needed the returned FuncAlloc holds a rewritten clone, otherwise it
+// aliases fn unchanged.
 func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
+	return AllocatePrepared(Prepare(fn), ff, config, strat, insertSpills, opts)
+}
+
+// AllocatePrepared is AllocateFunc consuming a PreparedFunc: the
+// round-0 CFG, liveness, and base interference graphs come from the
+// cache (built on first use) instead of being rebuilt, and are consumed
+// through copy-on-write Snapshot views so the cached artifacts stay
+// frozen. Many goroutines may allocate from the same PreparedFunc
+// concurrently; the result is byte-identical to AllocateFunc on a
+// fresh function.
+func AllocatePrepared(prep *PreparedFunc, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 32
 	}
-	work := fn.Clone()
+	fn := prep.Fn
+	work := fn // cloned lazily, right before the first spill rewrite
+	cloned := false
 	noSpill := make(map[ir.Reg]bool)
 	slotOf := make(map[ir.Reg]*ir.Symbol)
 	isNoSpill := func(r ir.Reg) bool { return noSpill[r] }
@@ -661,50 +691,97 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 	traced := tr != nil && tr.Enabled()
 	var t0 time.Time
 
+	// The round-0 aggressive-coalesce result and the round-0 range
+	// analysis are strategy- and configuration-independent too (the
+	// aggressive merge loop never reads k, and round 0 has no spill
+	// temporaries), so the default untraced configuration shares them
+	// across cells as well.
+	cachedRound0 := opts.Coalesce && !opts.ConservativeCoalesce && !traced
+
 	for round := 0; round < opts.MaxRounds; round++ {
-		if traced {
-			t0 = phaseStart(tr, work.Name, round, obs.PhaseLiveness)
-		}
-		g := cfg.New(work)
-		live := liveness.Compute(work, g)
-		if traced {
-			phaseEnd(tr, work.Name, round, obs.PhaseLiveness, t0)
-			t0 = phaseStart(tr, work.Name, round, obs.PhaseBuild)
-		}
-		for c := ir.Class(0); c < ir.NumClasses; c++ {
-			if round == 0 || opts.Rebuild {
-				baseGraphs[c] = interference.Build(work, live, c)
-			} else {
-				baseGraphs[c] = interference.Reconstruct(baseGraphs[c], work, live, lastSpilled,
-					func(r ir.Reg) bool { return lastTemps[r] })
+		var live *liveness.Info
+		if round == 0 {
+			if traced {
+				t0 = phaseStart(tr, work.Name, round, obs.PhaseLiveness)
+			}
+			liveHit := !prep.ensureLive()
+			live = prep.live.Fork()
+			if traced {
+				phaseEnd(tr, work.Name, round, obs.PhaseLiveness, t0)
+				t0 = phaseStart(tr, work.Name, round, obs.PhaseBuild)
+			}
+			baseHit := !prep.ensureBase()
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				baseGraphs[c] = prep.base[c].Snapshot()
+			}
+			if traced {
+				phaseEnd(tr, work.Name, round, obs.PhaseBuild, t0)
+				if liveHit && baseHit {
+					tr.Emit(obs.Event{Kind: obs.KindPrepCache, Fn: work.Name, Round: round})
+				}
+			}
+		} else {
+			if traced {
+				t0 = phaseStart(tr, work.Name, round, obs.PhaseLiveness)
+			}
+			g := cfg.New(work)
+			live = liveness.Compute(work, g)
+			if traced {
+				phaseEnd(tr, work.Name, round, obs.PhaseLiveness, t0)
+				t0 = phaseStart(tr, work.Name, round, obs.PhaseBuild)
+			}
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				if opts.Rebuild {
+					baseGraphs[c] = interference.Build(work, live, c)
+				} else {
+					baseGraphs[c] = interference.Reconstruct(baseGraphs[c], work, live, lastSpilled,
+						func(r ir.Reg) bool { return lastTemps[r] })
+				}
+			}
+			if traced {
+				phaseEnd(tr, work.Name, round, obs.PhaseBuild, t0)
 			}
 		}
 		if traced {
-			phaseEnd(tr, work.Name, round, obs.PhaseBuild, t0)
 			t0 = phaseStart(tr, work.Name, round, obs.PhaseCoalesce)
 		}
 		var graphs [ir.NumClasses]*interference.Graph
-		for c := ir.Class(0); c < ir.NumClasses; c++ {
-			if opts.Coalesce {
-				graphs[c] = baseGraphs[c].Clone()
-				if traced {
-					class, rnd := c, round
-					graphs[c].TraceMerge = func(kept, gone ir.Reg) {
-						tr.Emit(obs.Event{Kind: obs.KindCoalesceMerge, Fn: work.Name,
-							Class: class, Round: rnd, Reg: kept, With: gone})
+		if round == 0 && cachedRound0 {
+			cg := prep.coalescedGraphs()
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				graphs[c] = cg[c].Snapshot()
+			}
+		} else {
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				if opts.Coalesce {
+					graphs[c] = baseGraphs[c].Snapshot()
+					if traced {
+						class, rnd := c, round
+						graphs[c].TraceMerge = func(kept, gone ir.Reg) {
+							tr.Emit(obs.Event{Kind: obs.KindCoalesceMerge, Fn: work.Name,
+								Class: class, Round: rnd, Reg: kept, With: gone})
+						}
 					}
+					graphs[c].Coalesce(opts.ConservativeCoalesce, config.Total(c))
+					graphs[c].TraceMerge = nil
+				} else {
+					// A snapshot, never the base itself: nothing the
+					// coloring round does to graphs[c] may reach the base
+					// graph that Reconstruct patches next round.
+					graphs[c] = baseGraphs[c].Snapshot()
 				}
-				graphs[c].Coalesce(opts.ConservativeCoalesce, config.Total(c))
-				graphs[c].TraceMerge = nil
-			} else {
-				graphs[c] = baseGraphs[c]
 			}
 		}
 		if traced {
 			phaseEnd(tr, work.Name, round, obs.PhaseCoalesce, t0)
 			t0 = phaseStart(tr, work.Name, round, obs.PhaseRanges)
 		}
-		ranges := liverange.Analyze(work, live, &graphs, ff, isNoSpill)
+		var ranges *liverange.Set
+		if round == 0 && cachedRound0 {
+			ranges = prep.rangesFor(ff)
+		} else {
+			ranges = liverange.Analyze(work, live, &graphs, ff, isNoSpill)
+		}
 		if traced {
 			phaseEnd(tr, work.Name, round, obs.PhaseRanges, t0)
 			t0 = phaseStart(tr, work.Name, round, obs.PhaseColor)
@@ -759,6 +836,7 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 				SlotOf: slotOf,
 				Rounds: round + 1,
 				Ranges: ranges,
+				Live:   live,
 				Graphs: graphs,
 				Config: config,
 			}, nil
@@ -771,6 +849,12 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 		lastTemps = make(map[ir.Reg]bool)
 		if traced {
 			t0 = phaseStart(tr, work.Name, round, obs.PhaseRewrite)
+		}
+		if !cloned {
+			// Round 0 ran entirely on copy-on-write views of the
+			// original; only a spill rewrite needs a private body.
+			work = fn.Clone()
+			cloned = true
 		}
 		insertSpills(work, spillSet, func(t ir.Reg) {
 			noSpill[t] = true

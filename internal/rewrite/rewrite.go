@@ -28,9 +28,17 @@ import (
 // temporary created, letting the driver mark them unspillable. Spill
 // slots are appended to fn.Locals (each distinct slot once).
 func InsertSpills(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg)) {
+	// Register the slots as locals in increasing spilled-register order:
+	// map iteration order would randomize the frame layout (and with it
+	// the assembly text) between otherwise identical runs.
+	regs := make([]ir.Reg, 0, len(spill))
+	for r := range spill {
+		regs = append(regs, r)
+	}
+	regalloc.SortRegs(regs)
 	added := make(map[*ir.Symbol]bool)
-	for _, slot := range spill {
-		if !added[slot] {
+	for _, r := range regs {
+		if slot := spill[r]; !added[slot] {
 			added[slot] = true
 			fn.Locals = append(fn.Locals, slot)
 		}
@@ -163,8 +171,7 @@ func BuildPlan(fa *regalloc.FuncAlloc) *FuncPlan {
 	}
 
 	// Caller-save registers live across each call.
-	g := cfg.New(fn)
-	live := liveness.Compute(fn, g)
+	live := allocLiveness(fa)
 	live.LiveAcrossCalls(func(b *ir.Block, idx int, call *ir.Instr, crossing *bitset.Set) {
 		cs := &CallSave{}
 		var seen [ir.NumClasses]map[machine.PhysReg]bool
@@ -201,6 +208,17 @@ func sortPhys(rs []machine.PhysReg) {
 
 // occurrence reports which virtual registers appear in the function
 // body. Parameters are not included: a parameter that is never read
+// allocLiveness returns liveness for fa.Fn, reusing the final-round
+// result the allocator recorded (through a private fork, so concurrent
+// plan builds never share walk scratch) and recomputing only for
+// hand-constructed FuncAllocs that carry none.
+func allocLiveness(fa *regalloc.FuncAlloc) *liveness.Info {
+	if fa.Live != nil && fa.Live.Fn == fa.Fn {
+		return fa.Live.Fork()
+	}
+	return liveness.Compute(fa.Fn, cfg.New(fa.Fn))
+}
+
 // (dead on arrival) needs no register — its incoming value is simply
 // dropped.
 func occurrence(fn *ir.Func) []bool {
@@ -227,8 +245,7 @@ func occurrence(fn *ir.Func) []bool {
 // program execute correctly on the machine-level interpreter.
 func Validate(fa *regalloc.FuncAlloc) error {
 	fn := fa.Fn
-	g := cfg.New(fn)
-	live := liveness.Compute(fn, g)
+	live := allocLiveness(fa)
 
 	occurs := occurrence(fn)
 	for _, p := range fn.Params {

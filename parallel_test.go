@@ -1,0 +1,106 @@
+package callcost_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/ir"
+	"repro/internal/randprog"
+)
+
+// slotNameMap projects a spill-slot map to its stable content (slot
+// symbols are freshly allocated pointers every run).
+func slotNameMap(slots map[ir.Reg]*ir.Symbol) map[ir.Reg]string {
+	out := make(map[ir.Reg]string, len(slots))
+	for r, s := range slots {
+		out[r] = s.Name
+	}
+	return out
+}
+
+// comparePlans asserts two whole-program allocations agree on every
+// observable output: colors, spill slots, round counts, callee-save
+// usage, and the emitted assembly text.
+func comparePlans(t *testing.T, tag string, want, got *callcost.Allocation) {
+	t.Helper()
+	if len(want.Plans) != len(got.Plans) {
+		t.Fatalf("%s: plan counts differ: %d vs %d", tag, len(want.Plans), len(got.Plans))
+	}
+	for name, pw := range want.Plans {
+		pg := got.Plans[name]
+		if pg == nil {
+			t.Fatalf("%s: %s missing from parallel run", tag, name)
+		}
+		if !reflect.DeepEqual(pw.Alloc.Colors, pg.Alloc.Colors) {
+			t.Fatalf("%s: %s colors diverge between sequential and parallel", tag, name)
+		}
+		if !reflect.DeepEqual(slotNameMap(pw.Alloc.SlotOf), slotNameMap(pg.Alloc.SlotOf)) {
+			t.Fatalf("%s: %s spill slots diverge", tag, name)
+		}
+		if pw.Alloc.Rounds != pg.Alloc.Rounds {
+			t.Fatalf("%s: %s rounds %d vs %d", tag, name, pw.Alloc.Rounds, pg.Alloc.Rounds)
+		}
+		if !reflect.DeepEqual(pw.CalleeUsed, pg.CalleeUsed) {
+			t.Fatalf("%s: %s callee-save usage diverges", tag, name)
+		}
+	}
+	if wa, ga := want.Assembly(), got.Assembly(); wa != ga {
+		t.Fatalf("%s: assembly output diverges between sequential and parallel", tag)
+	}
+}
+
+// TestParallelAllocationMatchesSequential is the determinism contract
+// of per-function parallel allocation: across the fuzz corpus, a
+// parallel Allocate (worker pool, shared prep cache) must be
+// byte-identical — colors, spill slots, rounds, assembly — to the
+// sequential path with the prep cache disabled. Run under -race this
+// also proves the shared prepared artifacts are never written.
+func TestParallelAllocationMatchesSequential(t *testing.T) {
+	configs := []callcost.Config{
+		callcost.NewConfig(6, 4, 0, 0),
+		callcost.NewConfig(8, 6, 4, 4),
+	}
+	strategies := []callcost.Strategy{callcost.Chaitin(), callcost.ImprovedAll()}
+	for seed := int64(0); seed < 10; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		seqProg, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		parProg, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pfSeq := seqProg.StaticFreq()
+		pfPar := parProg.StaticFreq()
+		for _, strat := range strategies {
+			for _, config := range configs {
+				tag := fmt.Sprintf("seed %d %s at %s", seed, strat.Name(), config)
+				seqOpts := callcost.DefaultAllocOptions()
+				seqOpts.Parallel = 1
+				seqOpts.NoPrepCache = true
+				want, err := seqProg.AllocateWithOptions(strat, config, pfSeq, seqOpts)
+				if err != nil {
+					t.Fatalf("%s: sequential: %v", tag, err)
+				}
+
+				parOpts := callcost.DefaultAllocOptions()
+				parOpts.Parallel = 8
+				got, err := parProg.AllocateWithOptions(strat, config, pfPar, parOpts)
+				if err != nil {
+					t.Fatalf("%s: parallel: %v", tag, err)
+				}
+				comparePlans(t, tag, want, got)
+
+				// Rerun on the warm prep cache: byte-identical again.
+				again, err := parProg.AllocateWithOptions(strat, config, pfPar, parOpts)
+				if err != nil {
+					t.Fatalf("%s: warm rerun: %v", tag, err)
+				}
+				comparePlans(t, tag+" warm", got, again)
+			}
+		}
+	}
+}
