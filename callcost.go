@@ -35,6 +35,7 @@ import (
 	"repro/internal/minterp"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/pipeline"
 	"repro/internal/priority"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
@@ -222,12 +223,25 @@ type Allocation struct {
 }
 
 // AllocOptions re-exports the framework's tunables (coalescing mode,
-// graph reconstruction, round limits, tracing).
+// graph reconstruction, round limits, tracing, pipeline override).
 type AllocOptions = regalloc.Options
 
 // DefaultAllocOptions returns the standard configuration: aggressive
 // coalescing, graph reconstruction between rounds, no tracer.
 func DefaultAllocOptions() AllocOptions { return regalloc.DefaultOptions() }
+
+// PassPipeline is the allocator's pass pipeline (package pipeline): an
+// ordered, editable list of passes the round runner executes. Derive
+// variants with Replace and Drop and attach them via
+// AllocOptions.Pipeline to run ablations as pipeline edits.
+type PassPipeline = pipeline.Pipeline
+
+// PipelineFor returns the default pass pipeline the allocator would
+// run for strat under opts — the starting point for deriving ablation
+// pipelines.
+func PipelineFor(strat Strategy, opts AllocOptions) PassPipeline {
+	return regalloc.BuildPipeline(strat, rewrite.InsertSpills, opts)
+}
 
 // ---------------------------------------------------------------------
 // Observability

@@ -19,6 +19,7 @@
 //	-sweep     report overhead across the paper's register sweep
 //	-parallel  per-function allocation workers (0 = all cores, 1 = sequential)
 //	-noprepcache  rebuild round-0 artifacts per allocation instead of sharing them
+//	-passes    print the resolved allocation pass pipeline and exit
 //
 // -explain, -trace, and -stats are three views of the same event
 // stream (package obs): the narrative is the human rendering, the
@@ -54,8 +55,16 @@ func main() {
 	sweep := flag.Bool("sweep", false, "report overhead across the register sweep")
 	parallel := flag.Int("parallel", 0, "per-function allocation workers (0 = all cores, 1 = sequential); output is identical either way")
 	noPrepCache := flag.Bool("noprepcache", false, "disable the shared round-0 prep cache, for A/B timing")
+	passes := flag.Bool("passes", false, "print the resolved allocation pass pipeline and exit")
 	flag.Parse()
 
+	if *passes {
+		if err := printPasses(*strategy); err != nil {
+			fmt.Fprintf(os.Stderr, "rallocc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rallocc [flags] file.mc")
 		flag.Usage()
@@ -99,6 +108,27 @@ func parseStrategy(name string) (callcost.Strategy, error) {
 		return callcost.CBH(), nil
 	}
 	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+// printPasses renders the pass pipeline the chosen strategy would run
+// under the default options: every stage in order, with the analyses
+// each one preserves (what the runner keeps valid after the pass; the
+// spill rewrite preserves nothing, which is why a spilling round forces
+// recomputation).
+func printPasses(strategy string) error {
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	pl := callcost.PipelineFor(strat, callcost.DefaultAllocOptions())
+	fmt.Printf("allocation pipeline for strategy %s:\n", strat.Name())
+	for i, p := range pl.Passes() {
+		fmt.Printf("  %d. %-14s preserves %s\n", i+1, p.Name(), p.Preserves())
+	}
+	fmt.Printf("\n%s\n", pl)
+	fmt.Println("\nthe runner repeats the pipeline until the color pass spills nothing;")
+	fmt.Println("a skipped pass (spill-rewrite on a converged round) emits no phase events.")
+	return nil
 }
 
 func parseConfig(s string) (callcost.Config, error) {

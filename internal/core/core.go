@@ -244,7 +244,7 @@ func (im *Improved) simplifyKey(ctx *regalloc.ClassContext, rep ir.Reg) float64 
 	}
 	bc, be := rg.BenefitCaller, rg.BenefitCallee
 	if im.Key == KeyMax {
-		return max2(bc, be)
+		return max(bc, be)
 	}
 	// Strategy 2: both kinds beat memory — only the wrong-kind penalty
 	// matters; otherwise fall back to the best benefit.
@@ -255,14 +255,7 @@ func (im *Improved) simplifyKey(ctx *regalloc.ClassContext, rep ir.Reg) float64 
 		}
 		return d
 	}
-	return max2(bc, be)
-}
-
-func max2(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	return max(bc, be)
 }
 
 // preferenceFunc returns the "prefers callee-save" predicate for this

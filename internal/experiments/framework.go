@@ -6,6 +6,7 @@ import (
 
 	"repro"
 	"repro/internal/benchprog"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 )
 
@@ -23,6 +24,10 @@ type CoalescingRow struct {
 
 // CoalescingAblation measures the three coalescing modes under the
 // improved allocator, one (program, configuration) cell per worker.
+//
+// The modes are pipeline edits, not option plumbing: the Briggs
+// variant replaces the coalesce pass, the no-coalescing variant drops
+// it from the pipeline entirely.
 func CoalescingAblation(env *Env) ([]CoalescingRow, error) {
 	names := benchprog.Names()
 	cfgs := []callcost.Config{callcost.NewConfig(6, 4, 2, 2), callcost.FullMachine()}
@@ -33,27 +38,26 @@ func CoalescingAblation(env *Env) ([]CoalescingRow, error) {
 		if err != nil {
 			return err
 		}
-		measure := func(opts callcost.AllocOptions) (callcost.Overhead, error) {
-			alloc, err := p.Program.AllocateWithOptions(callcost.ImprovedAll(), cfg, p.Dynamic, opts)
+		strat := callcost.ImprovedAll()
+		base := callcost.PipelineFor(strat, p.Opts)
+		measure := func(pl callcost.PassPipeline) (callcost.Overhead, error) {
+			opts := p.Opts
+			opts.Pipeline = &pl
+			alloc, err := p.Program.AllocateWithOptions(strat, cfg, p.Dynamic, opts)
 			if err != nil {
 				return callcost.Overhead{}, err
 			}
 			return alloc.Overhead(p.Dynamic), nil
 		}
-		aggressive := p.Opts
-		briggs := p.Opts
-		briggs.ConservativeCoalesce = true
-		off := p.Opts
-		off.Coalesce = false
-		a, err := measure(aggressive)
+		a, err := measure(base)
 		if err != nil {
 			return err
 		}
-		b, err := measure(briggs)
+		b, err := measure(base.Replace(obs.PhaseCoalesce, regalloc.CoalescePass(regalloc.BriggsCoalesce)))
 		if err != nil {
 			return err
 		}
-		n, err := measure(off)
+		n, err := measure(base.Drop(obs.PhaseCoalesce))
 		if err != nil {
 			return err
 		}

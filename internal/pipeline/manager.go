@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/liverange"
+	"repro/internal/liveness"
+)
+
+// AnalysisManager owns the analysis artifacts of one allocation run and
+// tracks their validity. Passes request analyses through it; the runner
+// intersects the valid set with each pass's Preserves() result, so a
+// pass that rewrites the function (spill-code insertion reports
+// PreserveNone) automatically invalidates everything and the next
+// round recomputes.
+//
+// The manager generalizes the shared prep cache: while the working
+// function is still the cached original (every round 0), a requested
+// analysis is served from the FuncCache as a copy-on-write view — a
+// liveness Fork or an interference Snapshot — leaving the shared
+// artifact frozen. Once a spill rewrite has replaced the function, the
+// cache no longer applies and analyses are recomputed; the interference
+// graphs recompute incrementally, using the previous round's (now
+// stale) graphs as seeds for interference.Reconstruct.
+//
+// A manager belongs to one State and is not safe for concurrent use;
+// concurrency happens one level up, with many managers reading one
+// FuncCache.
+type AnalysisManager struct {
+	cache *FuncCache
+	fn    *ir.Func
+	valid AnalysisSet
+
+	cfg  *cfg.Graph
+	live *liveness.Info
+	// base holds the current per-class uncoalesced graphs. After an
+	// invalidation the entries are stale rather than discarded: they
+	// are exactly what Reconstruct patches into the next round's
+	// graphs.
+	base [ir.NumClasses]*interference.Graph
+
+	// Rewrite evidence for incremental reconstruction: the registers
+	// spilled by the last rewrite and the temporaries it introduced.
+	spilled map[ir.Reg]*ir.Symbol
+	temps   map[ir.Reg]bool
+}
+
+// NewAnalysisManager returns a manager serving analyses of the cached
+// function. Nothing is valid yet; artifacts materialize on request.
+func NewAnalysisManager(cache *FuncCache) *AnalysisManager {
+	return &AnalysisManager{cache: cache, fn: cache.Fn}
+}
+
+// FromCache reports whether the working function is still the cached
+// original, i.e. whether analyses may be served as views of the shared
+// frozen artifacts.
+func (m *AnalysisManager) FromCache() bool { return m.fn == m.cache.Fn }
+
+// Valid returns the currently valid analyses.
+func (m *AnalysisManager) Valid() AnalysisSet { return m.valid }
+
+// Invalidate drops every analysis not in preserved. The runner calls
+// this after each pass with the pass's Preserves() set.
+func (m *AnalysisManager) Invalidate(preserved AnalysisSet) { m.valid &= preserved }
+
+// MarkValid records that a is now valid (used by analysis passes that
+// materialize an artifact themselves).
+func (m *AnalysisManager) MarkValid(a Analysis) { m.valid = m.valid.With(a) }
+
+// SetFunc switches the manager to a rewritten working function (the
+// lazily-created clone). Everything is invalidated; the stale base
+// graphs are retained as reconstruction seeds.
+func (m *AnalysisManager) SetFunc(fn *ir.Func) {
+	m.fn = fn
+	m.valid = PreserveNone
+}
+
+// RecordRewrite stores the evidence of a spill rewrite — which
+// registers were sent to memory and which temporaries the rewrite
+// introduced — for the next incremental interference reconstruction.
+func (m *AnalysisManager) RecordRewrite(spilled map[ir.Reg]*ir.Symbol, temps map[ir.Reg]bool) {
+	m.spilled = spilled
+	m.temps = temps
+}
+
+// Liveness returns the liveness of the working function, computing it
+// if invalid. While the working function is the cached original the
+// result is a private Fork of the shared frozen Info; hit reports
+// whether the shared artifact was already built (the prep-cache hit
+// signal). After a rewrite, liveness (and the CFG) are recomputed from
+// scratch.
+func (m *AnalysisManager) Liveness() (live *liveness.Info, hit bool) {
+	if m.valid.Has(AnalysisLiveness) {
+		return m.live, true
+	}
+	if m.FromCache() {
+		hit = !m.cache.EnsureLive()
+		m.cfg = m.cache.CFG()
+		m.live = m.cache.Liveness().Fork()
+	} else {
+		m.cfg = cfg.New(m.fn)
+		m.live = liveness.Compute(m.fn, m.cfg)
+	}
+	m.valid = m.valid.With(AnalysisCFG).With(AnalysisLiveness)
+	return m.live, hit
+}
+
+// CFG returns the control-flow graph of the working function,
+// computing it (together with liveness) if invalid.
+func (m *AnalysisManager) CFG() *cfg.Graph {
+	if !m.valid.Has(AnalysisCFG) {
+		m.Liveness()
+	}
+	return m.cfg
+}
+
+// Interference materializes the per-class base (uncoalesced)
+// interference graphs of the working function. While the working
+// function is the cached original they are copy-on-write Snapshots of
+// the shared frozen graphs; hit reports whether those were already
+// built. After a rewrite the stale graphs are patched in place by
+// interference.Reconstruct — or rebuilt from scratch when rebuild is
+// set or no seed exists.
+func (m *AnalysisManager) Interference(rebuild bool) (hit bool) {
+	if m.valid.Has(AnalysisInterference) {
+		return true
+	}
+	if m.FromCache() {
+		hit = !m.cache.EnsureBase()
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
+			m.base[c] = m.cache.BaseGraph(c).Snapshot()
+		}
+	} else {
+		if !m.valid.Has(AnalysisLiveness) {
+			m.Liveness()
+		}
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
+			if rebuild || m.base[c] == nil {
+				m.base[c] = interference.Build(m.fn, m.live, c)
+			} else {
+				m.base[c] = interference.Reconstruct(m.base[c], m.fn, m.live, m.spilled,
+					func(r ir.Reg) bool { return m.temps[r] })
+			}
+		}
+	}
+	m.valid = m.valid.With(AnalysisInterference)
+	return hit
+}
+
+// Base returns the current base interference graph of one bank.
+// Interference must have materialized it this round; consumers that
+// mutate must go through Snapshot.
+func (m *AnalysisManager) Base(c ir.Class) *interference.Graph { return m.base[c] }
+
+// CoalescedSnapshots returns fresh copy-on-write views of the shared
+// aggressively-coalesced round-0 graphs. Only meaningful while the
+// working function is the cached original.
+func (m *AnalysisManager) CoalescedSnapshots() [ir.NumClasses]*interference.Graph {
+	cg := m.cache.Coalesced()
+	var out [ir.NumClasses]*interference.Graph
+	for c := range cg {
+		out[c] = cg[c].Snapshot()
+	}
+	return out
+}
+
+// CachedRanges returns the shared round-0 live-range analysis under
+// ff. Only meaningful while the working function is the cached
+// original.
+func (m *AnalysisManager) CachedRanges(ff *freq.FuncFreq) *liverange.Set {
+	return m.cache.RangesFor(ff)
+}

@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Pass is one stage of the allocation pipeline. A pass reads and
+// writes the State blackboard, requests analyses from the
+// AnalysisManager, and declares which analyses survive it: the runner
+// invalidates everything else after the pass runs.
+type Pass interface {
+	// Name identifies the pass; it is also the phase label of the
+	// obs phase events the runner emits around Run.
+	Name() string
+	// Run executes the pass against the shared state.
+	Run(s *State) error
+	// Preserves reports which analyses remain valid after Run. Pure
+	// analysis and query passes return PreserveAll; passes that
+	// rewrite the function return PreserveNone.
+	Preserves() AnalysisSet
+}
+
+// Skipper is an optional Pass extension: a pass may decline to run
+// this round (the spill-rewrite pass skips when the round converged).
+// A skipped pass emits no phase events and invalidates nothing.
+type Skipper interface {
+	Skip(s *State) bool
+}
+
+// PostPhaser is an optional Pass extension: a hook that runs after the
+// pass's phase-end event is emitted, for trailing events that belong
+// outside the timed phase window (the build pass reports prep-cache
+// hits this way).
+type PostPhaser interface {
+	PostPhase(s *State)
+}
+
+// Pipeline is an ordered pass list with value semantics: Replace and
+// Drop return edited copies, so ablations can derive variants from a
+// shared default without aliasing. The zero value is an empty
+// pipeline.
+type Pipeline struct {
+	passes []Pass
+}
+
+// New builds a pipeline from passes in order.
+func New(passes ...Pass) Pipeline {
+	return Pipeline{passes: passes}
+}
+
+// Passes returns the pass list. Callers must not mutate it; use
+// Replace and Drop to derive variants.
+func (p Pipeline) Passes() []Pass { return p.passes }
+
+// Names returns the pass names in order.
+func (p Pipeline) Names() []string {
+	names := make([]string, len(p.passes))
+	for i, pass := range p.passes {
+		names[i] = pass.Name()
+	}
+	return names
+}
+
+// String renders the pipeline as "a → b → c".
+func (p Pipeline) String() string { return strings.Join(p.Names(), " → ") }
+
+// Replace returns a copy of the pipeline with the named pass replaced
+// by np. A name that matches no pass leaves the copy identical.
+func (p Pipeline) Replace(name string, np Pass) Pipeline {
+	out := make([]Pass, len(p.passes))
+	copy(out, p.passes)
+	for i, pass := range out {
+		if pass.Name() == name {
+			out[i] = np
+		}
+	}
+	return Pipeline{passes: out}
+}
+
+// Drop returns a copy of the pipeline with the named pass removed. A
+// name that matches no pass leaves the copy identical.
+func (p Pipeline) Drop(name string) Pipeline {
+	out := make([]Pass, 0, len(p.passes))
+	for _, pass := range p.passes {
+		if pass.Name() != name {
+			out = append(out, pass)
+		}
+	}
+	return Pipeline{passes: out}
+}
+
+// DefaultMaxRounds bounds the build→color→spill iteration when the
+// caller does not: each round retires at least one live range to
+// memory, so a round count this deep means the allocation is not
+// converging (or the function is pathological) and deserves an error
+// rather than more work.
+const DefaultMaxRounds = 32
+
+// ErrRoundLimit reports that the round budget was exhausted before a
+// spill-free coloring was reached. Callers detect it with errors.Is.
+var ErrRoundLimit = errors.New("round budget exhausted without a spill-free coloring")
+
+// Runner executes a pass pipeline round by round until the state
+// converges (a sweep ends with an empty spill set) or the round budget
+// runs out.
+type Runner struct {
+	// Passes is the pipeline to execute each round.
+	Passes []Pass
+	// MaxRounds bounds the number of sweeps; 0 means DefaultMaxRounds.
+	MaxRounds int
+}
+
+// Run drives s through the pipeline. It returns the number of rounds
+// executed; on failure the error is either a pass error or wraps
+// ErrRoundLimit.
+//
+// The runner owns the observability contract of the loop: when a
+// tracer is attached, every executed pass is bracketed by PhaseStart
+// and PhaseEnd events carrying the pass name and measured wall time —
+// individual passes never emit their own phase events. Untraced runs
+// construct no events at all.
+func (r *Runner) Run(s *State) (rounds int, err error) {
+	maxRounds := r.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	traced := s.Traced()
+	var t0 time.Time
+	for round := 0; round < maxRounds; round++ {
+		s.BeginRound(round)
+		for _, p := range r.Passes {
+			if sk, ok := p.(Skipper); ok && sk.Skip(s) {
+				continue
+			}
+			if traced {
+				s.Tracer.Emit(obs.Event{Kind: obs.KindPhaseStart, Fn: s.Fn.Name, Round: round, Phase: p.Name()})
+				t0 = time.Now()
+			}
+			if err := p.Run(s); err != nil {
+				return round, fmt.Errorf("pass %s: %w", p.Name(), err)
+			}
+			if traced {
+				s.Tracer.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: s.Fn.Name, Round: round, Phase: p.Name(), Dur: time.Since(t0)})
+			}
+			s.AM.Invalidate(p.Preserves())
+			if pp, ok := p.(PostPhaser); ok {
+				pp.PostPhase(s)
+			}
+		}
+		if s.Converged() {
+			return round + 1, nil
+		}
+	}
+	return maxRounds, fmt.Errorf("%w after %d rounds", ErrRoundLimit, maxRounds)
+}

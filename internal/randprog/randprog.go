@@ -84,13 +84,6 @@ func (g *gen) fresh(prefix string) string {
 
 func (g *gen) pick(n int) int { return g.rng.Intn(n) }
 
-func min2(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
 
 // program emits globals, helper functions, and main.
@@ -107,9 +100,9 @@ func (g *gen) program() string {
 	mainOpts := g.opts
 	g.opts = Options{
 		Funcs:       mainOpts.Funcs,
-		MaxStmts:    min2(mainOpts.MaxStmts, 5),
-		MaxDepth:    min2(mainOpts.MaxDepth, 2),
-		MaxLoopTrip: min2(mainOpts.MaxLoopTrip, 4),
+		MaxStmts:    min(mainOpts.MaxStmts, 5),
+		MaxDepth:    min(mainOpts.MaxDepth, 2),
+		MaxLoopTrip: min(mainOpts.MaxLoopTrip, 4),
 	}
 	for i := 0; i < g.opts.Funcs; i++ {
 		sig := funcSig{

@@ -20,11 +20,10 @@
 package regalloc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
-	"time"
 
-	"repro/internal/cfg"
 	"repro/internal/freq"
 	"repro/internal/interference"
 	"repro/internal/ir"
@@ -32,6 +31,7 @@ import (
 	"repro/internal/liverange"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // Strategy is one register-allocation approach: it performs the color
@@ -610,11 +610,23 @@ type Options struct {
 	// artifacts (CFG, liveness, base interference graphs): every
 	// allocation rebuilds from scratch. Exists for A/B benchmarking.
 	NoPrepCache bool
+	// Pipeline overrides the pass pipeline. Nil — the default — runs
+	// BuildPipeline(strat, insertSpills, opts), i.e. the standard
+	// liveness → build-graph → coalesce → liverange → color →
+	// spill-rewrite sequence with the coalescing and rebuild options
+	// applied. Ablations set a derived pipeline (Replace/Drop) here;
+	// when set, the Coalesce, ConservativeCoalesce, and Rebuild fields
+	// are ignored — the pipeline already encodes them.
+	Pipeline *pipeline.Pipeline
 }
+
+// DefaultMaxRounds is the default bound on build→color→spill rounds
+// (pipeline.DefaultMaxRounds).
+const DefaultMaxRounds = pipeline.DefaultMaxRounds
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options {
-	return Options{Coalesce: true, MaxRounds: 32}
+	return Options{Coalesce: true, MaxRounds: DefaultMaxRounds}
 }
 
 // FuncAlloc is the final allocation of one function.
@@ -669,214 +681,37 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 // frozen. Many goroutines may allocate from the same PreparedFunc
 // concurrently; the result is byte-identical to AllocateFunc on a
 // fresh function.
+//
+// The allocation itself is a pass pipeline (package pipeline): by
+// default the one BuildPipeline assembles from opts, or the pipeline
+// opts.Pipeline overrides it with. The runner emits the per-pass phase
+// events; a run that exhausts the round budget returns an error
+// wrapping pipeline.ErrRoundLimit.
 func AllocatePrepared(prep *PreparedFunc, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
-	if opts.MaxRounds == 0 {
-		opts.MaxRounds = 32
+	pl := opts.Pipeline
+	if pl == nil {
+		def := BuildPipeline(strat, insertSpills, opts)
+		pl = &def
 	}
-	fn := prep.Fn
-	work := fn // cloned lazily, right before the first spill rewrite
-	cloned := false
-	noSpill := make(map[ir.Reg]bool)
-	slotOf := make(map[ir.Reg]*ir.Symbol)
-	isNoSpill := func(r ir.Reg) bool { return noSpill[r] }
-
-	// State for the graph-reconstruction phase: the uncoalesced graphs
-	// of the previous round, the registers spilled last round, and the
-	// temporaries the spill rewrite introduced.
-	var baseGraphs [ir.NumClasses]*interference.Graph
-	var lastSpilled map[ir.Reg]*ir.Symbol
-	lastTemps := make(map[ir.Reg]bool)
-
-	tr := opts.Tracer
-	traced := tr != nil && tr.Enabled()
-	var t0 time.Time
-
-	// The round-0 aggressive-coalesce result and the round-0 range
-	// analysis are strategy- and configuration-independent too (the
-	// aggressive merge loop never reads k, and round 0 has no spill
-	// temporaries), so the default untraced configuration shares them
-	// across cells as well.
-	cachedRound0 := opts.Coalesce && !opts.ConservativeCoalesce && !traced
-
-	for round := 0; round < opts.MaxRounds; round++ {
-		var live *liveness.Info
-		if round == 0 {
-			if traced {
-				t0 = phaseStart(tr, work.Name, round, obs.PhaseLiveness)
-			}
-			liveHit := !prep.ensureLive()
-			live = prep.live.Fork()
-			if traced {
-				phaseEnd(tr, work.Name, round, obs.PhaseLiveness, t0)
-				t0 = phaseStart(tr, work.Name, round, obs.PhaseBuild)
-			}
-			baseHit := !prep.ensureBase()
-			for c := ir.Class(0); c < ir.NumClasses; c++ {
-				baseGraphs[c] = prep.base[c].Snapshot()
-			}
-			if traced {
-				phaseEnd(tr, work.Name, round, obs.PhaseBuild, t0)
-				if liveHit && baseHit {
-					tr.Emit(obs.Event{Kind: obs.KindPrepCache, Fn: work.Name, Round: round})
-				}
-			}
-		} else {
-			if traced {
-				t0 = phaseStart(tr, work.Name, round, obs.PhaseLiveness)
-			}
-			g := cfg.New(work)
-			live = liveness.Compute(work, g)
-			if traced {
-				phaseEnd(tr, work.Name, round, obs.PhaseLiveness, t0)
-				t0 = phaseStart(tr, work.Name, round, obs.PhaseBuild)
-			}
-			for c := ir.Class(0); c < ir.NumClasses; c++ {
-				if opts.Rebuild {
-					baseGraphs[c] = interference.Build(work, live, c)
-				} else {
-					baseGraphs[c] = interference.Reconstruct(baseGraphs[c], work, live, lastSpilled,
-						func(r ir.Reg) bool { return lastTemps[r] })
-				}
-			}
-			if traced {
-				phaseEnd(tr, work.Name, round, obs.PhaseBuild, t0)
-			}
+	s := pipeline.NewState(prep, ff, config, opts.Tracer)
+	runner := &pipeline.Runner{Passes: pl.Passes(), MaxRounds: opts.MaxRounds}
+	rounds, err := runner.Run(s)
+	if err != nil {
+		if errors.Is(err, pipeline.ErrRoundLimit) {
+			return nil, fmt.Errorf("regalloc: %s did not converge on %s: %w", strat.Name(), prep.Fn.Name, err)
 		}
-		if traced {
-			t0 = phaseStart(tr, work.Name, round, obs.PhaseCoalesce)
-		}
-		var graphs [ir.NumClasses]*interference.Graph
-		if round == 0 && cachedRound0 {
-			cg := prep.coalescedGraphs()
-			for c := ir.Class(0); c < ir.NumClasses; c++ {
-				graphs[c] = cg[c].Snapshot()
-			}
-		} else {
-			for c := ir.Class(0); c < ir.NumClasses; c++ {
-				if opts.Coalesce {
-					graphs[c] = baseGraphs[c].Snapshot()
-					if traced {
-						class, rnd := c, round
-						graphs[c].TraceMerge = func(kept, gone ir.Reg) {
-							tr.Emit(obs.Event{Kind: obs.KindCoalesceMerge, Fn: work.Name,
-								Class: class, Round: rnd, Reg: kept, With: gone})
-						}
-					}
-					graphs[c].Coalesce(opts.ConservativeCoalesce, config.Total(c))
-					graphs[c].TraceMerge = nil
-				} else {
-					// A snapshot, never the base itself: nothing the
-					// coloring round does to graphs[c] may reach the base
-					// graph that Reconstruct patches next round.
-					graphs[c] = baseGraphs[c].Snapshot()
-				}
-			}
-		}
-		if traced {
-			phaseEnd(tr, work.Name, round, obs.PhaseCoalesce, t0)
-			t0 = phaseStart(tr, work.Name, round, obs.PhaseRanges)
-		}
-		var ranges *liverange.Set
-		if round == 0 && cachedRound0 {
-			ranges = prep.rangesFor(ff)
-		} else {
-			ranges = liverange.Analyze(work, live, &graphs, ff, isNoSpill)
-		}
-		if traced {
-			phaseEnd(tr, work.Name, round, obs.PhaseRanges, t0)
-			t0 = phaseStart(tr, work.Name, round, obs.PhaseColor)
-		}
-
-		spillSet := make(map[ir.Reg]*ir.Symbol)
-		colors := make([]machine.PhysReg, work.NumRegs())
-		for i := range colors {
-			colors[i] = machine.NoPhysReg
-		}
-		for c := ir.Class(0); c < ir.NumClasses; c++ {
-			ctx := &ClassContext{
-				Fn:     work,
-				Class:  c,
-				Graph:  graphs[c],
-				Ranges: ranges,
-				Config: config,
-				Round:  round,
-				Tracer: tr,
-			}
-			res := strat.Allocate(ctx)
-			for rep, col := range res.Colors {
-				for _, m := range graphs[c].Members(rep) {
-					colors[m] = col
-				}
-			}
-			for _, rep := range res.Spilled {
-				slot := &ir.Symbol{
-					Name:  fmt.Sprintf("%s.spill.%d", work.Name, len(slotOf)+len(spillSet)),
-					Class: c,
-					Local: true,
-					Spill: true,
-				}
-				members := graphs[c].Members(rep)
-				for _, m := range members {
-					spillSet[m] = slot
-				}
-				if traced {
-					tr.Emit(obs.Event{Kind: obs.KindRewriteInsert, Fn: work.Name,
-						Class: c, Round: round, Reg: rep, Slot: slot.Name, N: len(members)})
-				}
-			}
-		}
-		if traced {
-			phaseEnd(tr, work.Name, round, obs.PhaseColor, t0)
-		}
-
-		if len(spillSet) == 0 {
-			return &FuncAlloc{
-				Fn:     work,
-				Colors: colors,
-				SlotOf: slotOf,
-				Rounds: round + 1,
-				Ranges: ranges,
-				Live:   live,
-				Graphs: graphs,
-				Config: config,
-			}, nil
-		}
-
-		for r, slot := range spillSet {
-			slotOf[r] = slot
-		}
-		lastSpilled = spillSet
-		lastTemps = make(map[ir.Reg]bool)
-		if traced {
-			t0 = phaseStart(tr, work.Name, round, obs.PhaseRewrite)
-		}
-		if !cloned {
-			// Round 0 ran entirely on copy-on-write views of the
-			// original; only a spill rewrite needs a private body.
-			work = fn.Clone()
-			cloned = true
-		}
-		insertSpills(work, spillSet, func(t ir.Reg) {
-			noSpill[t] = true
-			lastTemps[t] = true
-		})
-		if traced {
-			phaseEnd(tr, work.Name, round, obs.PhaseRewrite, t0)
-		}
+		return nil, fmt.Errorf("regalloc: %s on %s: %w", strat.Name(), prep.Fn.Name, err)
 	}
-	return nil, fmt.Errorf("regalloc: %s did not converge on %s after %d rounds", strat.Name(), fn.Name, opts.MaxRounds)
-}
-
-// phaseStart emits the PhaseStart event and opens the timing window.
-// Callers guard on the tracer being enabled.
-func phaseStart(tr obs.Tracer, fn string, round int, phase string) time.Time {
-	tr.Emit(obs.Event{Kind: obs.KindPhaseStart, Fn: fn, Round: round, Phase: phase})
-	return time.Now()
-}
-
-// phaseEnd emits the PhaseEnd event carrying the measured wall time.
-func phaseEnd(tr obs.Tracer, fn string, round int, phase string, t0 time.Time) {
-	tr.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: fn, Round: round, Phase: phase, Dur: time.Since(t0)})
+	return &FuncAlloc{
+		Fn:     s.Fn,
+		Colors: s.Colors,
+		SlotOf: s.SlotOf,
+		Rounds: rounds,
+		Ranges: s.Ranges,
+		Live:   s.Live,
+		Graphs: s.Graphs,
+		Config: config,
+	}, nil
 }
 
 // SortRegs sorts a register slice in increasing order (a convenience
