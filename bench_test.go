@@ -11,6 +11,7 @@ package callcost_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/benchprog"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/liverange"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
 )
@@ -338,6 +340,75 @@ func BenchmarkReconstruction(b *testing.B) { benchDriver(b, false) }
 // BenchmarkFullRebuild is the rebuild-from-scratch baseline for
 // BenchmarkReconstruction.
 func BenchmarkFullRebuild(b *testing.B) { benchDriver(b, true) }
+
+// roundTimer is a tracer that accumulates the wall time of every
+// pipeline phase of rounds ≥ 1 — the spill rounds, where the
+// incremental dataflow machinery operates.
+type roundTimer struct{ total time.Duration }
+
+func (rt *roundTimer) Enabled() bool { return true }
+func (rt *roundTimer) Emit(ev obs.Event) {
+	if ev.Kind == obs.KindPhaseEnd && ev.Round >= 1 {
+		rt.total += ev.Dur
+	}
+}
+
+// BenchmarkSpillRound measures the spill rounds (round ≥ 1) of
+// multi-round allocations under three dataflow regimes: the default
+// incremental path (liveness.Rebase from the rewritten blocks, block
+// map column updates, interference reconstruction), the same pipeline
+// with only the liveness/block-map update ablated to a full re-solve,
+// and the all-from-scratch Options.Rebuild baseline. The reported
+// round1+_us/op metric is the per-allocation wall time of rounds ≥ 1;
+// the ns/op column is the whole allocation. All three regimes produce
+// byte-identical allocations (pinned by TestIncrementalMatchesRebuild
+// and TestPipelineMatchesLegacy).
+func BenchmarkSpillRound(b *testing.B) {
+	cases := []struct{ prog, fn string }{
+		{"fpppp", "twoel"},
+		{"tomcatv", "main"},
+		{"eqntott", "buildtt"},
+	}
+	modes := []struct {
+		name string
+		opts func(regalloc.Options) regalloc.Options
+	}{
+		{"update", func(o regalloc.Options) regalloc.Options { return o }},
+		{"full-liveness", func(o regalloc.Options) regalloc.Options {
+			pl := regalloc.BuildPipeline(callcost.Chaitin(), rewrite.InsertSpills, o).
+				Replace(obs.PhaseLiveness, regalloc.LivenessPass(true))
+			o.Pipeline = &pl
+			return o
+		}},
+		{"rebuild", func(o regalloc.Options) regalloc.Options { o.Rebuild = true; return o }},
+	}
+	cfgRegs := callcost.NewConfig(6, 4, 0, 0)
+	for _, c := range cases {
+		p, err := benchEnv.Get(c.prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn := p.Program.IR.FuncByName[c.fn]
+		ff := p.Dynamic.ByFunc[c.fn]
+		for _, m := range modes {
+			b.Run(c.prog+"_"+c.fn+"/"+m.name, func(b *testing.B) {
+				tr := &roundTimer{}
+				opts := regalloc.DefaultOptions()
+				opts.Tracer = tr
+				opts = m.opts(opts)
+				b.ResetTimer()
+				tr.total = 0
+				for i := 0; i < b.N; i++ {
+					if _, err := regalloc.AllocateFunc(fn, ff, cfgRegs, callcost.Chaitin(),
+						rewrite.InsertSpills, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(tr.total.Nanoseconds())/1e3/float64(b.N), "round1+_us/op")
+			})
+		}
+	}
+}
 
 func benchDriver(b *testing.B, rebuild bool) {
 	b.Helper()

@@ -194,7 +194,7 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 		if !ok {
 			break
 		}
-		free := ctx.FreeColors(res.Colors, rep)
+		free := ctx.FreeColors(res, rep)
 		var usable []machine.PhysReg
 		for _, pr := range free {
 			if ctx.Config.IsCalleeSave(ctx.Class, pr) {
@@ -214,7 +214,7 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 				// caller-save register available in practice; if the
 				// universe is empty (degenerate), fall back to any free
 				// register rather than looping forever.
-				res.Colors[rep] = free[0]
+				ctx.Assign(res, rep, free[0])
 				ctx.EmitAssign(rep, free[0], false)
 				continue
 			}
@@ -233,7 +233,7 @@ func (s *CBH) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 				}
 			}
 		}
-		res.Colors[rep] = choice
+		ctx.Assign(res, rep, choice)
 		ctx.EmitAssign(rep, choice, crosses(rep))
 	}
 	return res

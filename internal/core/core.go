@@ -141,7 +141,7 @@ func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 		if !ok {
 			break
 		}
-		free := ctx.FreeColors(res.Colors, rep)
+		free := ctx.FreeColors(res, rep)
 		if len(free) == 0 {
 			res.Spilled = append(res.Spilled, rep) // optimistic push failed
 			ctx.EmitSpill(rep, obs.ReasonNoColor, 0)
@@ -180,7 +180,7 @@ func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			// SharedCost defers the decision to the post-pass below.
 		}
 
-		res.Colors[rep] = color
+		ctx.Assign(res, rep, color)
 		ctx.EmitAssign(rep, color, wantCallee)
 		if kindCallee {
 			usedCallee[color] = true
@@ -212,7 +212,7 @@ func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			}
 			if spillable && sum < calleeCost {
 				for _, u := range users {
-					delete(res.Colors, u)
+					ctx.Unassign(res, u)
 					res.Spilled = append(res.Spilled, u)
 					// Key: the combined spill cost of every user of the
 					// register, the quantity that lost to calleeCost.
@@ -221,6 +221,7 @@ func (im *Improved) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			}
 		}
 	}
+	simp.Release(stack)
 	return res
 }
 

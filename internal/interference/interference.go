@@ -300,14 +300,20 @@ func (g *Graph) NeighborsSorted(r ir.Reg) []ir.Reg {
 // in increasing register order (deterministic). Only registers that
 // ever occurred are scanned, not the whole register space.
 func (g *Graph) Nodes() []ir.Reg {
-	out := make([]ir.Reg, 0, len(g.nodes))
+	return g.AppendNodes(make([]ir.Reg, 0, len(g.nodes)))
+}
+
+// AppendNodes is Nodes into caller-owned storage: the representatives
+// are appended to buf (which should arrive empty, typically a reused
+// buffer resliced to [:0]) and the grown, sorted slice is returned.
+func (g *Graph) AppendNodes(buf []ir.Reg) []ir.Reg {
 	for _, r := range g.nodes {
 		if g.parent[r] == r && g.occurs[r] {
-			out = append(out, r)
+			buf = append(buf, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf
 }
 
 // Members returns all virtual registers whose live range is represented
@@ -321,6 +327,16 @@ func (g *Graph) Members(rep ir.Reg) []ir.Reg {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// ForEachMember calls f for every member of rep's live range, rep
+// included, in member-cycle order — unsorted and allocation-free. Use
+// Members where a deterministic order matters.
+func (g *Graph) ForEachMember(rep ir.Reg, f func(m ir.Reg)) {
+	f(rep)
+	for r := g.next[rep]; r != rep; r = g.next[r] {
+		f(r)
+	}
 }
 
 // Coalesce performs aggressive Chaitin-style coalescing: every move

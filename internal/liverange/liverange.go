@@ -86,32 +86,76 @@ type Set struct {
 	Calls  []CallSite
 	// EntryFreq is the function's invocation count/estimate.
 	EntryFreq float64
+
+	// byRep is Ranges as a flat register-indexed slice — the allocator
+	// looks ranges up in its hottest loops (simplify keys, spill
+	// heuristics), where a map access is measurable.
+	byRep []*Range
 }
 
 // Of returns the Range of the representative rep (nil if rep is not a
 // node).
-func (s *Set) Of(rep ir.Reg) *Range { return s.Ranges[rep] }
+func (s *Set) Of(rep ir.Reg) *Range {
+	if int(rep) < len(s.byRep) {
+		return s.byRep[rep]
+	}
+	return s.Ranges[rep]
+}
 
 // Analyze computes the ranges of fn. graphs supplies the per-bank
 // interference graphs (used for the representative mapping), ff the
 // frequencies, and noSpill the set of spill-temporary registers.
 func Analyze(fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interference.Graph, ff *freq.FuncFreq, noSpill func(ir.Reg) bool) *Set {
+	return AnalyzeWith(nil, fn, live, graphs, ff, noSpill)
+}
+
+// AnalyzeWith is Analyze consuming a prebuilt (possibly incrementally
+// rebased) BlockMap for the Size metric; bm must cover fn's current
+// blocks and registers. A nil bm builds one on the spot, which is how
+// Analyze runs — so the full and incremental paths share every line of
+// the cost computation and can only differ if the block map itself
+// does (pinned by the differential tests).
+func AnalyzeWith(bm *BlockMap, fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interference.Graph, ff *freq.FuncFreq, noSpill func(ir.Reg) bool) *Set {
+	nr := fn.NumRegs()
 	s := &Set{
 		Fn:        fn,
 		Ranges:    make(map[ir.Reg]*Range),
+		byRep:     make([]*Range, nr),
 		EntryFreq: ff.Entry,
 	}
-	find := func(r ir.Reg) ir.Reg { return graphs[fn.RegClass(r)].Find(r) }
-	rangeOf := func(r ir.Reg) *Range {
-		rep := find(r)
-		rg := s.Ranges[rep]
+	// The representative of a register is stable for the whole analysis,
+	// and the loops below resolve every operand occurrence — memoize the
+	// union-find lookups in a flat slice.
+	repOf := make([]ir.Reg, nr)
+	for i := range repOf {
+		repOf[i] = ir.NoReg
+	}
+	find := func(r ir.Reg) ir.Reg {
+		rep := repOf[r]
+		if rep == ir.NoReg {
+			rep = graphs[fn.RegClass(r)].Find(r)
+			repOf[r] = rep
+		}
+		return rep
+	}
+	// Range structs are carved from chunked backing arrays (pointers
+	// must stay stable once handed out) instead of one heap object per
+	// range.
+	var chunk []Range
+	rangeOf := func(rep ir.Reg) *Range {
+		rg := s.byRep[rep]
 		if rg == nil {
-			rg = &Range{
+			if len(chunk) == cap(chunk) {
+				chunk = make([]Range, 0, 64)
+			}
+			chunk = append(chunk, Range{
 				Rep:           rep,
 				Class:         fn.RegClass(rep),
 				CalleeCost:    2 * ff.Entry,
 				BenefitCallee: -2 * ff.Entry,
-			}
+			})
+			rg = &chunk[len(chunk)-1]
+			s.byRep[rep] = rg
 			s.Ranges[rep] = rg
 		}
 		return rg
@@ -119,19 +163,25 @@ func Analyze(fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interfere
 
 	// Reference counts and spill cost: one memory operation per def
 	// (store) and per distinct use in an instruction (load), weighted
-	// by block frequency.
+	// by block frequency. seen dedups an instruction's uses by
+	// representative; instructions have a handful of operands, so a
+	// linear scan beats a map.
+	seen := make([]ir.Reg, 0, 16)
 	for _, b := range fn.Blocks {
 		w := ff.Block[b.ID]
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
-			seen := make(map[ir.Reg]bool, len(in.Args))
+			seen = seen[:0]
+		args:
 			for _, a := range in.Args {
 				rep := find(a)
-				if seen[rep] {
-					continue
+				for _, p := range seen {
+					if p == rep {
+						continue args
+					}
 				}
-				seen[rep] = true
-				rg := rangeOf(a)
+				seen = append(seen, rep)
+				rg := rangeOf(rep)
 				rg.Refs++
 				rg.SpillCost += w
 				if noSpill != nil && noSpill(a) {
@@ -139,7 +189,7 @@ func Analyze(fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interfere
 				}
 			}
 			if in.HasDst() {
-				rg := rangeOf(in.Dst)
+				rg := rangeOf(find(in.Dst))
 				rg.Refs++
 				rg.SpillCost += w
 				if noSpill != nil && noSpill(in.Dst) {
@@ -150,50 +200,38 @@ func Analyze(fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interfere
 	}
 
 	// Size: blocks where the range is live-in, live-out, or referenced.
-	sizeSets := make(map[ir.Reg]*bitset.Set)
-	touch := func(r ir.Reg, blockID int) {
-		rep := find(r)
-		if s.Ranges[rep] == nil {
-			return
-		}
-		bs := sizeSets[rep]
-		if bs == nil {
-			bs = bitset.New(len(fn.Blocks))
-			sizeSets[rep] = bs
-		}
-		bs.Add(blockID)
+	// A range's block set is the union of its coalesced members' rows in
+	// the block map (every register in a live set or an instruction
+	// resolves to its representative through find, so the member union
+	// reproduces the classic per-representative scan exactly).
+	if bm == nil {
+		bm = NewBlockMap(fn, live)
 	}
-	for _, b := range fn.Blocks {
-		live.In[b.ID].ForEach(func(i int) { touch(ir.Reg(i), b.ID) })
-		live.Out[b.ID].ForEach(func(i int) { touch(ir.Reg(i), b.ID) })
-		for i := range b.Instrs {
-			in := &b.Instrs[i]
-			for _, a := range in.Args {
-				touch(a, b.ID)
-			}
-			if in.HasDst() {
-				touch(in.Dst, b.ID)
-			}
-		}
-	}
-	for rep, bs := range sizeSets {
-		s.Ranges[rep].Size = bs.Count()
+	sizeScratch := bitset.New(len(fn.Blocks))
+	for rep, rg := range s.Ranges {
+		rg.Size = bm.sizeOfRange(graphs[rg.Class], rep, sizeScratch)
 	}
 
 	// Call crossings: caller-save cost is two memory operations per
-	// crossed call execution.
+	// crossed call execution. The per-site representative dedup reuses a
+	// flat flag array, reset through the touched list.
+	crossFlag := make([]bool, nr)
+	touched := make([]ir.Reg, 0, 32)
 	live.LiveAcrossCalls(func(b *ir.Block, idx int, call *ir.Instr, crossing *bitset.Set) {
 		w := ff.Block[b.ID]
 		site := CallSite{Block: b, Index: idx, Freq: w}
-		crossReps := make(map[ir.Reg]bool)
+		for _, r := range touched {
+			crossFlag[r] = false
+		}
+		touched = touched[:0]
 		crossing.ForEach(func(i int) {
-			r := ir.Reg(i)
-			rep := find(r)
-			if crossReps[rep] {
+			rep := find(ir.Reg(i))
+			if crossFlag[rep] {
 				return
 			}
-			crossReps[rep] = true
-			rg := s.Ranges[rep]
+			crossFlag[rep] = true
+			touched = append(touched, rep)
+			rg := s.byRep[rep]
 			if rg == nil {
 				// Live range with no references (possible only for
 				// unused params); skip.

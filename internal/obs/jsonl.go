@@ -90,6 +90,11 @@ func (ev Event) jsonMap() map[string]any {
 		m["reason"] = ev.Reason
 	case KindPrepCache:
 		m["round"] = ev.Round
+	case KindLiveness:
+		m["round"] = ev.Round
+		m["mode"] = ev.Reason
+		m["visited"] = ev.N
+		m["total"] = ev.Total
 	}
 	return m
 }

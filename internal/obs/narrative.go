@@ -32,7 +32,10 @@ func (s *Narrative) Enabled() bool { return true }
 
 // Emit implements Tracer.
 func (s *Narrative) Emit(ev Event) {
-	if ev.Kind == KindPhaseStart || ev.Kind == KindPhaseEnd {
+	// Phase boundaries and analysis introspection (prep-cache hits,
+	// liveness solver statistics) are omitted: the narrative is the
+	// story of allocation decisions.
+	if ev.Kind == KindPhaseStart || ev.Kind == KindPhaseEnd || ev.Kind == KindLiveness {
 		return
 	}
 	s.mu.Lock()

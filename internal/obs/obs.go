@@ -60,6 +60,13 @@ const (
 	// interference graphs were reused instead of rebuilt. Emitted only
 	// on a hit, so a single cold allocation's event stream is unchanged.
 	KindPrepCache
+	// KindLiveness records one dataflow solve: Reason carries the mode
+	// ("full" from-scratch solve vs. "update" incremental re-solve from
+	// the spill-rewritten blocks), N the number of block visits the
+	// sparse worklist performed, and Total the function's block count.
+	// Not emitted when liveness was served from an already-built shared
+	// cache without solving.
+	KindLiveness
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -86,6 +93,8 @@ func (k Kind) String() string {
 		return "pref_decide"
 	case KindPrepCache:
 		return "prep_cache"
+	case KindLiveness:
+		return "liveness"
 	}
 	return "unknown"
 }
@@ -167,8 +176,9 @@ type Event struct {
 	BenefitCaller float64 // spill_cost − caller_cost (§4)
 	BenefitCallee float64 // spill_cost − callee_cost (§4)
 
-	Slot string // KindRewriteInsert: stack-slot name
-	N    int    // small count (stack depth, members rewritten, …)
+	Slot  string // KindRewriteInsert: stack-slot name
+	N     int    // small count (stack depth, members rewritten, blocks visited, …)
+	Total int    // KindLiveness: total block count behind N
 }
 
 // Tracer receives the allocator's event stream.

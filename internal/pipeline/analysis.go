@@ -38,6 +38,9 @@ const (
 	AnalysisInterference
 	// AnalysisLiveRanges is the cost/benefit live-range analysis.
 	AnalysisLiveRanges
+	// AnalysisBlockMap is the per-register live-or-referenced block map
+	// feeding the live-range Size metric (liverange.BlockMap).
+	AnalysisBlockMap
 
 	// NumAnalyses is the number of managed analyses.
 	NumAnalyses
@@ -54,6 +57,8 @@ func (a Analysis) String() string {
 		return "interference"
 	case AnalysisLiveRanges:
 		return "liveranges"
+	case AnalysisBlockMap:
+		return "blockmap"
 	}
 	return "unknown"
 }

@@ -7,8 +7,8 @@ import (
 	"repro/internal/freq"
 	"repro/internal/interference"
 	"repro/internal/ir"
-	"repro/internal/liverange"
 	"repro/internal/liveness"
+	"repro/internal/liverange"
 )
 
 // FuncCache caches the round-0 artifacts of one function that depend
@@ -43,6 +43,9 @@ type FuncCache struct {
 
 	coalOnce  sync.Once
 	coalesced [ir.NumClasses]*interference.Graph
+
+	bmOnce sync.Once
+	bm     *liverange.BlockMap
 
 	mu     sync.Mutex
 	ranges map[*freq.FuncFreq]*liverange.Set
@@ -116,12 +119,24 @@ func (p *FuncCache) Coalesced() *[ir.NumClasses]*interference.Graph {
 	return &p.coalesced
 }
 
+// BlockMap returns the frozen round-0 live-range block map, built once
+// from the cached liveness. Like the other shared artifacts it must
+// not be mutated; incremental updates go through Clone.
+func (p *FuncCache) BlockMap() *liverange.BlockMap {
+	p.bmOnce.Do(func() {
+		p.EnsureLive()
+		p.bm = liverange.NewBlockMap(p.Fn, p.live.Fork())
+	})
+	return p.bm
+}
+
 // RangesFor returns the round-0 live-range analysis under ff, cached
 // per frequency table. Round 0 has no spill temporaries yet, so the
 // no-spill predicate is constant false and the result is shared by
 // every cell that allocates this function under ff.
 func (p *FuncCache) RangesFor(ff *freq.FuncFreq) *liverange.Set {
 	cg := p.Coalesced()
+	bm := p.BlockMap()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s, ok := p.ranges[ff]; ok {
@@ -132,7 +147,7 @@ func (p *FuncCache) RangesFor(ff *freq.FuncFreq) *liverange.Set {
 		graphs[c] = cg[c].Snapshot()
 	}
 	live := p.live.Fork()
-	s := liverange.Analyze(p.Fn, live, &graphs, ff, func(ir.Reg) bool { return false })
+	s := liverange.AnalyzeWith(bm, p.Fn, live, &graphs, ff, func(ir.Reg) bool { return false })
 	if p.ranges == nil {
 		p.ranges = make(map[*freq.FuncFreq]*liverange.Set)
 	}

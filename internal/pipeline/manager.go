@@ -5,8 +5,18 @@ import (
 	"repro/internal/freq"
 	"repro/internal/interference"
 	"repro/internal/ir"
-	"repro/internal/liverange"
 	"repro/internal/liveness"
+	"repro/internal/liverange"
+)
+
+// Liveness modes reported by LiveStat — how the manager obtained the
+// current liveness solution. The obs `liveness` event carries them.
+const (
+	// LiveModeFull: a from-scratch sparse solve over the whole function.
+	LiveModeFull = "full"
+	// LiveModeUpdate: an incremental re-solve seeded from the blocks
+	// the spill rewrite modified (liveness.Rebase).
+	LiveModeUpdate = "update"
 )
 
 // AnalysisManager owns the analysis artifacts of one allocation run and
@@ -19,11 +29,16 @@ import (
 // The manager generalizes the shared prep cache: while the working
 // function is still the cached original (every round 0), a requested
 // analysis is served from the FuncCache as a copy-on-write view — a
-// liveness Fork or an interference Snapshot — leaving the shared
-// artifact frozen. Once a spill rewrite has replaced the function, the
-// cache no longer applies and analyses are recomputed; the interference
-// graphs recompute incrementally, using the previous round's (now
-// stale) graphs as seeds for interference.Reconstruct.
+// liveness Fork, an interference Snapshot, or the frozen live-range
+// block map — leaving the shared artifact frozen. Once a spill rewrite
+// has replaced the function, the cache no longer applies and analyses
+// are recomputed — incrementally where the rewrite evidence allows:
+// the interference graphs are patched by interference.Reconstruct from
+// the previous round's (now stale) graphs, liveness is re-solved only
+// from the rewritten blocks by liveness.Rebase (reusing the CFG
+// through a retargeted view, since spill code never changes block
+// structure), and the live-range block map re-scans only the blocks
+// whose liveness the update actually changed.
 //
 // A manager belongs to one State and is not safe for concurrent use;
 // concurrency happens one level up, with many managers reading one
@@ -35,16 +50,38 @@ type AnalysisManager struct {
 
 	cfg  *cfg.Graph
 	live *liveness.Info
+	// liveOwned marks live as privately owned (safe for Rebase to
+	// mutate); a round-0 Fork of the cached Info is shared and must be
+	// rebased copy-on-write.
+	liveOwned bool
 	// base holds the current per-class uncoalesced graphs. After an
 	// invalidation the entries are stale rather than discarded: they
 	// are exactly what Reconstruct patches into the next round's
 	// graphs.
 	base [ir.NumClasses]*interference.Graph
 
+	// bm is the live-range block map, with the same stale-then-rebased
+	// lifecycle as base; bmOwned mirrors liveOwned for the shared
+	// round-0 artifact.
+	bm      *liverange.BlockMap
+	bmOwned bool
+
 	// Rewrite evidence for incremental reconstruction: the registers
-	// spilled by the last rewrite and the temporaries it introduced.
-	spilled map[ir.Reg]*ir.Symbol
-	temps   map[ir.Reg]bool
+	// spilled by the last rewrite, the temporaries it introduced, and
+	// the blocks it modified (haveDirty distinguishes "no rewrite
+	// happened" from an inserter that reported nil = unknown).
+	spilled   map[ir.Reg]*ir.Symbol
+	temps     map[ir.Reg]bool
+	dirty     []int
+	haveDirty bool
+
+	// changed lists the blocks whose liveness sets the last Rebase may
+	// have changed (consumed by the block-map update); liveMode and
+	// liveVisited describe the last solve for LiveStat.
+	changed     []int
+	haveChanged bool
+	liveMode    string
+	liveVisited int
 }
 
 // NewAnalysisManager returns a manager serving analyses of the cached
@@ -71,47 +108,98 @@ func (m *AnalysisManager) MarkValid(a Analysis) { m.valid = m.valid.With(a) }
 
 // SetFunc switches the manager to a rewritten working function (the
 // lazily-created clone). Everything is invalidated; the stale base
-// graphs are retained as reconstruction seeds.
+// graphs, liveness, and block map are retained as incremental seeds,
+// but any not-yet-consumed rewrite evidence is dropped — it described
+// a different function.
 func (m *AnalysisManager) SetFunc(fn *ir.Func) {
 	m.fn = fn
 	m.valid = PreserveNone
+	m.haveDirty = false
+	m.haveChanged = false
 }
 
 // RecordRewrite stores the evidence of a spill rewrite — which
-// registers were sent to memory and which temporaries the rewrite
-// introduced — for the next incremental interference reconstruction.
-func (m *AnalysisManager) RecordRewrite(spilled map[ir.Reg]*ir.Symbol, temps map[ir.Reg]bool) {
+// registers were sent to memory, which temporaries the rewrite
+// introduced, and which blocks it modified — for the next round's
+// incremental reconstruction and dataflow update. A nil dirty slice
+// means the inserter could not bound its effect; the next liveness
+// request then falls back to a full solve.
+func (m *AnalysisManager) RecordRewrite(spilled map[ir.Reg]*ir.Symbol, temps map[ir.Reg]bool, dirty []int) {
 	m.spilled = spilled
 	m.temps = temps
+	m.dirty = dirty
+	m.haveDirty = dirty != nil
 }
 
 // Liveness returns the liveness of the working function, computing it
 // if invalid. While the working function is the cached original the
 // result is a private Fork of the shared frozen Info; hit reports
 // whether the shared artifact was already built (the prep-cache hit
-// signal). After a rewrite, liveness (and the CFG) are recomputed from
-// scratch.
-func (m *AnalysisManager) Liveness() (live *liveness.Info, hit bool) {
+// signal). After a rewrite the previous solution is updated
+// incrementally from the rewritten blocks (liveness.Rebase), reusing
+// the CFG through a retargeted view — unless rebuild is set, no
+// rewrite evidence exists, or the block structure changed, in which
+// case liveness and the CFG are recomputed from scratch.
+func (m *AnalysisManager) Liveness(rebuild bool) (live *liveness.Info, hit bool) {
 	if m.valid.Has(AnalysisLiveness) {
 		return m.live, true
 	}
-	if m.FromCache() {
+	switch {
+	case m.FromCache():
 		hit = !m.cache.EnsureLive()
 		m.cfg = m.cache.CFG()
 		m.live = m.cache.Liveness().Fork()
-	} else {
+		m.liveOwned = false
+		m.haveChanged = false
+		m.liveMode = ""
+		if !hit {
+			m.liveMode = LiveModeFull
+		}
+	case !rebuild && m.haveDirty && m.live != nil && m.cfg != nil &&
+		len(m.fn.Blocks) == len(m.live.In):
+		m.cfg = m.cfg.Retarget(m.fn)
+		removed := make([]ir.Reg, 0, len(m.spilled))
+		for r := range m.spilled {
+			removed = append(removed, r)
+		}
+		var chg []int
+		m.live, chg = liveness.Rebase(m.live, m.fn, m.cfg, m.dirty, removed, m.liveOwned)
+		m.liveOwned = true
+		m.changed = chg
+		m.haveChanged = chg != nil
+		m.liveMode = LiveModeUpdate
+		if chg == nil {
+			// Rebase declined and recomputed densely.
+			m.liveMode = LiveModeFull
+		}
+	default:
 		m.cfg = cfg.New(m.fn)
 		m.live = liveness.Compute(m.fn, m.cfg)
+		m.liveOwned = true
+		m.haveChanged = false
+		m.liveMode = LiveModeFull
 	}
+	m.haveDirty = false // consumed; a fresh rewrite must re-arm it
+	m.liveVisited = m.live.Visited
 	m.valid = m.valid.With(AnalysisCFG).With(AnalysisLiveness)
 	return m.live, hit
+}
+
+// LiveStat describes how the current liveness solution was last
+// obtained: the mode (LiveModeFull or LiveModeUpdate; empty when it
+// was served from the already-built shared cache without solving), the
+// number of block visits the solver performed, and the function's
+// total block count. The liveness pass turns this into the obs
+// `liveness` event.
+func (m *AnalysisManager) LiveStat() (mode string, visited, total int) {
+	return m.liveMode, m.liveVisited, len(m.fn.Blocks)
 }
 
 // CFG returns the control-flow graph of the working function,
 // computing it (together with liveness) if invalid.
 func (m *AnalysisManager) CFG() *cfg.Graph {
 	if !m.valid.Has(AnalysisCFG) {
-		m.Liveness()
+		m.Liveness(false)
 	}
 	return m.cfg
 }
@@ -134,7 +222,7 @@ func (m *AnalysisManager) Interference(rebuild bool) (hit bool) {
 		}
 	} else {
 		if !m.valid.Has(AnalysisLiveness) {
-			m.Liveness()
+			m.Liveness(rebuild)
 		}
 		for c := ir.Class(0); c < ir.NumClasses; c++ {
 			if rebuild || m.base[c] == nil {
@@ -147,6 +235,38 @@ func (m *AnalysisManager) Interference(rebuild bool) (hit bool) {
 	}
 	m.valid = m.valid.With(AnalysisInterference)
 	return hit
+}
+
+// BlockMap materializes the live-range block map of the working
+// function: the frozen shared map at round 0, an incremental column
+// update over the blocks the liveness rebase changed after a spill
+// rewrite (cloning the shared map copy-on-write first), or a full
+// rebuild when no usable seed or change list exists. Liveness must be
+// valid; the ranges pass guarantees that order.
+func (m *AnalysisManager) BlockMap() *liverange.BlockMap {
+	if m.valid.Has(AnalysisBlockMap) {
+		return m.bm
+	}
+	if !m.valid.Has(AnalysisLiveness) {
+		m.Liveness(false)
+	}
+	switch {
+	case m.FromCache():
+		m.bm = m.cache.BlockMap()
+		m.bmOwned = false
+	case m.haveChanged && m.bm != nil && m.bm.Blocks() == len(m.fn.Blocks):
+		if !m.bmOwned {
+			m.bm = m.bm.Clone()
+			m.bmOwned = true
+		}
+		m.bm.Rebase(m.fn, m.live, m.changed)
+	default:
+		m.bm = liverange.NewBlockMap(m.fn, m.live)
+		m.bmOwned = true
+	}
+	m.haveChanged = false // consumed
+	m.valid = m.valid.With(AnalysisBlockMap)
+	return m.bm
 }
 
 // Base returns the current base interference graph of one bank.

@@ -188,7 +188,11 @@ func TestRunnerSkipAndHooks(t *testing.T) {
 func TestRunnerInvalidationFollowsPreserves(t *testing.T) {
 	var afterMark, afterKeep, afterWipe pipeline.AnalysisSet
 	mark := stub{name: "mark", preserves: pipeline.PreserveAll,
-		run:  func(s *pipeline.State) error { s.AM.MarkValid(pipeline.AnalysisCFG); s.AM.MarkValid(pipeline.AnalysisLiveness); return nil },
+		run: func(s *pipeline.State) error {
+			s.AM.MarkValid(pipeline.AnalysisCFG)
+			s.AM.MarkValid(pipeline.AnalysisLiveness)
+			return nil
+		},
 		post: func(s *pipeline.State) { afterMark = s.AM.Valid() }}
 	keep := stub{name: "keep", preserves: pipeline.NewSet(pipeline.AnalysisCFG),
 		post: func(s *pipeline.State) { afterKeep = s.AM.Valid() }}
@@ -217,7 +221,7 @@ func TestAnalysisManagerServesCacheViews(t *testing.T) {
 	if !am1.FromCache() {
 		t.Fatal("fresh manager should be on the cached function")
 	}
-	live1, hit := am1.Liveness()
+	live1, hit := am1.Liveness(false)
 	if hit {
 		t.Error("first liveness request against a cold cache reported a hit")
 	}
@@ -226,7 +230,7 @@ func TestAnalysisManagerServesCacheViews(t *testing.T) {
 	}
 
 	am2 := pipeline.NewAnalysisManager(cache)
-	if _, hit := am2.Liveness(); !hit {
+	if _, hit := am2.Liveness(false); !hit {
 		t.Error("second manager on the same cache missed")
 	}
 
@@ -250,7 +254,7 @@ func TestAnalysisManagerServesCacheViews(t *testing.T) {
 func TestAnalysisManagerInvalidationAndSetFunc(t *testing.T) {
 	fn := testFunc(t)
 	am := pipeline.NewAnalysisManager(pipeline.NewFuncCache(fn))
-	am.Liveness()
+	am.Liveness(false)
 	am.Interference(false)
 	if v := am.Valid(); !v.Has(pipeline.AnalysisLiveness) || !v.Has(pipeline.AnalysisInterference) {
 		t.Fatalf("valid = %v after materializing", v)
@@ -269,7 +273,7 @@ func TestAnalysisManagerInvalidationAndSetFunc(t *testing.T) {
 		t.Errorf("valid = %v after SetFunc, want none", am.Valid())
 	}
 	// Recomputation now targets the clone, not the cache.
-	live, hit := am.Liveness()
+	live, hit := am.Liveness(false)
 	if hit || live == nil {
 		t.Errorf("post-rewrite liveness: hit=%v live=%v", hit, live)
 	}
@@ -294,7 +298,7 @@ func TestStateCloneFnIsLazyAndIdempotent(t *testing.T) {
 
 func TestStateWorkGraphsFillsMissingEntries(t *testing.T) {
 	s := newTestState(t)
-	s.AM.Liveness()
+	s.AM.Liveness(false)
 	s.AM.Interference(false)
 	graphs := s.WorkGraphs()
 	for c := ir.Class(0); c < ir.NumClasses; c++ {

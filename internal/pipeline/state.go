@@ -4,8 +4,8 @@ import (
 	"repro/internal/freq"
 	"repro/internal/interference"
 	"repro/internal/ir"
-	"repro/internal/liverange"
 	"repro/internal/liveness"
+	"repro/internal/liverange"
 	"repro/internal/machine"
 	"repro/internal/obs"
 )

@@ -141,14 +141,14 @@ func (c *Chow) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 			ctx.EmitSpill(rep, obs.ReasonNegativePriority, prio[rep])
 			continue
 		}
-		free := ctx.FreeColors(res.Colors, rep)
+		free := ctx.FreeColors(res, rep)
 		if len(free) == 0 {
 			if rg != nil && rg.NoSpill {
 				// Should not happen with realistic configurations; keep
 				// the invariant that unspillable temps always get a
 				// register by stealing the first bank register. The
 				// validator would flag a real conflict.
-				res.Colors[rep] = machine.PhysReg(0)
+				ctx.Assign(res, rep, machine.PhysReg(0))
 				ctx.EmitAssign(rep, res.Colors[rep], false)
 				continue
 			}
@@ -160,13 +160,13 @@ func (c *Chow) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 		preferCallee := rg != nil && rg.PrefersCallee()
 		switch {
 		case preferCallee && len(callee) > 0:
-			res.Colors[rep] = callee[0]
+			ctx.Assign(res, rep, callee[0])
 		case !preferCallee && len(caller) > 0:
-			res.Colors[rep] = caller[0]
+			ctx.Assign(res, rep, caller[0])
 		case len(caller) > 0:
-			res.Colors[rep] = caller[0]
+			ctx.Assign(res, rep, caller[0])
 		default:
-			res.Colors[rep] = callee[0]
+			ctx.Assign(res, rep, callee[0])
 		}
 		ctx.EmitAssign(rep, res.Colors[rep], preferCallee)
 	}

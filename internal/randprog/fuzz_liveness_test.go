@@ -1,0 +1,172 @@
+package randprog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/bitset"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/liverange"
+	"repro/internal/randprog"
+	"repro/internal/rewrite"
+)
+
+// denseSolve is an independent dense round-robin reference solver,
+// duplicated from the liveness differential tests on purpose: the fuzz
+// target should not share code with the implementation under test.
+func denseSolve(fn *ir.Func, g *cfg.Graph) (in, out []*bitset.Set) {
+	n := len(fn.Blocks)
+	nr := fn.NumRegs()
+	use := make([]*bitset.Set, n)
+	def := make([]*bitset.Set, n)
+	in = make([]*bitset.Set, n)
+	out = make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		use[i] = bitset.New(nr)
+		def[i] = bitset.New(nr)
+		in[i] = bitset.New(nr)
+		out[i] = bitset.New(nr)
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			for _, a := range ins.Args {
+				if !def[b.ID].Has(int(a)) {
+					use[b.ID].Add(int(a))
+				}
+			}
+			if ins.HasDst() {
+				def[b.ID].Add(int(ins.Dst))
+			}
+		}
+	}
+	tmp := bitset.New(nr)
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			b := g.RPO[i]
+			for _, s := range g.Succs[b] {
+				if out[b].UnionWith(in[s]) {
+					changed = true
+				}
+			}
+			tmp.Copy(out[b])
+			tmp.DiffWith(def[b])
+			tmp.UnionWith(use[b])
+			if !tmp.Equal(in[b]) {
+				in[b].Copy(tmp)
+				changed = true
+			}
+		}
+	}
+	return in, out
+}
+
+func setsEq(a, b *bitset.Set) bool {
+	eq := true
+	a.ForEach(func(i int) {
+		if i >= b.Len() || !b.Has(i) {
+			eq = false
+		}
+	})
+	b.ForEach(func(i int) {
+		if i >= a.Len() || !a.Has(i) {
+			eq = false
+		}
+	})
+	return eq
+}
+
+// FuzzLivenessDifferential fuzzes the sparse dataflow machinery on
+// generated programs: the worklist solver against an independent dense
+// reference, then a spill-everywhere rewrite followed by an incremental
+// Rebase against a from-scratch Compute, and the incremental live-range
+// block map against a full rescan.
+// `go test -fuzz=FuzzLivenessDifferential ./internal/randprog` explores
+// seeds indefinitely; the corpus seeds run in normal test mode.
+func FuzzLivenessDifferential(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := randprog.Generate(seed, randprog.DefaultOptions())
+		prog, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v", seed, err)
+		}
+		for _, fn := range prog.IR.Funcs {
+			g := cfg.New(fn)
+			info := liveness.Compute(fn, g)
+
+			// Sparse vs dense on the original body.
+			in, out := denseSolve(fn, g)
+			for i := range fn.Blocks {
+				if !info.In[i].Equal(in[i]) || !info.Out[i].Equal(out[i]) {
+					t.Fatalf("seed %d %s block %d: sparse solve diverges from dense", seed, fn.Name, i)
+				}
+			}
+
+			bm := liverange.NewBlockMap(fn, info)
+
+			// Spill every third occurring register, seed-independently
+			// deterministic, and rewrite.
+			occ := make([]bool, fn.NumRegs())
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					ins := &b.Instrs[i]
+					if ins.HasDst() {
+						occ[ins.Dst] = true
+					}
+					for _, a := range ins.Args {
+						occ[a] = true
+					}
+				}
+			}
+			spill := make(map[ir.Reg]*ir.Symbol)
+			var removed []ir.Reg
+			k := 0
+			for r := 0; r < len(occ); r++ {
+				if !occ[r] {
+					continue
+				}
+				if k++; k%3 != 0 {
+					continue
+				}
+				reg := ir.Reg(r)
+				spill[reg] = &ir.Symbol{
+					Name:  fmt.Sprintf("%s.t%d", fn.Name, r),
+					Class: fn.RegClass(reg),
+					Local: true,
+					Spill: true,
+				}
+				removed = append(removed, reg)
+			}
+			dirty := rewrite.InsertSpills(fn, spill, func(ir.Reg) {})
+			if len(dirty) == 0 {
+				continue
+			}
+
+			// Incremental liveness vs from-scratch Compute.
+			g2 := g.Retarget(fn)
+			fresh := liveness.Compute(fn, g2)
+			rebased, changed := liveness.Rebase(info, fn, g2, dirty, removed, true)
+			if changed == nil {
+				t.Fatalf("seed %d %s: Rebase declined", seed, fn.Name)
+			}
+			for i := range fn.Blocks {
+				if !setsEq(rebased.In[i], fresh.In[i]) || !setsEq(rebased.Out[i], fresh.Out[i]) {
+					t.Fatalf("seed %d %s block %d: Rebase diverges from fresh Compute", seed, fn.Name, i)
+				}
+			}
+
+			// Incremental block map vs full rescan.
+			bm.Rebase(fn, rebased, changed)
+			if !bm.Equal(liverange.NewBlockMap(fn, rebased)) {
+				t.Fatalf("seed %d %s: rebased block map diverges from fresh scan", seed, fn.Name)
+			}
+		}
+	})
+}

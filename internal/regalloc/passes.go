@@ -25,17 +25,37 @@ import (
 
 // LivenessPass materializes the CFG and liveness of the working
 // function. At round 0 it is served as a fork of the shared cached
-// solution; after a spill rewrite it is recomputed.
-func LivenessPass() pipeline.Pass { return livenessPass{} }
+// solution; after a spill rewrite the previous round's solution is
+// updated incrementally from the rewritten blocks (liveness.Rebase,
+// with the CFG reused through a retargeted view) — or re-solved from
+// scratch when rebuild is set, the compile-time ablation mirroring
+// BuildGraphPass(true).
+func LivenessPass(rebuild bool) pipeline.Pass { return livenessPass{rebuild: rebuild} }
 
-type livenessPass struct{}
+type livenessPass struct{ rebuild bool }
 
 func (livenessPass) Name() string                    { return obs.PhaseLiveness }
 func (livenessPass) Preserves() pipeline.AnalysisSet { return pipeline.PreserveAll }
 
-func (livenessPass) Run(s *pipeline.State) error {
-	s.Live, s.LiveHit = s.AM.Liveness()
+func (p livenessPass) Run(s *pipeline.State) error {
+	s.Live, s.LiveHit = s.AM.Liveness(p.rebuild)
 	return nil
+}
+
+// PostPhase reports how the round's liveness was obtained — full solve
+// or incremental update, and how many blocks the worklist visited —
+// after the phase timing window closes. Nothing is emitted when the
+// solution came from the already-built shared cache without solving.
+func (livenessPass) PostPhase(s *pipeline.State) {
+	if !s.Traced() {
+		return
+	}
+	mode, visited, total := s.AM.LiveStat()
+	if mode == "" {
+		return
+	}
+	s.Tracer.Emit(obs.Event{Kind: obs.KindLiveness, Fn: s.Fn.Name, Round: s.Round,
+		Reason: mode, N: visited, Total: total})
 }
 
 // BuildGraphPass materializes the per-class base interference graphs:
@@ -148,7 +168,7 @@ func (rangesPass) Run(s *pipeline.State) error {
 	if s.SharedRound0 {
 		s.Ranges = s.AM.CachedRanges(s.FF)
 	} else {
-		s.Ranges = liverange.Analyze(s.Fn, s.Live, s.WorkGraphs(), s.FF, s.IsNoSpill)
+		s.Ranges = liverange.AnalyzeWith(s.AM.BlockMap(), s.Fn, s.Live, s.WorkGraphs(), s.FF, s.IsNoSpill)
 	}
 	s.AM.MarkValid(pipeline.AnalysisLiveRanges)
 	return nil
@@ -168,7 +188,16 @@ func (colorPass) Preserves() pipeline.AnalysisSet { return pipeline.PreserveAll 
 func (p colorPass) Run(s *pipeline.State) error {
 	graphs := s.WorkGraphs()
 	spillSet := make(map[ir.Reg]*ir.Symbol)
-	colors := make([]machine.PhysReg, s.Fn.NumRegs())
+	// Intermediate rounds' colorings are dead the moment the next round
+	// overwrites them, so the slice's backing array is recycled across
+	// rounds; only the final round's contents escape into the result.
+	n := s.Fn.NumRegs()
+	colors := s.Colors
+	if cap(colors) < n {
+		colors = make([]machine.PhysReg, n)
+	} else {
+		colors = colors[:n]
+	}
 	for i := range colors {
 		colors[i] = machine.NoPhysReg
 	}
@@ -184,9 +213,7 @@ func (p colorPass) Run(s *pipeline.State) error {
 		}
 		res := p.strat.Allocate(ctx)
 		for rep, col := range res.Colors {
-			for _, m := range graphs[c].Members(rep) {
-				colors[m] = col
-			}
+			graphs[c].ForEachMember(rep, func(m ir.Reg) { colors[m] = col })
 		}
 		for _, rep := range res.Spilled {
 			slot := &ir.Symbol{
@@ -195,13 +222,14 @@ func (p colorPass) Run(s *pipeline.State) error {
 				Local: true,
 				Spill: true,
 			}
-			members := graphs[c].Members(rep)
-			for _, m := range members {
+			members := 0
+			graphs[c].ForEachMember(rep, func(m ir.Reg) {
 				spillSet[m] = slot
-			}
+				members++
+			})
 			if s.Traced() {
 				s.Tracer.Emit(obs.Event{Kind: obs.KindRewriteInsert, Fn: s.Fn.Name,
-					Class: c, Round: s.Round, Reg: rep, Slot: slot.Name, N: len(members)})
+					Class: c, Round: s.Round, Reg: rep, Slot: slot.Name, N: members})
 			}
 		}
 	}
@@ -232,11 +260,11 @@ func (p spillRewritePass) Run(s *pipeline.State) error {
 	// views of the original; only a spill rewrite needs a private body.
 	s.CloneFn()
 	temps := make(map[ir.Reg]bool)
-	p.insert(s.Fn, s.SpillSet, func(t ir.Reg) {
+	dirty := p.insert(s.Fn, s.SpillSet, func(t ir.Reg) {
 		s.NoSpill[t] = true
 		temps[t] = true
 	})
-	s.AM.RecordRewrite(s.SpillSet, temps)
+	s.AM.RecordRewrite(s.SpillSet, temps, dirty)
 	return nil
 }
 
@@ -253,7 +281,7 @@ func BuildPipeline(strat Strategy, insertSpills SpillInserter, opts Options) pip
 		mode = BriggsCoalesce
 	}
 	return pipeline.New(
-		LivenessPass(),
+		LivenessPass(opts.Rebuild),
 		BuildGraphPass(opts.Rebuild),
 		CoalescePass(mode),
 		RangesPass(),

@@ -72,14 +72,14 @@ func TestFreeColorsScratchReuse(t *testing.T) {
 		t.Fatal("fixture graph has no edges")
 	}
 
-	colors := map[ir.Reg]machine.PhysReg{}
-	first := ctx.FreeColors(colors, rep)
+	res := regalloc.NewClassResult()
+	first := ctx.FreeColors(res, rep)
 	if len(first) != ctx.N() {
 		t.Fatalf("with nothing colored, free = %d, want the full bank %d", len(first), ctx.N())
 	}
 
-	colors[nb] = 0
-	second := ctx.FreeColors(colors, rep)
+	ctx.Assign(res, nb, 0)
+	second := ctx.FreeColors(res, rep)
 	if len(second) != ctx.N()-1 || second[0] != 1 {
 		t.Fatalf("with neighbor on color 0, free = %v", second)
 	}

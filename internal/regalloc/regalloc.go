@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/freq"
 	"repro/internal/interference"
@@ -68,6 +69,40 @@ type ClassContext struct {
 	freeScratch   []machine.PhysReg
 	callerScratch []machine.PhysReg
 	calleeScratch []machine.PhysReg
+
+	// colorOf mirrors the result's Colors map as a flat register-indexed
+	// table — the copy FreeColors actually reads, because the map probe
+	// per neighbor was the hottest line of color assignment. Maintained
+	// by Assign/Unassign; allocated on first use.
+	colorOf []machine.PhysReg
+}
+
+// Assign records rep's color in res and in the flat lookup table
+// backing FreeColors. Strategies must route every coloring decision
+// through Assign/Unassign — writing res.Colors directly would leave
+// FreeColors blind to the neighbor's color.
+func (ctx *ClassContext) Assign(res *ClassResult, rep ir.Reg, col machine.PhysReg) {
+	res.Colors[rep] = col
+	ctx.ensureColorOf()
+	ctx.colorOf[rep] = col
+}
+
+// Unassign removes rep's color (spill-by-choice revoking a tentative
+// assignment).
+func (ctx *ClassContext) Unassign(res *ClassResult, rep ir.Reg) {
+	delete(res.Colors, rep)
+	if int(rep) < len(ctx.colorOf) {
+		ctx.colorOf[rep] = machine.NoPhysReg
+	}
+}
+
+func (ctx *ClassContext) ensureColorOf() {
+	if ctx.colorOf == nil {
+		ctx.colorOf = make([]machine.PhysReg, ctx.Fn.NumRegs())
+		for i := range ctx.colorOf {
+			ctx.colorOf[i] = machine.NoPhysReg
+		}
+	}
 }
 
 // Traced reports whether decision events should be emitted. Strategies
@@ -131,7 +166,7 @@ func (ctx *ClassContext) N() int { return ctx.Config.Total(ctx.Class) }
 
 // RangeOf returns the cost record of representative rep.
 func (ctx *ClassContext) RangeOf(rep ir.Reg) *liverange.Range {
-	return ctx.Ranges.Ranges[rep]
+	return ctx.Ranges.Of(rep)
 }
 
 // Nodes returns the bank's live-range representatives in deterministic
@@ -180,11 +215,14 @@ func (s *ColorStack) Len() int { return len(s.items) }
 
 // FreeColors returns the physical registers of the bank not taken by
 // any already-colored neighbor of rep, in increasing order (caller-save
-// first, then callee-save, matching the bank layout).
+// first, then callee-save, matching the bank layout). Colors count as
+// taken when recorded through Assign on this context (res is accepted
+// for signature symmetry with Assign and future-proofing; the fast
+// flat table is what is consulted).
 //
 // The returned slice is scratch owned by ctx: it is overwritten by the
 // next FreeColors call, so callers must not retain it across calls.
-func (ctx *ClassContext) FreeColors(colors map[ir.Reg]machine.PhysReg, rep ir.Reg) []machine.PhysReg {
+func (ctx *ClassContext) FreeColors(res *ClassResult, rep ir.Reg) []machine.PhysReg {
 	n := ctx.N()
 	if cap(ctx.freeTaken) < n {
 		ctx.freeTaken = make([]bool, n)
@@ -193,8 +231,10 @@ func (ctx *ClassContext) FreeColors(colors map[ir.Reg]machine.PhysReg, rep ir.Re
 	for i := range taken {
 		taken[i] = false
 	}
+	ctx.ensureColorOf()
+	colorOf := ctx.colorOf
 	ctx.Graph.Neighbors(rep, func(nb ir.Reg) {
-		if c, ok := colors[nb]; ok && c != machine.NoPhysReg {
+		if c := colorOf[nb]; c != machine.NoPhysReg {
 			taken[c] = true
 		}
 	})
@@ -236,22 +276,56 @@ func (ctx *ClassContext) SplitFree(free []machine.PhysReg) (caller, callee []mac
 // of quadratic, while popping nodes in exactly the same order.
 type Simplifier struct {
 	ctx     *ClassContext
+	sc      *simpScratch
 	nodes   []ir.Reg
 	deg     []int32 // indexed by register, valid for members
 	removed []bool  // indexed by register
 	member  []bool  // indexed by register: node of this run
 }
 
-// NewSimplifier prepares simplification state for ctx.
+// simpScratch is the per-run storage of a Simplifier, pooled across
+// runs (classes, rounds, and functions — the pool is safe under the
+// parallel per-function driver). One allocation round runs one
+// Simplifier per bank, so without pooling the register-indexed slices
+// and both heaps were reallocated every round.
+type simpScratch struct {
+	deg       []int32
+	removed   []bool
+	member    []bool
+	nodes     []ir.Reg
+	simplify  regHeap
+	spillable regHeap
+	stack     []ir.Reg
+}
+
+var simpPool = sync.Pool{New: func() any { return new(simpScratch) }}
+
+// NewSimplifier prepares simplification state for ctx. Pair with
+// Release (after the returned stack is drained) to recycle the
+// scratch; skipping Release costs allocations, never correctness.
 func NewSimplifier(ctx *ClassContext) *Simplifier {
 	n := ctx.Fn.NumRegs()
+	sc := simpPool.Get().(*simpScratch)
+	if cap(sc.deg) < n {
+		sc.deg = make([]int32, n)
+		sc.removed = make([]bool, n)
+		sc.member = make([]bool, n)
+	}
 	s := &Simplifier{
 		ctx:     ctx,
-		nodes:   ctx.Nodes(),
-		deg:     make([]int32, n),
-		removed: make([]bool, n),
-		member:  make([]bool, n),
+		sc:      sc,
+		nodes:   ctx.Graph.AppendNodes(sc.nodes[:0]),
+		deg:     sc.deg[:n],
+		removed: sc.removed[:n],
+		member:  sc.member[:n],
 	}
+	for i := range s.removed {
+		s.removed[i] = false
+	}
+	for i := range s.member {
+		s.member[i] = false
+	}
+	sc.nodes = s.nodes
 	for _, r := range s.nodes {
 		s.member[r] = true
 	}
@@ -381,7 +455,7 @@ type SimplifyOptions struct {
 // pop-recompute-reinsert terminates with the exact minimum.
 func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 	n := s.ctx.N()
-	stack := &ColorStack{}
+	stack := &ColorStack{items: s.sc.stack[:0]}
 	var spilled []ir.Reg
 	remaining := len(s.nodes)
 
@@ -418,8 +492,8 @@ func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 	// simplify holds every currently unconstrained node; spillable
 	// holds every spillable node still in the graph (keys possibly
 	// stale, never overestimates).
-	simplify := make(regHeap, 0, len(s.nodes))
-	var spillable regHeap
+	simplify := s.sc.simplify[:0]
+	spillable := s.sc.spillable[:0]
 	for _, r := range s.nodes {
 		if int(s.deg[r]) < n {
 			simplify.push(regHeapItem{keyOf(r), r})
@@ -505,7 +579,24 @@ func (s *Simplifier) Run(opts SimplifyOptions) (*ColorStack, []ir.Reg) {
 			s.ctx.EmitSpill(cand, obs.ReasonBlocked, candKey)
 		}
 	}
+	s.sc.simplify, s.sc.spillable = simplify[:0], spillable[:0]
 	return stack, spilled
+}
+
+// Release hands the simplifier's pooled scratch back, including the
+// storage of the (by now drained) color stack Run returned. The
+// Simplifier and the stack must not be used afterwards. Optional:
+// without it the scratch is simply garbage-collected.
+func (s *Simplifier) Release(stack *ColorStack) {
+	sc := s.sc
+	if sc == nil {
+		return
+	}
+	s.sc = nil
+	if stack != nil {
+		sc.stack = stack.items[:0]
+	}
+	simpPool.Put(sc)
 }
 
 // ---------------------------------------------------------------------
@@ -545,7 +636,7 @@ func (c *Chaitin) Allocate(ctx *ClassContext) *ClassResult {
 		if !ok {
 			break
 		}
-		free := ctx.FreeColors(res.Colors, rep)
+		free := ctx.FreeColors(res, rep)
 		if len(free) == 0 {
 			// Only possible for optimistically pushed nodes.
 			res.Spilled = append(res.Spilled, rep)
@@ -555,9 +646,10 @@ func (c *Chaitin) Allocate(ctx *ClassContext) *ClassResult {
 		caller, callee := ctx.SplitFree(free)
 		rg := ctx.RangeOf(rep)
 		preferCallee := rg != nil && rg.CrossesCall
-		res.Colors[rep] = pickPreferred(caller, callee, preferCallee)
+		ctx.Assign(res, rep, pickPreferred(caller, callee, preferCallee))
 		ctx.EmitAssign(rep, res.Colors[rep], preferCallee)
 	}
+	simp.Release(stack)
 	return res
 }
 
@@ -587,12 +679,14 @@ type Options struct {
 	// ConservativeCoalesce uses the Briggs test instead of aggressive
 	// coalescing.
 	ConservativeCoalesce bool
-	// Rebuild disables the graph-reconstruction phase: after spill-code
-	// insertion the interference graph is rebuilt from scratch instead
-	// of patched. Reconstruction (the default) is the paper's
-	// compile-time optimization; the two produce identical graphs
-	// (checked by the test suite), so Rebuild exists for the
-	// compile-time ablation benchmark.
+	// Rebuild disables the incremental spill-round analyses: after
+	// spill-code insertion the interference graph is rebuilt from
+	// scratch instead of patched, and liveness (with the CFG and the
+	// live-range block map) is re-solved densely instead of updated
+	// from the rewritten blocks. The incremental paths (the default)
+	// are the framework's compile-time optimization; both modes produce
+	// byte-identical allocations (checked by the test suite), so
+	// Rebuild exists for the compile-time ablation benchmarks.
 	Rebuild bool
 	// MaxRounds bounds build→color→spill iterations.
 	MaxRounds int
@@ -662,8 +756,12 @@ func (fa *FuncAlloc) ColorOf(r ir.Reg) machine.PhysReg { return fa.Colors[r] }
 
 // SpillInserter abstracts the spill-code insertion phase; it lives in
 // package rewrite and is injected here to keep the framework free of a
-// dependency cycle.
-type SpillInserter func(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg))
+// dependency cycle. The returned slice lists the IDs of the blocks the
+// rewrite modified, in increasing order — the dirty seeds of the
+// incremental dataflow update. A nil return means "unknown" (the
+// rewrite may have changed anything, including block structure) and
+// forces the next round to recompute liveness from scratch.
+type SpillInserter func(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg)) []int
 
 // AllocateFunc runs the full framework loop on fn: build, coalesce,
 // color (via strat), and iterate through spill-code insertion until no

@@ -149,9 +149,9 @@ func TestFreeColorsRespectsNeighbors(t *testing.T) {
 	if len(nodes) < 2 {
 		t.Fatal("expected at least two nodes")
 	}
-	colors := map[ir.Reg]machine.PhysReg{}
+	res := regalloc.NewClassResult()
 	// FreeColors returns ctx-owned scratch; copy before the next call.
-	free0 := append([]machine.PhysReg(nil), ctx.FreeColors(colors, nodes[0])...)
+	free0 := append([]machine.PhysReg(nil), ctx.FreeColors(res, nodes[0])...)
 	if len(free0) != ctx.N() {
 		t.Fatalf("initial free colors %d != N %d", len(free0), ctx.N())
 	}
@@ -165,8 +165,8 @@ func TestFreeColorsRespectsNeighbors(t *testing.T) {
 	if neighbor == ir.NoReg {
 		t.Skip("node 0 has no neighbors")
 	}
-	colors[nodes[0]] = free0[0]
-	freeN := ctx.FreeColors(colors, neighbor)
+	ctx.Assign(res, nodes[0], free0[0])
+	freeN := ctx.FreeColors(res, neighbor)
 	for _, c := range freeN {
 		if c == free0[0] {
 			t.Fatal("neighbor still sees the taken color")

@@ -27,7 +27,14 @@ import (
 // spill live in their stack slots. newTemp is called for every
 // temporary created, letting the driver mark them unspillable. Spill
 // slots are appended to fn.Locals (each distinct slot once).
-func InsertSpills(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg)) {
+//
+// It returns the IDs of the blocks it modified, in increasing order —
+// the dirty seeds of the incremental dataflow update
+// (liveness.Rebase). The rewrite never changes the block structure
+// (count, IDs, terminator targets), only inserts loads/stores and
+// renames occurrences within blocks, which is exactly the contract the
+// incremental analyses in pipeline.AnalysisManager rely on.
+func InsertSpills(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg)) []int {
 	// Register the slots as locals in increasing spilled-register order:
 	// map iteration order would randomize the frame layout (and with it
 	// the assembly text) between otherwise identical runs.
@@ -61,26 +68,82 @@ func InsertSpills(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg)
 		})
 	}
 
+	// Flat slot lookup: the per-operand probe below is the hottest line
+	// of the rewrite, and the map version of it dominated the phase.
+	// Temporaries minted during the rewrite index past the end (they are
+	// never spilled), hence the bound check in slotOf.
+	slots := make([]*ir.Symbol, fn.NumRegs())
+	for r, s := range spill {
+		slots[r] = s
+	}
+	slotOf := func(r ir.Reg) *ir.Symbol {
+		if int(r) < len(slots) {
+			return slots[r]
+		}
+		return nil
+	}
+
+	var dirty []int
+	// Per-instruction load dedup, reused across the whole walk: a
+	// handful of operands per instruction, so two parallel slices beat
+	// a map.
+	loadedRegs := make([]ir.Reg, 0, 8)
+	loadedTmps := make([]ir.Reg, 0, 8)
 	for _, b := range fn.Blocks {
-		out := make([]ir.Instr, 0, len(b.Instrs)+8)
-		if b.ID == 0 && len(entryStores) > 0 {
+		// First pass: count the loads and stores this block needs, so
+		// untouched blocks are skipped without copying and touched ones
+		// get an exactly-sized instruction slice.
+		entry := b.ID == 0 && len(entryStores) > 0
+		extra := 0
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+		scan:
+			for ai, a := range in.Args {
+				if slotOf(a) == nil {
+					continue
+				}
+				for _, p := range in.Args[:ai] {
+					if p == a {
+						continue scan
+					}
+				}
+				extra++
+			}
+			if in.HasDst() && slotOf(in.Dst) != nil {
+				extra++
+			}
+		}
+		if extra == 0 && !entry {
+			continue
+		}
+
+		out := make([]ir.Instr, 0, len(b.Instrs)+len(entryStores)+extra)
+		if entry {
 			out = append(out, entryStores...)
 		}
 		for i := range b.Instrs {
 			in := b.Instrs[i]
 			// Loads for spilled uses, one per distinct spilled register
 			// per instruction.
-			loaded := make(map[ir.Reg]ir.Reg)
+			loadedRegs = loadedRegs[:0]
+			loadedTmps = loadedTmps[:0]
 			for ai, a := range in.Args {
-				slot, ok := spill[a]
-				if !ok {
+				slot := slotOf(a)
+				if slot == nil {
 					continue
 				}
-				t, seen := loaded[a]
-				if !seen {
+				t := ir.NoReg
+				for li, p := range loadedRegs {
+					if p == a {
+						t = loadedTmps[li]
+						break
+					}
+				}
+				if t == ir.NoReg {
 					t = fn.NewReg(fn.RegClass(a), "")
 					newTemp(t)
-					loaded[a] = t
+					loadedRegs = append(loadedRegs, a)
+					loadedTmps = append(loadedTmps, t)
 					out = append(out, ir.Instr{
 						Op: ir.OpLoad, Dst: t, Sym: slot, Args: []ir.Reg{}, Pos: in.Pos,
 					})
@@ -89,7 +152,7 @@ func InsertSpills(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg)
 			}
 			// Store for a spilled definition.
 			if in.HasDst() {
-				if slot, ok := spill[in.Dst]; ok {
+				if slot := slotOf(in.Dst); slot != nil {
 					t := fn.NewReg(fn.RegClass(in.Dst), "")
 					newTemp(t)
 					in.Dst = t
@@ -103,7 +166,9 @@ func InsertSpills(fn *ir.Func, spill map[ir.Reg]*ir.Symbol, newTemp func(ir.Reg)
 			out = append(out, in)
 		}
 		b.Instrs = out
+		dirty = append(dirty, b.ID)
 	}
+	return dirty
 }
 
 // CallSave lists the caller-save physical registers that must be saved
@@ -206,19 +271,23 @@ func sortPhys(rs []machine.PhysReg) {
 	}
 }
 
-// occurrence reports which virtual registers appear in the function
-// body. Parameters are not included: a parameter that is never read
 // allocLiveness returns liveness for fa.Fn, reusing the final-round
 // result the allocator recorded (through a private fork, so concurrent
-// plan builds never share walk scratch) and recomputing only for
-// hand-constructed FuncAllocs that carry none.
+// plan builds never share walk scratch). Only a hand-constructed
+// FuncAlloc carries none; for those the result is computed once and
+// memoized on fa, so Validate followed by BuildPlan solves the
+// dataflow a single time. (Allocator-produced FuncAllocs always carry
+// liveness, so the memoizing write only happens on the single-threaded
+// hand-built path.)
 func allocLiveness(fa *regalloc.FuncAlloc) *liveness.Info {
-	if fa.Live != nil && fa.Live.Fn == fa.Fn {
-		return fa.Live.Fork()
+	if fa.Live == nil || fa.Live.Fn != fa.Fn {
+		fa.Live = liveness.Compute(fa.Fn, cfg.New(fa.Fn))
 	}
-	return liveness.Compute(fa.Fn, cfg.New(fa.Fn))
+	return fa.Live.Fork()
 }
 
+// occurrence reports which virtual registers appear in the function
+// body. Parameters are not included: a parameter that is never read
 // (dead on arrival) needs no register — its incoming value is simply
 // dropped.
 func occurrence(fn *ir.Func) []bool {
