@@ -299,8 +299,10 @@ func (p *Program) Allocate(strat Strategy, config Config, pf *freq.ProgramFreq) 
 // independent and every result lands in an index-addressed slot, so
 // Colors, SlotOf, and the assembly output are byte-identical to the
 // sequential path. A non-nil enabled Tracer forces the sequential path
-// so the event stream stays in program order. Round-0 artifacts come
-// from the program's prep cache unless opts.NoPrepCache is set.
+// so the event stream stays in program order, unless opts.TraceParallel
+// opts in to interleaved parallel tracing. Every emitted event carries
+// a monotonic per-run sequence number (Event.Seq). Round-0 artifacts
+// come from the program's prep cache unless opts.NoPrepCache is set.
 func (p *Program) AllocateWithOptions(strat Strategy, config Config, pf *freq.ProgramFreq, opts AllocOptions) (*Allocation, error) {
 	if !config.Valid() {
 		return nil, fmt.Errorf("callcost: configuration %s below the calling-convention minimum (%d,%d,0,0)",
@@ -318,7 +320,12 @@ func (p *Program) AllocateWithOptions(strat Strategy, config Config, pf *freq.Pr
 	}
 	workers := opts.Parallel
 	if opts.Tracer != nil && opts.Tracer.Enabled() {
-		workers = 1
+		if !opts.TraceParallel {
+			workers = 1
+		}
+		// One sequencer per program run: every event gets a monotonic
+		// emission number, total across all functions of the run.
+		opts.Tracer = obs.NewSequencer(opts.Tracer)
 	}
 	funcs := p.IR.Funcs
 	plans := make([]*rewrite.FuncPlan, len(funcs))

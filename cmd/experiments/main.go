@@ -7,16 +7,20 @@
 //	experiments -exp fig2
 //	experiments -all
 //	experiments -timing -exp fig6   (append a per-phase timing table)
+//	experiments -metrics -exp tab4  (print the telemetry registry after the run)
+//	experiments -listen localhost:6060 -all   (live /metrics, /spans, pprof)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,13 +30,37 @@ func main() {
 	timing := flag.Bool("timing", false, "print a per-phase allocator timing table after each experiment")
 	parallel := flag.Int("parallel", 0, "per-function allocation workers (0 = all cores, 1 = sequential); output is identical either way")
 	noPrepCache := flag.Bool("noprepcache", false, "disable the shared round-0 prep cache (rebuild CFG/liveness/graphs per cell), for A/B timing")
+	metricsDump := flag.Bool("metrics", false, "enable telemetry and print the metrics registry (JSON) after the run")
+	listen := flag.String("listen", "", "serve /metrics, /spans, and /debug/pprof on `addr`; stays alive after the run")
 	flag.Parse()
+
+	if *metricsDump || *listen != "" {
+		telemetry.Enable(nil)
+	}
+	var spans *telemetry.SpanRecorder
+	if *listen != "" {
+		spans = telemetry.NewSpanRecorder(0)
+		srv, err := telemetry.Serve(*listen, nil, spans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s (/metrics, /spans, /debug/pprof)\n", srv.Addr)
+	}
 
 	env := experiments.NewEnv()
 	var stats *obs.Stats
 	if *timing {
 		stats = obs.NewStats()
+	}
+	switch {
+	case stats != nil && spans != nil:
+		env.SetTracer(obs.NewMulti(stats, spans))
+	case stats != nil:
 		env.SetTracer(stats)
+	case spans != nil:
+		env.SetTracer(spans)
 	}
 	env.SetParallel(*parallel)
 	env.SetPrepCache(!*noPrepCache)
@@ -47,6 +75,9 @@ func main() {
 			fmt.Printf("\n%s allocator phase timing (%d events):\n", e.ID, stats.TotalEvents())
 			metrics.WritePhaseTable(os.Stdout, stats)
 			stats.Reset()
+		}
+		if spans != nil {
+			spans.Flush() // one program span per experiment
 		}
 		return nil
 	}
@@ -77,5 +108,18 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metricsDump {
+		fmt.Println("\ntelemetry metrics:")
+		if b := telemetry.B(); b != nil {
+			b.Reg.Snapshot().WriteJSON(os.Stdout) //nolint:errcheck // best-effort dump
+		}
+	}
+	if *listen != "" {
+		fmt.Fprintln(os.Stderr, "experiments: run finished; telemetry still serving — Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }

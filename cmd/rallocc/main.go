@@ -20,11 +20,19 @@
 //	-parallel  per-function allocation workers (0 = all cores, 1 = sequential)
 //	-noprepcache  rebuild round-0 artifacts per allocation instead of sharing them
 //	-passes    print the resolved allocation pass pipeline and exit
+//	-metrics   enable telemetry and print the metrics registry after the run
+//	-listen    serve /metrics, /spans, and pprof on this address during the run
 //
 // -explain, -trace, and -stats are three views of the same event
 // stream (package obs): the narrative is the human rendering, the
 // JSONL log the machine one, and -stats the aggregation — they can
 // never disagree, because they observe identical events.
+//
+// -metrics and -listen tap the telemetry layer instead (package
+// telemetry): cheap always-on counters and histograms fed by the
+// allocator's instrumentation sites, plus the span tree derived from
+// the event stream. With -listen the process stays alive after the
+// run (Ctrl-C to exit) so the endpoints can be inspected.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -40,6 +49,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +66,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-function allocation workers (0 = all cores, 1 = sequential); output is identical either way")
 	noPrepCache := flag.Bool("noprepcache", false, "disable the shared round-0 prep cache, for A/B timing")
 	passes := flag.Bool("passes", false, "print the resolved allocation pass pipeline and exit")
+	metricsDump := flag.Bool("metrics", false, "enable telemetry and print the metrics registry (JSON) after the run")
+	listen := flag.String("listen", "", "serve /metrics, /spans, and /debug/pprof on `addr` (e.g. localhost:6060); stays alive after the run")
 	flag.Parse()
 
 	if *passes {
@@ -75,10 +87,39 @@ func main() {
 		printIR: *printIR, printAsm: *printAsm, explain: *explain,
 		traceFile: *traceFile, stats: *stats, sweep: *sweep,
 		parallel: *parallel, noPrepCache: *noPrepCache,
+		metrics: *metricsDump, listen: *listen,
+	}
+	if opts.metrics || opts.listen != "" {
+		telemetry.Enable(nil)
+	}
+	if opts.listen != "" {
+		opts.spans = telemetry.NewSpanRecorder(0)
+		srv, err := telemetry.Serve(opts.listen, nil, opts.spans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rallocc: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rallocc: telemetry on http://%s (/metrics, /spans, /debug/pprof)\n", srv.Addr)
 	}
 	if err := mainErr(flag.Arg(0), opts); err != nil {
 		fmt.Fprintf(os.Stderr, "rallocc: %v\n", err)
 		os.Exit(1)
+	}
+	if opts.spans != nil {
+		opts.spans.Flush()
+	}
+	if opts.metrics {
+		fmt.Println("\ntelemetry metrics:")
+		if b := telemetry.B(); b != nil {
+			b.Reg.Snapshot().WriteJSON(os.Stdout) //nolint:errcheck // best-effort dump
+		}
+	}
+	if opts.listen != "" {
+		fmt.Fprintln(os.Stderr, "rallocc: run finished; telemetry still serving — Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }
 
@@ -88,6 +129,9 @@ type options struct {
 	explain, stats, sweep          bool
 	parallel                       int
 	noPrepCache                    bool
+	metrics                        bool
+	listen                         string
+	spans                          *telemetry.SpanRecorder
 }
 
 func parseStrategy(name string) (callcost.Strategy, error) {
@@ -172,6 +216,9 @@ func buildSinks(o options) (*sinks, error) {
 		s.stats = callcost.NewStatsSink()
 		ts = append(ts, s.stats)
 	}
+	if o.spans != nil {
+		ts = append(ts, o.spans)
+	}
 	if len(ts) > 0 {
 		s.tracer = callcost.MultiSink(ts...)
 	}
@@ -218,6 +265,11 @@ func mainErr(path string, o options) error {
 	allocOpts := callcost.WithTracer(callcost.DefaultAllocOptions(), sk.tracer)
 	allocOpts.Parallel = o.parallel
 	allocOpts.NoPrepCache = o.noPrepCache
+	// The span recorder is order-independent (state keyed by function),
+	// so when it is the only sink attached, keep the parallel pool
+	// instead of letting the tracer force the sequential path. The
+	// ordered sinks (-explain, -trace, -stats) still force sequential.
+	allocOpts.TraceParallel = o.spans != nil && !o.explain && o.traceFile == "" && !o.stats
 
 	if o.sweep {
 		fmt.Printf("%-14s %12s %12s %12s %12s %12s\n",

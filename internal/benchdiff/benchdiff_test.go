@@ -1,0 +1,224 @@
+package benchdiff
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlattenLeavesAndMeans(t *testing.T) {
+	var doc any
+	raw := `{
+		"pr": 5,
+		"note": "ignored",
+		"spill_round": {
+			"round1_plus_us_per_op": {
+				"fpppp/twoel": {"update": [291.5, 303.1], "seed": [410.6, 407.0]}
+			},
+			"speedup_update_vs_seed": {"fpppp/twoel": 1.37}
+		},
+		"mixed": [1, "two", 3]
+	}`
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatal(err)
+	}
+	flat := Flatten(doc)
+	if got := flat["spill_round.round1_plus_us_per_op.fpppp/twoel.update"]; got != 297.3 {
+		t.Fatalf("two-run array mean = %g, want 297.3", got)
+	}
+	if got := flat["spill_round.speedup_update_vs_seed.fpppp/twoel"]; got != 1.37 {
+		t.Fatalf("scalar leaf = %g", got)
+	}
+	if got := flat["pr"]; got != 5 {
+		t.Fatalf("pr = %g", got)
+	}
+	if _, ok := flat["note"]; ok {
+		t.Fatal("strings must not flatten")
+	}
+	// A mixed array indexes its numeric members instead of averaging.
+	if flat["mixed.0"] != 1 || flat["mixed.2"] != 3 {
+		t.Fatalf("mixed array: %v", flat)
+	}
+}
+
+func TestDirectionOf(t *testing.T) {
+	cases := []struct {
+		path string
+		want Direction
+	}{
+		{"spill_round.round1_plus_us_per_op.fpppp/twoel.update", LowerIsBetter},
+		{"liveness_solver.sparse_ns_op", LowerIsBetter},
+		{"spill_round.speedup_update_vs_seed.fpppp/twoel", HigherIsBetter},
+		{"bench.SpillRound/fpppp_twoel/update.ns/op", LowerIsBetter},
+		{"pr", Neutral},
+	}
+	for _, c := range cases {
+		if got := DirectionOf(c.path); got != c.want {
+			t.Errorf("DirectionOf(%s) = %d, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+// TestCompareFlagsInjectedRegression is the acceptance test: a wall
+// time pushed 30% past the baseline must fail the gate (nonzero exit),
+// the same value inside the noise band must pass.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := map[string]float64{
+		"spill_round.round1_plus_us_per_op.fpppp/twoel.update": 300,
+		"spill_round.speedup_update_vs_seed.fpppp/twoel":       1.4,
+		"pr": 5,
+	}
+	cur := map[string]float64{
+		"spill_round.round1_plus_us_per_op.fpppp/twoel.update": 390, // +30% wall time
+		"spill_round.speedup_update_vs_seed.fpppp/twoel":       1.4,
+		"pr": 6,
+	}
+	rep := Compare(base, cur, 0.10)
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Path != "spill_round.round1_plus_us_per_op.fpppp/twoel.update" {
+		t.Fatalf("regressions = %+v, want exactly the slowed metric", regs)
+	}
+	if rep.ExitCode() != 1 {
+		t.Fatalf("exit code = %d, want 1 on regression", rep.ExitCode())
+	}
+	// The neutral "pr" delta must never flag.
+	for _, d := range rep.Deltas {
+		if d.Path == "pr" && d.Regression {
+			t.Fatal("neutral metric flagged as regression")
+		}
+	}
+
+	// Inside the noise band the same direction of change is fine.
+	cur["spill_round.round1_plus_us_per_op.fpppp/twoel.update"] = 320 // +6.7%
+	rep = Compare(base, cur, 0.10)
+	if rep.ExitCode() != 0 {
+		t.Fatalf("noise-band delta flagged: %+v", rep.Regressions())
+	}
+}
+
+func TestCompareFlagsSpeedupDrop(t *testing.T) {
+	base := map[string]float64{"speedup": 1.4}
+	cur := map[string]float64{"speedup": 1.0}
+	if rep := Compare(base, cur, 0.10); len(rep.Regressions()) != 1 {
+		t.Fatal("a speedup drop must regress")
+	}
+	cur["speedup"] = 1.6
+	if rep := Compare(base, cur, 0.10); len(rep.Regressions()) != 0 {
+		t.Fatal("a speedup gain must not regress")
+	}
+}
+
+func TestCompareTracksOneSidedMetrics(t *testing.T) {
+	rep := Compare(map[string]float64{"a_ns": 1, "gone_ns": 2},
+		map[string]float64{"a_ns": 1, "new_ns": 3}, 0.1)
+	if len(rep.BaseOnly) != 1 || rep.BaseOnly[0] != "gone_ns" {
+		t.Fatalf("BaseOnly = %v", rep.BaseOnly)
+	}
+	if len(rep.CurOnly) != 1 || rep.CurOnly[0] != "new_ns" {
+		t.Fatalf("CurOnly = %v", rep.CurOnly)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkSpillRound/fpppp_twoel/update-8         	    2000	    612803 ns/op	       295.1 round1+_us/op
+BenchmarkSpillRound/fpppp_twoel/update-8         	    2000	    612805 ns/op	       296.9 round1+_us/op
+BenchmarkSpillRound/tomcatv_main/rebuild-8       	    2000	    901234 ns/op	       470.0 round1+_us/op
+BenchmarkAllocateProgram/fpppp-8                 	     100	  11939553 ns/op	 4567 B/op	      12 allocs/op
+PASS
+`
+	got, err := ParseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["bench.SpillRound/fpppp_twoel/update.round1+_us/op"]; v != 296 {
+		t.Fatalf("repeat runs must average: %g, want 296", v)
+	}
+	if v := got["bench.SpillRound/tomcatv_main/rebuild.ns/op"]; v != 901234 {
+		t.Fatalf("ns/op = %g", v)
+	}
+	if v := got["bench.AllocateProgram/fpppp.allocs/op"]; v != 12 {
+		t.Fatalf("allocs/op = %g", v)
+	}
+}
+
+func TestCanonicalizeSpillRound(t *testing.T) {
+	in := map[string]float64{
+		"bench.SpillRound/fpppp_twoel/update.round1+_us/op": 295.1,
+		"bench.SpillRound/fpppp_twoel/update.ns/op":         612803,
+		"bench.AllocateProgram/fpppp.ns/op":                 11939553,
+	}
+	out := CanonicalizeSpillRound(in)
+	if v := out["spill_round.round1_plus_us_per_op.fpppp/twoel.update"]; v != 295.1 {
+		t.Fatalf("canonical key missing: %v", out)
+	}
+	if _, ok := out["bench.SpillRound/fpppp_twoel/update.ns/op"]; !ok {
+		t.Fatal("non-round1+ metrics must pass through")
+	}
+	if _, ok := out["bench.AllocateProgram/fpppp.ns/op"]; !ok {
+		t.Fatal("other benchmarks must pass through")
+	}
+}
+
+// TestDiffAgainstCheckedInBaseline exercises the exact CI shape: the
+// repo's BENCH_5.json baseline vs. a synthetic current run, via files.
+func TestDiffAgainstCheckedInBaseline(t *testing.T) {
+	baseline := filepath.Join("..", "..", "BENCH_5.json")
+	flat, err := LoadFlat(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "spill_round.round1_plus_us_per_op.fpppp/twoel.update"
+	baseVal, ok := flat[key]
+	if !ok {
+		t.Fatalf("baseline lost %s: %v", key, flat)
+	}
+
+	cur := map[string]float64{key: baseVal * 3} // grossly regressed
+	curFile := filepath.Join(t.TempDir(), "cur.json")
+	raw, _ := json.Marshal(map[string]any{
+		"spill_round": map[string]any{
+			"round1_plus_us_per_op": map[string]any{
+				"fpppp/twoel": map[string]any{"update": cur[key]},
+			},
+		},
+	})
+	if err := os.WriteFile(curFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DiffFiles(baseline, curFile, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode() != 1 {
+		t.Fatal("3x slowdown over baseline must exit nonzero")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("report text lacks the REGRESSION marker:\n%s", buf.String())
+	}
+}
+
+func TestZeroBaselineDelta(t *testing.T) {
+	rep := Compare(map[string]float64{"x_ns": 0}, map[string]float64{"x_ns": 5}, 0.1)
+	if !math.IsInf(rep.Deltas[0].Pct, 1) || !rep.Deltas[0].Regression {
+		t.Fatalf("zero baseline growing must regress: %+v", rep.Deltas[0])
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := map[string]float64{"spill_round.a": 1, "liveness_solver.b": 2, "pr": 5}
+	got := Restrict(m, "spill_round.")
+	if len(got) != 1 || got["spill_round.a"] != 1 {
+		t.Fatalf("Restrict = %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package benchdiff
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseBenchOutput reads `go test -bench` output and returns one entry
+// per reported metric, keyed "bench.<name>.<unit>" with the -cpu
+// suffix stripped from the name:
+//
+//	BenchmarkSpillRound/fpppp_twoel/update-8   2000   612803 ns/op   295.1 round1+_us/op
+//
+// becomes bench.SpillRound/fpppp_twoel/update.ns/op = 612803 and
+// bench.SpillRound/fpppp_twoel/update.round1+_us/op = 295.1. A
+// benchmark that ran more than once keeps the mean of its runs.
+func ParseBenchOutput(r io.Reader) (map[string]float64, error) {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields[1] is the iteration count; value/unit pairs follow.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			key := "bench." + name + "." + fields[i+1]
+			sums[key] += v
+			counts[key]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sums))
+	for k, sum := range sums {
+		out[k] = sum / float64(counts[k])
+	}
+	return out, nil
+}
+
+// CanonicalizeSpillRound re-keys parsed BenchmarkSpillRound metrics to
+// the paths the checked-in BENCH_5.json baseline uses, so a fresh
+// short-form run can be compared against it:
+//
+//	bench.SpillRound/fpppp_twoel/update.round1+_us/op
+//	  → spill_round.round1_plus_us_per_op.fpppp/twoel.update
+//
+// (the sub-benchmark name joins program and function with "_" because
+// "/" would open another sub-benchmark level; the baseline spells it
+// "fpppp/twoel"). Entries that are not SpillRound round1+ metrics pass
+// through unchanged.
+func CanonicalizeSpillRound(metrics map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(metrics))
+	for key, v := range metrics {
+		rest, ok := strings.CutPrefix(key, "bench.SpillRound/")
+		if !ok || !strings.HasSuffix(rest, ".round1+_us/op") {
+			out[key] = v
+			continue
+		}
+		rest = strings.TrimSuffix(rest, ".round1+_us/op")
+		progFn, mode, ok := strings.Cut(rest, "/")
+		if !ok {
+			out[key] = v
+			continue
+		}
+		progFn = strings.Replace(progFn, "_", "/", 1)
+		out["spill_round.round1_plus_us_per_op."+progFn+"."+mode] = v
+	}
+	return out
+}
+
+// Restrict returns the entries of m whose path starts with any of the
+// given prefixes. cmd/benchdiff uses it to compare a fresh bench run
+// against only the baseline section that run re-measures.
+func Restrict(m map[string]float64, prefixes ...string) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range m {
+		for _, p := range prefixes {
+			if strings.HasPrefix(k, p) {
+				out[k] = v
+				break
+			}
+		}
+	}
+	return out
+}

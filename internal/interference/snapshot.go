@@ -1,6 +1,9 @@
 package interference
 
-import "repro/internal/ir"
+import (
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
 
 // Snapshot returns a copy-on-write view of g. The view shares every
 // storage slice and the bit matrix with the snapshotted base until the
@@ -12,6 +15,9 @@ import "repro/internal/ir"
 //
 // Snapshotting a snapshot shares the original base, never a chain.
 func (g *Graph) Snapshot() *Graph {
+	if b := telemetry.B(); b != nil {
+		b.Snapshots.Inc()
+	}
 	base := g
 	if base.cow != nil {
 		base = base.cow
@@ -36,6 +42,9 @@ func (g *Graph) Shared() bool { return g.cow != nil }
 func (g *Graph) privatize() {
 	if g.cow == nil {
 		return
+	}
+	if b := telemetry.B(); b != nil {
+		b.SnapshotPrivatized.Inc()
 	}
 	g.cow = nil
 	g.parent = append([]ir.Reg(nil), g.parent...)

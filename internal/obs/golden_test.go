@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/obs/obstest"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -39,36 +40,15 @@ func allocateQuickstart(t *testing.T, tr callcost.Tracer) {
 	}
 }
 
-// scrubDurations canonicalizes a JSONL stream: every line is parsed,
-// the wall-time field (the only nondeterministic one) is dropped, and
-// the object is re-marshaled with sorted keys.
-func scrubDurations(t *testing.T, raw []byte) string {
-	t.Helper()
-	var out strings.Builder
-	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
-		var m map[string]any
-		if err := json.Unmarshal([]byte(line), &m); err != nil {
-			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
-		}
-		delete(m, "dur_us")
-		b, err := json.Marshal(m)
-		if err != nil {
-			t.Fatal(err)
-		}
-		out.Write(b)
-		out.WriteByte('\n')
-	}
-	return out.String()
-}
-
 // TestJSONLGoldenQuickstart pins the full decision stream of the
-// quickstart program. Regenerate with:
+// quickstart program — including the per-run seq numbers, which are
+// deterministic on the sequential tracing path. Regenerate with:
 //
 //	go test ./internal/obs -run Golden -update
 func TestJSONLGoldenQuickstart(t *testing.T) {
 	var buf bytes.Buffer
 	allocateQuickstart(t, callcost.NewJSONLSink(&buf))
-	got := scrubDurations(t, buf.Bytes())
+	got := obstest.Scrub(t, buf.Bytes())
 
 	// The acceptance kinds must be present regardless of golden drift.
 	for _, kind := range []string{"phase_start", "phase_end", "simplify_pop", "color_assign"} {
@@ -77,27 +57,7 @@ func TestJSONLGoldenQuickstart(t *testing.T) {
 		}
 	}
 
-	golden := filepath.Join("testdata", "quickstart.jsonl.golden")
-	if *update {
-		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with -update to create it)", err)
-	}
-	if got != string(want) {
-		gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
-		for i := range gotLines {
-			if i >= len(wantLines) || gotLines[i] != wantLines[i] {
-				t.Fatalf("event stream diverges from golden at line %d:\n got %s\nwant %s\n(run with -update to regenerate)",
-					i+1, gotLines[i], wantLines[min(i, len(wantLines)-1)])
-			}
-		}
-		t.Fatalf("event stream shorter than golden: %d vs %d lines", len(gotLines), len(wantLines))
-	}
+	obstest.CompareGolden(t, filepath.Join("testdata", "quickstart.jsonl.golden"), got, *update)
 }
 
 // TestNarrativeAgreesWithJSONL feeds one run to both sinks and checks
@@ -174,6 +134,9 @@ func TestStatsSeesFullPipeline(t *testing.T) {
 // allocation with a nil tracer allocates exactly as much as one with a
 // disabled tracer, i.e. the guarded emission sites construct nothing.
 func TestNoTracerAddsNoAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not deterministic under -race: sync.Pool randomizes reuse")
+	}
 	src, err := os.ReadFile(filepath.Join("testdata", "quickstart.mc"))
 	if err != nil {
 		t.Fatal(err)

@@ -37,6 +37,7 @@ func (s *JSONL) Emit(ev Event) {
 func (ev Event) jsonMap() map[string]any {
 	m := map[string]any{
 		"kind": ev.Kind.String(),
+		"seq":  ev.Seq,
 		"fn":   ev.Fn,
 	}
 	bank := func() {

@@ -156,6 +156,7 @@ const (
 // meaningful depends on Kind (see the Kind constants).
 type Event struct {
 	Kind  Kind
+	Seq   uint64   // monotonic per-run emission number (see Sequencer)
 	Fn    string   // enclosing function
 	Phase string   // phase events: pipeline phase name
 	Round int      // allocation round (0-based)

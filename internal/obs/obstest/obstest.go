@@ -1,0 +1,73 @@
+// Package obstest holds the golden-file helpers shared by every test
+// that pins a JSONL event stream: canonicalization (drop the
+// nondeterministic wall-time fields, re-marshal with sorted keys) and
+// the update-or-diff golden comparison itself.
+package obstest
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// Scrub canonicalizes a JSONL stream for golden comparison: every line
+// is parsed, the named keys are dropped, and the object is re-marshaled
+// with sorted keys. With no dropKeys it drops "dur_us" — the wall-time
+// field, the only nondeterministic one in the allocator's stream.
+func Scrub(t testing.TB, raw []byte, dropKeys ...string) string {
+	t.Helper()
+	if len(dropKeys) == 0 {
+		dropKeys = []string{"dur_us"}
+	}
+	var out strings.Builder
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		for _, k := range dropKeys {
+			delete(m, k)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// CompareGolden diffs got against the golden file line by line, with
+// the first divergent line in the failure message. When update is true
+// it rewrites the golden instead and passes.
+func CompareGolden(t testing.TB, golden, got string, update bool) {
+	t.Helper()
+	if update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	want := string(raw)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := range gotLines {
+		if i >= len(wantLines) || gotLines[i] != wantLines[i] {
+			w := ""
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			t.Fatalf("stream diverges from golden at line %d:\n got %s\nwant %s\n(run with -update to regenerate)",
+				i+1, gotLines[i], w)
+		}
+	}
+	t.Fatalf("stream shorter than golden: %d vs %d lines", len(gotLines), len(wantLines))
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package obs_test
+
+// raceEnabled reports whether this binary was built with -race.
+// Allocation-count assertions are skipped under the race detector:
+// sync.Pool deliberately randomizes reuse there, so AllocsPerRun is
+// not deterministic.
+const raceEnabled = true

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // ForEachIndexed runs f(0)..f(n-1) on a bounded worker pool and returns
@@ -23,6 +25,11 @@ import (
 func ForEachIndexed(n, workers int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	b := telemetry.B()
+	if b != nil {
+		b.ParLoops.Inc()
+		b.ParTasks.Add(int64(n))
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -50,11 +57,27 @@ func ForEachIndexed(n, workers int, f func(i int) error) error {
 				if i >= n {
 					return
 				}
+				if b != nil {
+					// Unclaimed tasks = n minus the claim counter; the
+					// gauges expose pool utilization mid-sweep.
+					if left := int64(n) - atomic.LoadInt64(&next); left > 0 {
+						b.ParQueueDepth.Set(left)
+					} else {
+						b.ParQueueDepth.Set(0)
+					}
+					b.ParBusyWorkers.Add(1)
+				}
 				errs[i] = f(i)
+				if b != nil {
+					b.ParBusyWorkers.Add(-1)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if b != nil {
+		b.ParQueueDepth.Set(0)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

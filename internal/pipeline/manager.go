@@ -7,6 +7,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/liverange"
+	"repro/internal/telemetry"
 )
 
 // Liveness modes reported by LiveStat — how the manager obtained the
@@ -147,6 +148,13 @@ func (m *AnalysisManager) Liveness(rebuild bool) (live *liveness.Info, hit bool)
 	switch {
 	case m.FromCache():
 		hit = !m.cache.EnsureLive()
+		if b := telemetry.B(); b != nil {
+			if hit {
+				b.PrepLiveHits.Inc()
+			} else {
+				b.PrepLiveMisses.Inc()
+			}
+		}
 		m.cfg = m.cache.CFG()
 		m.live = m.cache.Liveness().Fork()
 		m.liveOwned = false
@@ -217,6 +225,13 @@ func (m *AnalysisManager) Interference(rebuild bool) (hit bool) {
 	}
 	if m.FromCache() {
 		hit = !m.cache.EnsureBase()
+		if b := telemetry.B(); b != nil {
+			if hit {
+				b.PrepGraphHits.Inc()
+			} else {
+				b.PrepGraphMisses.Inc()
+			}
+		}
 		for c := ir.Class(0); c < ir.NumClasses; c++ {
 			m.base[c] = m.cache.BaseGraph(c).Snapshot()
 		}

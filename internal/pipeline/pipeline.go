@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // Pass is one stage of the allocation pipeline. A pass reads and
@@ -123,14 +124,26 @@ type Runner struct {
 // tracer is attached, every executed pass is bracketed by PhaseStart
 // and PhaseEnd events carrying the pass name and measured wall time —
 // individual passes never emit their own phase events. Untraced runs
-// construct no events at all.
+// construct no events at all. When global telemetry is enabled
+// (telemetry.Enable), the runner additionally feeds the pass-timing
+// histograms and the allocation counters; with telemetry off that
+// costs one atomic load per Run.
 func (r *Runner) Run(s *State) (rounds int, err error) {
 	maxRounds := r.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
 	}
 	traced := s.Traced()
+	tele := telemetry.B()
+	timed := traced || tele != nil
 	var t0 time.Time
+	finish := func(rounds int) {
+		if tele != nil {
+			tele.AllocFuncs.Inc()
+			tele.AllocRounds.Add(int64(rounds))
+			tele.Rounds.Observe(float64(rounds))
+		}
+	}
 	for round := 0; round < maxRounds; round++ {
 		s.BeginRound(round)
 		for _, p := range r.Passes {
@@ -139,22 +152,37 @@ func (r *Runner) Run(s *State) (rounds int, err error) {
 			}
 			if traced {
 				s.Tracer.Emit(obs.Event{Kind: obs.KindPhaseStart, Fn: s.Fn.Name, Round: round, Phase: p.Name()})
+			}
+			if timed {
 				t0 = time.Now()
 			}
 			if err := p.Run(s); err != nil {
+				finish(round)
 				return round, fmt.Errorf("pass %s: %w", p.Name(), err)
 			}
-			if traced {
-				s.Tracer.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: s.Fn.Name, Round: round, Phase: p.Name(), Dur: time.Since(t0)})
+			if timed {
+				dur := time.Since(t0)
+				if traced {
+					s.Tracer.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: s.Fn.Name, Round: round, Phase: p.Name(), Dur: dur})
+				}
+				if tele != nil {
+					tele.PassRuns.Inc()
+					tele.PhaseDur(p.Name()).Observe(float64(dur.Nanoseconds()) / 1e3)
+				}
 			}
 			s.AM.Invalidate(p.Preserves())
 			if pp, ok := p.(PostPhaser); ok {
 				pp.PostPhase(s)
 			}
 		}
+		if tele != nil {
+			tele.SpilledRegs.Add(int64(len(s.SpillSet)))
+		}
 		if s.Converged() {
+			finish(round + 1)
 			return round + 1, nil
 		}
 	}
+	finish(maxRounds)
 	return maxRounds, fmt.Errorf("%w after %d rounds", ErrRoundLimit, maxRounds)
 }

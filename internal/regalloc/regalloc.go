@@ -33,6 +33,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 // Strategy is one register-allocation approach: it performs the color
@@ -298,13 +299,21 @@ type simpScratch struct {
 	stack     []ir.Reg
 }
 
-var simpPool = sync.Pool{New: func() any { return new(simpScratch) }}
+var simpPool = sync.Pool{New: func() any {
+	if b := telemetry.B(); b != nil {
+		b.PoolNews.Inc()
+	}
+	return new(simpScratch)
+}}
 
 // NewSimplifier prepares simplification state for ctx. Pair with
 // Release (after the returned stack is drained) to recycle the
 // scratch; skipping Release costs allocations, never correctness.
 func NewSimplifier(ctx *ClassContext) *Simplifier {
 	n := ctx.Fn.NumRegs()
+	if b := telemetry.B(); b != nil {
+		b.PoolGets.Inc()
+	}
 	sc := simpPool.Get().(*simpScratch)
 	if cap(sc.deg) < n {
 		sc.deg = make([]int32, n)
@@ -698,8 +707,15 @@ type Options struct {
 	// Program.AllocateWithOptions: 0 selects GOMAXPROCS, 1 forces the
 	// sequential path, n > 1 caps the pool at n. Output is
 	// byte-identical either way; a non-nil Tracer forces sequential so
-	// the event stream stays in program order.
+	// the event stream stays in program order (see TraceParallel).
 	Parallel int
+	// TraceParallel keeps the Parallel worker pool even when a Tracer
+	// is attached. Events from different functions then interleave in
+	// emission order rather than program order; each event's Seq field
+	// still records a total order, and sinks must be concurrency-safe
+	// (all the shipped sinks are). Off by default so traced streams and
+	// their goldens stay deterministic.
+	TraceParallel bool
 	// NoPrepCache disables Program-level sharing of prepared round-0
 	// artifacts (CFG, liveness, base interference graphs): every
 	// allocation rebuilds from scratch. Exists for A/B benchmarking.

@@ -1,0 +1,155 @@
+// Live end-to-end test: a real allocation feeding the enabled
+// registry and a span recorder, inspected over HTTP while the server
+// is up. Lives in package telemetry_test so it can drive the public
+// callcost API (package telemetry sits below the allocator).
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/benchprog"
+	"repro/internal/experiments"
+	"repro/internal/obs/obstest"
+	"repro/internal/telemetry"
+)
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestLiveAllocationOverHTTP(t *testing.T) {
+	defer telemetry.Disable()
+	telemetry.Enable(nil)
+	spans := telemetry.NewSpanRecorder(0)
+	srv, err := telemetry.Serve("127.0.0.1:0", nil, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	prog, err := callcost.Compile(benchprog.ByName("tomcatv").Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := callcost.WithTracer(callcost.DefaultAllocOptions(), spans)
+	if _, err := prog.AllocateWithOptions(callcost.ImprovedAll(),
+		callcost.NewConfig(6, 4, 0, 0), prog.StaticFreq(), opts); err != nil {
+		t.Fatal(err)
+	}
+	spans.Flush()
+
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/metrics")), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Counters["alloc_funcs_total"] == 0 || metrics.Counters["pass_runs_total"] == 0 {
+		t.Fatalf("/metrics shows no allocation activity: %v", metrics.Counters)
+	}
+	if metrics.Counters["alloc_spilled_regs_total"] == 0 {
+		t.Fatalf("tomcatv at (6,4,0,0) must spill: %v", metrics.Counters)
+	}
+
+	spansBody := httpGet(t, base+"/spans")
+	for _, want := range []string{`"kind": "program"`, `"kind": "pass"`, `"name": "color"`} {
+		if !strings.Contains(spansBody, want) {
+			t.Errorf("/spans missing %s:\n%.400s", want, spansBody)
+		}
+	}
+	flame := httpGet(t, base+"/spans?format=flame")
+	if !strings.Contains(flame, "liveness") || !strings.Contains(flame, "allocation") {
+		t.Errorf("flame view incomplete:\n%s", flame)
+	}
+	if body := httpGet(t, base+"/metrics?format=text"); !strings.Contains(body, "alloc_funcs_total") {
+		t.Errorf("text exposition incomplete:\n%.200s", body)
+	}
+}
+
+// TestLiveExperimentSweepOverHTTP drives a real experiments-registry
+// sweep (Figure 2 — the same code path cmd/experiments -exp fig2 runs)
+// with the introspection server up: /metrics, /spans, and pprof must
+// all serve live data from the sweep. A JSONL sink rides alongside the
+// span recorder so the span derivation can be cross-checked against
+// the raw event stream, canonicalized with the shared obstest scrubber.
+func TestLiveExperimentSweepOverHTTP(t *testing.T) {
+	defer telemetry.Disable()
+	telemetry.Enable(nil)
+	spans := telemetry.NewSpanRecorder(1 << 17)
+	srv, err := telemetry.Serve("127.0.0.1:0", nil, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	var jsonl bytes.Buffer
+	env := experiments.NewEnv()
+	env.SetTracer(callcost.MultiSink(callcost.NewJSONLSink(&jsonl), spans))
+	exp := experiments.ByID("fig2")
+	if exp == nil {
+		t.Fatal("fig2 experiment not registered")
+	}
+	var table bytes.Buffer
+	if err := exp.Run(env, &table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "eqntott") {
+		t.Fatalf("fig2 produced no table:\n%.200s", table.String())
+	}
+	spans.Flush()
+
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/metrics")), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Counters["alloc_funcs_total"] == 0 || metrics.Counters["alloc_rounds_total"] == 0 {
+		t.Fatalf("/metrics shows no sweep activity: %v", metrics.Counters)
+	}
+	if !strings.Contains(httpGet(t, base+"/spans"), `"kind": "round"`) {
+		t.Error("/spans has no round spans from the sweep")
+	}
+	if body := httpGet(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index not serving:\n%.200s", body)
+	}
+
+	// Cross-check the derived spans against the raw stream: one pass
+	// span per phase_end event. Seq restarts at 1 for every program run
+	// of the sweep, so it is scrubbed along with wall time.
+	scrubbed := obstest.Scrub(t, jsonl.Bytes(), "dur_us", "seq")
+	phaseEnds := strings.Count(scrubbed, `"kind":"phase_end"`)
+	passSpans := 0
+	for _, s := range spans.Spans() {
+		if s.Kind == telemetry.SpanPass {
+			passSpans++
+		}
+	}
+	if phaseEnds == 0 || passSpans != phaseEnds {
+		t.Errorf("span derivation out of sync with event stream: %d pass spans vs %d phase_end events",
+			passSpans, phaseEnds)
+	}
+}

@@ -1,0 +1,353 @@
+// Package telemetry is the allocator's aggregate observability layer:
+// a process-lifetime metrics registry (atomic counters, gauges, and
+// fixed-bucket histograms with JSON and text exposition), hierarchical
+// span tracing derived from the obs event stream, and an opt-in HTTP
+// introspection server (/metrics, /spans, net/http/pprof).
+//
+// Package obs answers "what did this one allocation decide, and why";
+// telemetry answers "what has this process been doing" — how many
+// functions were allocated, how the phase wall time distributes, how
+// often the prep cache hits, how many copy-on-write snapshots were
+// privatized, how busy the worker pool runs. The paper's contribution
+// is a measured cost model; this package applies the same discipline to
+// the allocator's own time and decisions.
+//
+// Telemetry is strictly opt-in and free when off. Instrumentation
+// sites hold nil-safe handles (a nil *Counter's Add is a no-op) or
+// consult the global Builtin bundle (B), which is a single atomic
+// pointer load that returns nil until Enable installs a registry. The
+// disabled path performs no allocation and no atomic read-modify-write
+// — the test suite pins this.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing instrument. The zero value is
+// ready to use; a nil Counter discards every operation, which is the
+// disabled fast path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level: queue depth, busy workers. A nil
+// Gauge discards every operation.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level. No-op on a nil handle.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the level by n (use negative n to decrease). No-op on a
+// nil handle.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current level (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: observations are counted
+// into the first bucket whose upper bound is >= the value, with an
+// implicit +Inf overflow bucket, plus a running sum and count. All
+// operations are atomic; a nil Histogram discards every observation.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the upper bounds and the per-bucket counts; the last
+// count is the +Inf overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = h.bounds
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// Registry is a named collection of instruments. Instruments are
+// created on first request and live for the registry's lifetime, so
+// callers hold the returned handles rather than re-looking them up on
+// hot paths. All methods are safe for concurrent use, and every
+// instrument accessor is nil-safe: a nil *Registry returns nil handles,
+// whose operations are no-ops — the disabled fast path needs no
+// branches beyond one nil check.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls ignore bounds). Returns nil
+// on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the exposition form of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one histogram bucket: the upper bound (+Inf for the
+// overflow bucket, rendered as "+Inf") and its count.
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	N          int64   `json:"n"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, with
+// deterministic (sorted) ordering — the exposition format of /metrics
+// and the -metrics dumps.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every instrument. Returns an
+// empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		bounds, counts := h.Buckets()
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i, n := range counts {
+			ub := math.Inf(1)
+			if i < len(bounds) {
+				ub = bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: ub, N: n})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Map keys marshal in
+// sorted order, so the output is deterministic for fixed values.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// MarshalJSON renders +Inf bucket bounds as the string "+Inf" (JSON has
+// no infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.UpperBound, 1) {
+		return json.Marshal(struct {
+			UpperBound string `json:"le"`
+			N          int64  `json:"n"`
+		}{"+Inf", b.N})
+	}
+	return json.Marshal(struct {
+		UpperBound float64 `json:"le"`
+		N          int64   `json:"n"`
+	}{b.UpperBound, b.N})
+}
+
+// WriteText writes the snapshot in a Prometheus-flavored text format:
+// one "name value" line per counter and gauge, and per-histogram
+// cumulative bucket lines plus _sum and _count.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b.UpperBound), "0"), ".")
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

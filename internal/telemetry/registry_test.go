@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("same name must return the same handle")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); got != 1066.5 {
+		t.Fatalf("sum = %g, want 1066.5", got)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets = %v / %v", bounds, counts)
+	}
+	// le=1: {0.5, 1}; le=10: {5, 10}; le=100: {50}; +Inf: {1000}.
+	want := []int64{2, 2, 1, 1}
+	for i, n := range want {
+		if counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], n, counts)
+		}
+	}
+}
+
+func TestNilHandlesAreFreeNoOps(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		g *Gauge
+		h *Histogram
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(3)
+		g.Add(1)
+		h.Observe(2)
+		if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+			t.Fatal("nil registry must hand out nil instruments")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-handle operations allocated %v per run, want 0", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+// TestDisabledGlobalPathZeroAlloc pins the telemetry-disabled contract:
+// the guard every instrumentation site uses — one atomic load of the
+// global bundle, nil-check, skip — allocates nothing and mutates
+// nothing.
+func TestDisabledGlobalPathZeroAlloc(t *testing.T) {
+	Disable()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if b := B(); b != nil {
+			b.AllocFuncs.Inc()
+		}
+		b := B()
+		b.PhaseDur(obs.PhaseColor).Observe(1)
+		b.PhaseDur("custom-pass").Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry path allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestEnableDisableSwapsBundle(t *testing.T) {
+	defer Disable()
+	b := Enable(nil)
+	if B() != b {
+		t.Fatal("B() must return the enabled bundle")
+	}
+	b.AllocFuncs.Add(3)
+	if got := b.Reg.Counter("alloc_funcs_total").Value(); got != 3 {
+		t.Fatalf("builtin handle not registered: %d", got)
+	}
+	b2 := Enable(nil)
+	if b2 == b || B() != b2 {
+		t.Fatal("re-Enable must install a fresh bundle")
+	}
+	if got := b2.AllocFuncs.Value(); got != 0 {
+		t.Fatalf("fresh bundle carries old counts: %d", got)
+	}
+	Disable()
+	if B() != nil {
+		t.Fatal("Disable must clear the bundle")
+	}
+}
+
+func TestPhaseDurStandardAndCustom(t *testing.T) {
+	defer Disable()
+	b := Enable(nil)
+	std := b.PhaseDur(obs.PhaseBuild)
+	if std == nil || std != b.PhaseDur(obs.PhaseBuild) {
+		t.Fatal("standard phase histogram must be a stable handle")
+	}
+	std.Observe(3)
+	snap := b.Reg.Snapshot()
+	if snap.Histograms["phase_build_graph_us"].Count != 1 {
+		t.Fatalf("phase histogram not registered under sanitized name: %v", snap.Histograms)
+	}
+	custom := b.PhaseDur("my-pass")
+	custom.Observe(1)
+	if b.Reg.Snapshot().Histograms["phase_my_pass_us"].Count != 1 {
+		t.Fatal("custom phase histogram missing")
+	}
+}
+
+func TestSnapshotJSONAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Gauge("depth").Set(7)
+	h := r.Histogram("lat_us", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Fatalf("overflow bucket must render as \"+Inf\":\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"a_total 2", "depth 7",
+		`lat_us_bucket{le="1"} 1`, `lat_us_bucket{le="+Inf"} 2`,
+		"lat_us_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total")
+	h := r.Histogram("v", []float64{50})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("histogram sum corrupted")
+	}
+}

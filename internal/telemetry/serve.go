@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// Server is a live introspection endpoint over a registry and a span
+// recorder:
+//
+//	/metrics        registry snapshot (JSON; ?format=text for the
+//	                Prometheus-flavored text form)
+//	/spans          recent completed spans (JSON; ?format=flame for the
+//	                indented flame-style tree)
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// It exists so long sweeps (cmd/experiments, rallocc -sweep) are
+// inspectable mid-run: attach with -listen, then curl the endpoints or
+// point `go tool pprof` at /debug/pprof/profile while the run is hot.
+type Server struct {
+	// Addr is the bound address, e.g. "127.0.0.1:43671" — useful when
+	// listening on port 0.
+	Addr string
+
+	reg    *Registry
+	spans  *SpanRecorder
+	srv    *http.Server
+	ln     net.Listener
+	closed chan struct{}
+}
+
+// Serve binds addr and starts serving introspection endpoints in a
+// background goroutine. A nil reg serves the globally enabled registry
+// (telemetry.Enable) as of each request; a nil spans serves an empty
+// span list. Close shuts the server down.
+func Serve(addr string, reg *Registry, spans *SpanRecorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: ln.Addr().String(), reg: reg, spans: spans, ln: ln,
+		closed: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.closed)
+		s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	}()
+	return s, nil
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.closed
+	return err
+}
+
+// registry resolves the registry to expose: the one bound at Serve, or
+// the globally enabled one.
+func (s *Server) registry() *Registry {
+	if s.reg != nil {
+		return s.reg
+	}
+	if b := B(); b != nil {
+		return b.Reg
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	if reg == nil {
+		http.Error(w, "telemetry disabled: no registry enabled", http.StatusServiceUnavailable)
+		return
+	}
+	snap := reg.Snapshot()
+	if wantsText(r) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w) //nolint:errcheck // best-effort exposition
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w) //nolint:errcheck // best-effort exposition
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		http.Error(w, "no span recorder attached", http.StatusServiceUnavailable)
+		return
+	}
+	if r.URL.Query().Get("format") == "flame" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.spans.WriteFlame(w) //nolint:errcheck // best-effort exposition
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.spans.WriteJSON(w) //nolint:errcheck // best-effort exposition
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "telemetry endpoints:\n"+
+		"  /metrics              registry snapshot (JSON; ?format=text)\n"+
+		"  /spans                recent spans (JSON; ?format=flame)\n"+
+		"  /debug/pprof/         runtime profiles\n")
+}
+
+// wantsText reports whether the request prefers the text exposition.
+func wantsText(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "text" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}

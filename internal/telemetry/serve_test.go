@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("alloc_funcs_total").Add(9)
+	spans := NewSpanRecorder(0)
+	spans.Emit(obs.Event{Kind: obs.KindPhaseStart, Fn: "f", Phase: obs.PhaseColor})
+	spans.Emit(obs.Event{Kind: obs.KindPhaseEnd, Fn: "f", Phase: obs.PhaseColor, Dur: time.Millisecond})
+	spans.Flush()
+
+	srv, err := Serve("127.0.0.1:0", reg, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, `"alloc_funcs_total": 9`) {
+		t.Fatalf("/metrics JSON: code=%d body=%s", code, body)
+	}
+	if code, body := get(t, base+"/metrics?format=text"); code != 200 || !strings.Contains(body, "alloc_funcs_total 9") {
+		t.Fatalf("/metrics text: code=%d body=%s", code, body)
+	}
+	if code, body := get(t, base+"/spans"); code != 200 || !strings.Contains(body, `"kind": "pass"`) {
+		t.Fatalf("/spans: code=%d body=%s", code, body)
+	}
+	if code, body := get(t, base+"/spans?format=flame"); code != 200 || !strings.Contains(body, obs.PhaseColor) {
+		t.Fatalf("/spans flame: code=%d body=%s", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d body=%s", code, body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/heap?debug=1"); code != 200 {
+		t.Fatalf("/debug/pprof/heap: code=%d", code)
+	}
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code=%d body=%s", code, body)
+	}
+}
+
+// TestServeFallsBackToGlobalRegistry covers the cmd wiring shape:
+// Serve(addr, nil, nil) exposes whatever registry Enable installed.
+func TestServeFallsBackToGlobalRegistry(t *testing.T) {
+	defer Disable()
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	Disable()
+	if code, _ := get(t, base+"/metrics"); code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled telemetry should 503, got %d", code)
+	}
+	b := Enable(nil)
+	b.SpilledRegs.Add(4)
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, `"alloc_spilled_regs_total": 4`) {
+		t.Fatalf("global registry not served: code=%d body=%s", code, body)
+	}
+	if code, _ := get(t, base+"/spans"); code != http.StatusServiceUnavailable {
+		t.Fatalf("no recorder should 503, got %d", code)
+	}
+}
