@@ -296,6 +296,45 @@ func BenchmarkAllocateProgram(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocateStrategy measures cold whole-program allocation
+// wall time per strategy: the full graph-coloring pipeline (improved),
+// the graph-free linear scan, and the scan-first hybrid tier. The
+// prepared-function cache is off so every iteration pays exactly the
+// analyses its strategy needs — the scan's win is precisely not
+// building interference graphs.
+func BenchmarkAllocateStrategy(b *testing.B) {
+	// li and eqntott escalate under the hybrid tier (their hot function
+	// spills); ear and sc are spill-light and stay entirely in the scan.
+	progs := []string{"li", "compress", "eqntott", "ear", "sc"}
+	strategies := []struct {
+		name  string
+		strat callcost.Strategy
+	}{
+		{"improved", callcost.ImprovedAll()},
+		{"linscan", callcost.LinearScan()},
+		{"hybrid", callcost.HybridTiered()},
+	}
+	cfgRegs := callcost.NewConfig(8, 6, 4, 4)
+	for _, pname := range progs {
+		p, err := benchEnv.Get(pname)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range strategies {
+			b.Run(pname+"/"+s.name, func(b *testing.B) {
+				opts := callcost.DefaultAllocOptions()
+				opts.NoPrepCache = true
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Program.AllocateWithOptions(s.strat, cfgRegs, p.Dynamic, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMachineInterp measures executing allocated code on the
 // machine-level interpreter.
 func BenchmarkMachineInterp(b *testing.B) {

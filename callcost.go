@@ -30,6 +30,7 @@ import (
 	"repro/internal/freq"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/linscan"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/minterp"
@@ -114,6 +115,20 @@ func Priority(o PriorityOrdering) Strategy { return &priority.Chow{Ordering: o} 
 // CBH returns the Chaitin/Briggs-Hierarchical cost model (§10).
 func CBH() Strategy { return &cbh.CBH{} }
 
+// LinearScan returns the graph-free linear-scan allocator: one
+// backward walk derives live intervals, spill costs, and the paper's
+// caller/callee benefit split, and a single interval sweep assigns
+// registers — no interference graph, no simplify stack. Its pipeline
+// is liveness → scan → spill-rewrite.
+func LinearScan() Strategy { return &linscan.Scan{} }
+
+// HybridTiered returns the scan-first, color-on-spill tiered
+// allocator: every function is first allocated by the linear scan, and
+// only functions whose scan spills escalate to the full SC+BS+PR
+// graph-coloring allocator. Spill-light functions keep the scan's
+// multi-x allocation-time win; spill-heavy ones keep coloring quality.
+func HybridTiered() Strategy { return &linscan.Hybrid{Escalate: core.All()} }
+
 // Strategies returns the named standard strategies, for tests and
 // sweeps.
 func Strategies() map[string]Strategy {
@@ -123,6 +138,8 @@ func Strategies() map[string]Strategy {
 		"improved":   ImprovedAll(),
 		"priority":   Priority(PrioritySorting),
 		"cbh":        CBH(),
+		"linscan":    LinearScan(),
+		"hybrid":     HybridTiered(),
 	}
 }
 

@@ -1,16 +1,18 @@
 // benchdiff is the benchmark regression gate: it compares two
 // measurement files (or a fresh benchmark run against a checked-in
 // baseline) and exits nonzero when a metric moved the wrong way past
-// the noise threshold. CI runs it as a smoke step against BENCH_5.json.
+// the noise threshold. CI runs it as a smoke step against BENCH_6.json.
 //
 // Two-file mode diffs every numeric leaf the files share:
 //
 //	benchdiff -threshold 0.2 BENCH_5.json BENCH_6.json
 //
 // Run mode executes `go test -bench` itself, canonicalizes the
-// BenchmarkSpillRound metrics to the baseline's paths, and diffs those:
+// SpillRound, AllocateProgram, and AllocateStrategy metrics to the
+// baseline's paths, and diffs those. Metrics the baseline does not
+// carry are printed as explicit WARNINGs instead of passing silently:
 //
-//	benchdiff -bench -baseline BENCH_5.json -benchtime 200x -threshold 0.5 -o current.json
+//	benchdiff -bench -baseline BENCH_6.json -benchtime 200x -threshold 0.5 -o current.json
 //
 // The threshold is relative (0.5 = 50%); run mode wants a generous one,
 // since short -benchtime runs on shared CI hardware are noisy.
@@ -35,7 +37,7 @@ func run() int {
 	var (
 		bench     = flag.Bool("bench", false, "run `go test -bench` and diff against -baseline instead of diffing two files")
 		baseline  = flag.String("baseline", "", "baseline JSON file for -bench mode")
-		pattern   = flag.String("pattern", "BenchmarkSpillRound", "benchmark regexp for -bench mode")
+		pattern   = flag.String("pattern", "BenchmarkSpillRound$|BenchmarkAllocateProgram$|BenchmarkAllocateStrategy$", "benchmark regexp for -bench mode")
 		benchtime = flag.String("benchtime", "200x", "go test -benchtime for -bench mode")
 		pkg       = flag.String("pkg", ".", "package to benchmark in -bench mode")
 		out       = flag.String("o", "", "write the current measurements as flat JSON to this file")
@@ -81,7 +83,7 @@ func runBenchMode(baseline, pattern, benchtime, pkg, out string, threshold float
 	if err != nil {
 		return nil, err
 	}
-	cur := benchdiff.CanonicalizeSpillRound(parsed)
+	cur := benchdiff.Canonicalize(parsed)
 	if out != "" {
 		doc, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
@@ -95,8 +97,12 @@ func runBenchMode(baseline, pattern, benchtime, pkg, out string, threshold float
 	if err != nil {
 		return nil, err
 	}
-	// Only the section the fresh run re-measures can gate; everything
+	// Only the sections the fresh run re-measures can gate; everything
 	// else in the baseline would show up as baseline-only noise.
-	base = benchdiff.Restrict(base, "spill_round.round1_plus_us_per_op.")
+	base = benchdiff.Restrict(base,
+		"spill_round.round1_plus_us_per_op.",
+		"spill_round.ns_per_op.",
+		"allocate_program.ns_per_op.",
+		"allocate_strategy.ns_per_op.")
 	return benchdiff.Compare(base, cur, threshold), nil
 }

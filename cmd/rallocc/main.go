@@ -7,7 +7,7 @@
 //
 //	rallocc [flags] file.mc
 //
-//	-strategy  chaitin | optimistic | improved | sc | sc+bs | priority | cbh
+//	-strategy  chaitin | optimistic | improved | sc | sc+bs | priority | cbh | linscan | hybrid
 //	-config    Ri,Rf,Ei,Ef   (default 8,6,4,4)
 //	-static    use estimated frequencies instead of a profiling run
 //	-run       execute the allocated program and verify the result
@@ -150,6 +150,10 @@ func parseStrategy(name string) (callcost.Strategy, error) {
 		return callcost.Priority(callcost.PrioritySorting), nil
 	case "cbh":
 		return callcost.CBH(), nil
+	case "linscan":
+		return callcost.LinearScan(), nil
+	case "hybrid":
+		return callcost.HybridTiered(), nil
 	}
 	return nil, fmt.Errorf("unknown strategy %q", name)
 }

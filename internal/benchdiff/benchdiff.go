@@ -242,14 +242,18 @@ func (r *Report) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	// A current-only metric means the run measured something the
+	// baseline cannot gate — typically a benchmark added without
+	// refreshing the baseline. Warn loudly so it gets a baseline entry
+	// instead of passing silently forever.
 	for _, p := range r.CurOnly {
-		if _, err := fmt.Fprintf(w, "current-only: %s\n", p); err != nil {
+		if _, err := fmt.Fprintf(w, "WARNING: current-only (ungated, add to baseline): %s\n", p); err != nil {
 			return err
 		}
 	}
 	n := len(r.Regressions())
-	_, err := fmt.Fprintf(w, "%d metrics compared, %d regressions (threshold %.0f%%)\n",
-		len(r.Deltas), n, 100*r.Threshold)
+	_, err := fmt.Fprintf(w, "%d metrics compared, %d regressions, %d ungated current-only (threshold %.0f%%)\n",
+		len(r.Deltas), n, len(r.CurOnly), 100*r.Threshold)
 	return err
 }
 

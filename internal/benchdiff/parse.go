@@ -84,6 +84,49 @@ func CanonicalizeSpillRound(metrics map[string]float64) map[string]float64 {
 	return out
 }
 
+// Canonicalize re-keys every parsed benchmark metric that has a
+// checked-in baseline section to that section's paths, so one fresh
+// run can gate against all of them at once. It applies the SpillRound
+// rule (see CanonicalizeSpillRound) plus:
+//
+//	bench.SpillRound/<prog>_<fn>/<mode>.ns/op
+//	  → spill_round.ns_per_op.<prog>/<fn>.<mode>
+//	bench.AllocateProgram/<mode>.ns/op
+//	  → allocate_program.ns_per_op.<mode>
+//	bench.AllocateStrategy/<prog>/<strat>.ns/op
+//	  → allocate_strategy.ns_per_op.<prog>.<strat>
+//
+// Entries matching no rule pass through unchanged.
+func Canonicalize(metrics map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(metrics))
+	for key, v := range CanonicalizeSpillRound(metrics) {
+		if rest, ok := strings.CutPrefix(key, "bench.SpillRound/"); ok {
+			if rest, ok := strings.CutSuffix(rest, ".ns/op"); ok {
+				if progFn, mode, ok := strings.Cut(rest, "/"); ok && !strings.Contains(mode, "/") {
+					out["spill_round.ns_per_op."+strings.Replace(progFn, "_", "/", 1)+"."+mode] = v
+					continue
+				}
+			}
+		}
+		if rest, ok := strings.CutPrefix(key, "bench.AllocateProgram/"); ok {
+			if mode, ok := strings.CutSuffix(rest, ".ns/op"); ok && !strings.Contains(mode, "/") {
+				out["allocate_program.ns_per_op."+mode] = v
+				continue
+			}
+		}
+		if rest, ok := strings.CutPrefix(key, "bench.AllocateStrategy/"); ok {
+			if rest, ok := strings.CutSuffix(rest, ".ns/op"); ok {
+				if prog, strat, ok := strings.Cut(rest, "/"); ok && !strings.Contains(strat, "/") {
+					out["allocate_strategy.ns_per_op."+prog+"."+strat] = v
+					continue
+				}
+			}
+		}
+		out[key] = v
+	}
+	return out
+}
+
 // Restrict returns the entries of m whose path starts with any of the
 // given prefixes. cmd/benchdiff uses it to compare a fresh bench run
 // against only the baseline section that run re-measures.

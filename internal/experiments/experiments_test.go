@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-callee", "ablation-coalesce", "ablation-key",
 		"ablation-priority", "ablation-rebuild", "ablation-spillheur",
 		"fig10", "fig11", "fig2", "fig6", "fig7", "fig9",
-		"tab2", "tab3", "tab4",
+		"pareto", "pareto-smoke", "tab2", "tab3", "tab4",
 	}
 	all := experiments.All()
 	if len(all) != len(want) {

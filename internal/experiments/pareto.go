@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/benchprog"
+)
+
+// ParetoRow is one (program, strategy) cell of the compile-time vs.
+// allocation-quality trade-off table.
+type ParetoRow struct {
+	Program  string
+	Strategy string
+	// Alloc is the cold whole-program allocation wall time (prep cache
+	// off, minimum over the measurement repetitions).
+	Alloc time.Duration
+	// Overhead is the analytic total overhead under dynamic weights —
+	// the paper's quality metric.
+	Overhead float64
+	// Escalated counts the functions a tiered strategy pushed to its
+	// expensive tier; Funcs is the function count of the program.
+	Escalated, Funcs int
+}
+
+// ParetoSweep measures every strategy over the given programs at cfg:
+// allocation wall time (cold, min of reps) against total overhead.
+// Programs run in parallel; the strategies of one program run
+// sequentially so their timings do not disturb each other.
+func ParetoSweep(env *Env, progs []string, cfg callcost.Config, reps int) ([]ParetoRow, error) {
+	strategies := callcost.Strategies()
+	names := make([]string, 0, len(strategies))
+	for n := range strategies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([][]ParetoRow, len(progs))
+	err := forEachIndexed(len(progs), func(i int) error {
+		p, err := env.Get(progs[i])
+		if err != nil {
+			return err
+		}
+		opts := p.Opts
+		// Cold allocations: the timing must include the analysis work
+		// each strategy actually needs (the scan's advantage is exactly
+		// the analyses it skips), not a shared cached round 0.
+		opts.NoPrepCache = true
+		for _, sname := range names {
+			strat := strategies[sname]
+			var alloc *callcost.Allocation
+			best := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				alloc, err = p.Program.AllocateWithOptions(strat, cfg, p.Dynamic, opts)
+				d := time.Since(start)
+				if err != nil {
+					return fmt.Errorf("%s: %s: %w", progs[i], sname, err)
+				}
+				if r == 0 || d < best {
+					best = d
+				}
+			}
+			row := ParetoRow{
+				Program:  progs[i],
+				Strategy: sname,
+				Alloc:    best,
+				Overhead: alloc.Overhead(p.Dynamic).Total(),
+				Funcs:    len(alloc.Plans),
+			}
+			for _, plan := range alloc.Plans {
+				if plan.Alloc.Escalated {
+					row.Escalated++
+				}
+			}
+			rows[i] = append(rows[i], row)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ParetoRow
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// paretoTotals aggregates rows per strategy and marks the Pareto
+// frontier of (total allocation time, total overhead): a strategy is
+// optimal when no other strategy is at least as good on both axes and
+// strictly better on one.
+type paretoTotal struct {
+	Strategy         string
+	Alloc            time.Duration
+	Overhead         float64
+	Escalated, Funcs int
+	Optimal          bool
+}
+
+func paretoTotals(rows []ParetoRow) []paretoTotal {
+	byStrat := map[string]*paretoTotal{}
+	var order []string
+	for _, r := range rows {
+		t := byStrat[r.Strategy]
+		if t == nil {
+			t = &paretoTotal{Strategy: r.Strategy}
+			byStrat[r.Strategy] = t
+			order = append(order, r.Strategy)
+		}
+		t.Alloc += r.Alloc
+		t.Overhead += r.Overhead
+		t.Escalated += r.Escalated
+		t.Funcs += r.Funcs
+	}
+	sort.Strings(order)
+	out := make([]paretoTotal, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byStrat[n])
+	}
+	for i := range out {
+		out[i].Optimal = true
+		for j := range out {
+			if i == j {
+				continue
+			}
+			notWorse := out[j].Alloc <= out[i].Alloc && out[j].Overhead <= out[i].Overhead
+			strictlyBetter := out[j].Alloc < out[i].Alloc || out[j].Overhead < out[i].Overhead
+			if notWorse && strictlyBetter {
+				out[i].Optimal = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+// runPareto prints the per-program table and the per-strategy frontier.
+func runPareto(env *Env, w io.Writer, progs []string, reps int) error {
+	cfg := callcost.NewConfig(8, 6, 4, 4)
+	rows, err := ParetoSweep(env, progs, cfg, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "configuration %s, cold allocations, min of %d runs\n\n", cfg, reps)
+	fmt.Fprintf(w, "%-10s %-10s %12s %14s %10s\n",
+		"program", "strategy", "alloc", "overhead", "escalated")
+	for _, r := range rows {
+		esc := "-"
+		if r.Strategy == "hybrid" {
+			esc = fmt.Sprintf("%d/%d", r.Escalated, r.Funcs)
+		}
+		fmt.Fprintf(w, "%-10s %-10s %12s %14.1f %10s\n",
+			r.Program, r.Strategy, r.Alloc.Round(time.Microsecond), r.Overhead, esc)
+	}
+	fmt.Fprintf(w, "\n%-10s %12s %14s %10s %8s\n",
+		"strategy", "alloc", "overhead", "escalated", "pareto")
+	for _, t := range paretoTotals(rows) {
+		mark := ""
+		if t.Optimal {
+			mark = "*"
+		}
+		esc := "-"
+		if t.Strategy == "hybrid" {
+			esc = fmt.Sprintf("%d/%d", t.Escalated, t.Funcs)
+		}
+		fmt.Fprintf(w, "%-10s %12s %14.1f %10s %8s\n",
+			t.Strategy, t.Alloc.Round(time.Microsecond), t.Overhead, esc, mark)
+	}
+	fmt.Fprintln(w, "\n* = on the Pareto frontier of (total alloc time, total overhead)")
+	return nil
+}
+
+func init() {
+	register(&Experiment{
+		ID: "pareto",
+		Title: "compile time vs. allocation quality: every strategy over every " +
+			"benchmark — the frontier the linear-scan / hybrid / coloring " +
+			"family spans",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Pareto frontier — allocation wall time vs. total overhead")
+			return runPareto(env, w, benchprog.Names(), 3)
+		},
+	})
+	register(&Experiment{
+		ID: "pareto-smoke",
+		Title: "pareto frontier smoke slice (one small program, one rep) — " +
+			"the CI-sized version of -exp pareto",
+		Run: func(env *Env, w io.Writer) error {
+			header(w, "Pareto frontier (smoke) — ear only")
+			return runPareto(env, w, []string{"ear"}, 1)
+		},
+	})
+}

@@ -1,0 +1,383 @@
+// Package linscan implements a graph-free linear-scan register
+// allocator in the LuaJIT/Mono tradition: blocks are walked backward so
+// liveness falls out of the walk, no interference graph is built and no
+// simplify stack is kept, and each virtual register is summarized by a
+// conservative position interval (its hull over the block layout
+// order). Scanning the intervals once assigns registers; the paper's
+// benefit_caller/benefit_callee split (Lueh & Gross §4) steers every
+// choice between a caller-save and a callee-save register, and
+// move-affinity plus call-site argument hints place values
+// optimistically where a later instruction wants them.
+//
+// The allocator plugs into the same pass pipeline as the coloring
+// strategies (liveness → scan → spill-rewrite); the Hybrid strategy
+// adds a second tier that escalates to full graph coloring for the
+// functions the scan would spill.
+package linscan
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/machine"
+)
+
+// funcIntervals is the product of one backward analysis walk: the
+// conservative live interval, spill/caller costs, and placement hints
+// of every virtual register of one function.
+type funcIntervals struct {
+	// start/end bound each register's interval in layout positions
+	// (start > end means the register never occurs live).
+	start, end []int32
+	// spillCost is the paper's weighted spill cost: one store per
+	// definition plus one load per distinct use per instruction, each
+	// weighted by block frequency.
+	spillCost []float64
+	// callerCost is 2×freq per call site the register is live across.
+	callerCost []float64
+	// crossesCall marks registers live across at least one call.
+	crossesCall []bool
+	// affinity links a move's source and destination; taking the
+	// partner's register makes the move a no-op shuffle.
+	affinity []ir.Reg
+	// hint is the optimistic placement wish: call arguments and
+	// parameters prefer the caller-save register of their argument
+	// position.
+	hint []machine.PhysReg
+	// entry is the function's entry frequency; the callee-save benefit
+	// is spillCost − 2×entry (one save and one restore per invocation).
+	entry float64
+}
+
+// live reports whether r ever occurs or is live.
+func (fi *funcIntervals) live(r int) bool { return fi.start[r] <= fi.end[r] }
+
+func (fi *funcIntervals) extend(r int, pos int32) {
+	if pos < fi.start[r] {
+		fi.start[r] = pos
+	}
+	if pos > fi.end[r] {
+		fi.end[r] = pos
+	}
+}
+
+// analyze performs the single backward walk. Positions number the
+// instructions in block layout order, with one extra boundary slot per
+// block covering its live-out set, so the interval hull of a register
+// covers every point where it is live: a register live at a point is
+// either upward-exposed there (its block's live-in covers the block
+// start), defined earlier in the block (the definition extends the
+// hull), or live-out (the boundary slot covers the block end). Two
+// simultaneously-live registers therefore always have overlapping
+// hulls — the conservative superset of true interference that makes
+// the scan sound without a graph.
+func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine.Config, scratch *bitset.Set) *funcIntervals {
+	nr := fn.NumRegs()
+	fi := &funcIntervals{
+		start:       make([]int32, nr),
+		end:         make([]int32, nr),
+		spillCost:   make([]float64, nr),
+		callerCost:  make([]float64, nr),
+		crossesCall: make([]bool, nr),
+		affinity:    make([]ir.Reg, nr),
+		hint:        make([]machine.PhysReg, nr),
+		entry:       ff.Entry,
+	}
+	for r := 0; r < nr; r++ {
+		fi.start[r] = math.MaxInt32
+		fi.end[r] = -1
+		fi.affinity[r] = ir.NoReg
+		fi.hint[r] = machine.NoPhysReg
+	}
+
+	// Parameters arrive in order; hint each one at the caller-save
+	// register of its position in its bank, so a parameter that dies
+	// before the first call tends to stay where it arrived.
+	var paramIdx [ir.NumClasses]int
+	for _, p := range fn.Params {
+		c := fn.RegClass(p)
+		if i := paramIdx[c]; i < config.Caller[c] {
+			fi.hint[p] = machine.PhysReg(i)
+		}
+		paramIdx[c]++
+	}
+
+	pos := int32(0)
+	for _, b := range fn.Blocks {
+		n := int32(len(b.Instrs))
+		boundary := pos + n
+		w := ff.Block[b.ID]
+		out := live.Out[b.ID]
+		out.ForEach(func(r int) { fi.extend(r, boundary) })
+
+		// The walk's live set starts as the block's live-out and is
+		// updated per instruction; at a call it is exactly the set of
+		// registers live across the call site.
+		scratch.Clear()
+		scratch.UnionWith(out)
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			ip := pos + int32(i)
+			if in.Op == ir.OpCall {
+				dst := ir.NoReg
+				if in.HasDst() {
+					dst = in.Dst
+				}
+				scratch.ForEach(func(r int) {
+					if ir.Reg(r) == dst {
+						return
+					}
+					fi.callerCost[r] += 2 * w
+					fi.crossesCall[r] = true
+				})
+				// Arguments are consumed in caller-save registers; hint
+				// each at the register of its position so the value is
+				// already there when the call needs it.
+				var argIdx [ir.NumClasses]int
+				for _, a := range in.Args {
+					c := fn.RegClass(a)
+					j := argIdx[c]
+					argIdx[c]++
+					if fi.hint[a] == machine.NoPhysReg && j < config.Caller[c] {
+						fi.hint[a] = machine.PhysReg(j)
+					}
+				}
+			}
+			if in.Op == ir.OpMove {
+				fi.affinity[in.Dst] = in.Args[0]
+				fi.affinity[in.Args[0]] = in.Dst
+			}
+			if in.HasDst() {
+				fi.extend(int(in.Dst), ip)
+				fi.spillCost[in.Dst] += w
+				scratch.Remove(int(in.Dst))
+			}
+			for ai, a := range in.Args {
+				fi.extend(int(a), ip)
+				scratch.Add(int(a))
+				dup := false
+				for _, prev := range in.Args[:ai] {
+					if prev == a {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					fi.spillCost[a] += w
+				}
+			}
+		}
+		live.In[b.ID].ForEach(func(r int) { fi.extend(r, pos) })
+		pos = boundary + 1
+	}
+	return fi
+}
+
+// benefits returns the paper's two benefit functions for register r:
+// what keeping it in a caller-save register saves over memory, and the
+// same for a callee-save register.
+func (fi *funcIntervals) benefits(r int) (benefitCaller, benefitCallee float64) {
+	return fi.spillCost[r] - fi.callerCost[r], fi.spillCost[r] - 2*fi.entry
+}
+
+// prefersCallee applies the storage-class rule: a register wants
+// callee-save exactly when that benefit strictly beats the caller-save
+// benefit (only possible for call-crossing ranges).
+func (fi *funcIntervals) prefersCallee(r int) bool {
+	bcaller, bcallee := fi.benefits(r)
+	return fi.crossesCall[r] && bcallee > bcaller
+}
+
+// scanOutcome is the result of scanning one function's intervals: the
+// flat coloring, the registers to spill (in decision order, so stack
+// slots number deterministically), and the estimated overhead of the
+// allocation (the hybrid tier's escalation signal).
+type scanOutcome struct {
+	colors       []machine.PhysReg
+	spilled      []ir.Reg
+	spillReasons []string
+	// estOverhead approximates the allocation's weighted memory-op
+	// overhead: caller-save saves around calls, callee-save entry/exit
+	// saves, and the spill cost of everything sent to memory.
+	estOverhead float64
+}
+
+// errUnspillable reports a bank whose pressure from unspillable spill
+// temporaries alone exceeds the register file — impossible under the
+// machine model's minimum configuration, but reported rather than
+// looped on.
+type errUnspillable struct {
+	fn    string
+	class ir.Class
+}
+
+func (e errUnspillable) Error() string {
+	return "linscan: " + e.fn + ": unspillable " + e.class.String() + " pressure exceeds the register bank"
+}
+
+// scanItem is one interval entering the scan, ordered by decreasing
+// end position: the scan mirrors the backward walk, sweeping from the
+// function's last position toward its entry.
+type scanItem struct {
+	reg        ir.Reg
+	start, end int32
+}
+
+// scan allocates one bank's intervals. noSpill marks registers that
+// must never be sent to memory (spill temporaries of earlier rounds).
+func (fi *funcIntervals) scan(fn *ir.Func, class ir.Class, config machine.Config, noSpill func(ir.Reg) bool, out *scanOutcome) error {
+	n := config.Total(class)
+	items := make([]scanItem, 0, 32)
+	for r := 0; r < fn.NumRegs(); r++ {
+		if fn.RegClass(ir.Reg(r)) != class || !fi.live(r) {
+			continue
+		}
+		items = append(items, scanItem{reg: ir.Reg(r), start: fi.start[r], end: fi.end[r]})
+	}
+	// Decreasing end, ties by register number: deterministic and in
+	// reverse execution order, matching the analysis walk.
+	sortItems(items)
+
+	taken := make([]bool, n)
+	type activeItem struct {
+		reg   ir.Reg
+		start int32
+		col   machine.PhysReg
+	}
+	active := make([]activeItem, 0, n)
+
+	spill := func(r ir.Reg, reason string) {
+		out.spilled = append(out.spilled, r)
+		out.spillReasons = append(out.spillReasons, reason)
+		out.estOverhead += fi.spillCost[r]
+	}
+
+	calleeUsed := make([]bool, n)
+	for _, it := range items {
+		r := int(it.reg)
+		// Expire: an active interval starting above the current end can
+		// no longer overlap anything, because every remaining interval
+		// ends at or below this one.
+		for j := 0; j < len(active); {
+			if active[j].start > it.end {
+				taken[active[j].col] = false
+				active[j] = active[len(active)-1]
+				active = active[:len(active)-1]
+			} else {
+				j++
+			}
+		}
+
+		bcaller, bcallee := fi.benefits(r)
+		// Spill by choice (§4): a call-crossing range whose residence in
+		// either register kind costs more than memory goes to memory.
+		if fi.crossesCall[r] && !noSpill(it.reg) && bcaller < 0 && bcallee < 0 {
+			spill(it.reg, reasonChoice)
+			continue
+		}
+
+		col := machine.NoPhysReg
+		if free := n - len(active); free == 0 {
+			// Blocked: evict the cheapest spillable holder (or give up
+			// on this interval if it is itself the cheapest).
+			vreg, vcost := ir.NoReg, math.Inf(1)
+			vidx := -1
+			if !noSpill(it.reg) {
+				vreg, vcost = it.reg, fi.spillCost[r]
+			}
+			for j, a := range active {
+				if noSpill(a.reg) {
+					continue
+				}
+				if c := fi.spillCost[a.reg]; c < vcost || (c == vcost && a.reg < vreg) {
+					vreg, vcost, vidx = a.reg, c, j
+				}
+			}
+			if vreg == ir.NoReg {
+				return errUnspillable{fn: fn.Name, class: class}
+			}
+			if vreg == it.reg {
+				spill(it.reg, reasonPressure)
+				continue
+			}
+			col = active[vidx].col
+			out.colors[vreg] = machine.NoPhysReg
+			spill(vreg, reasonPressure)
+			active[vidx] = active[len(active)-1]
+			active = active[:len(active)-1]
+			taken[col] = false
+		}
+
+		preferCallee := fi.prefersCallee(r)
+		if col == machine.NoPhysReg {
+			col = fi.pick(it.reg, class, config, taken, out.colors, preferCallee)
+		}
+		out.colors[it.reg] = col
+		taken[col] = true
+		active = append(active, activeItem{reg: it.reg, start: it.start, col: col})
+		if config.IsCalleeSave(class, col) {
+			if !calleeUsed[col] {
+				calleeUsed[col] = true
+				out.estOverhead += 2 * fi.entry
+			}
+		} else if fi.crossesCall[r] {
+			out.estOverhead += fi.callerCost[r]
+		}
+	}
+	return nil
+}
+
+// pick chooses a free register for r: the move partner's register
+// first (a no-op shuffle), then the positional hint, then the first
+// free register of the benefit-preferred kind, falling back to the
+// other kind. Hinted choices are taken only within the preferred kind —
+// optimistic placement must not override the storage-class decision.
+func (fi *funcIntervals) pick(r ir.Reg, class ir.Class, config machine.Config, taken []bool, colors []machine.PhysReg, preferCallee bool) machine.PhysReg {
+	usable := func(col machine.PhysReg) bool {
+		return col != machine.NoPhysReg && !taken[col] &&
+			config.IsCalleeSave(class, col) == preferCallee
+	}
+	if p := fi.affinity[r]; p != ir.NoReg {
+		if col := colors[p]; usable(col) {
+			return col
+		}
+	}
+	if col := fi.hint[r]; usable(col) {
+		return col
+	}
+	n := len(taken)
+	first := machine.NoPhysReg
+	for i := 0; i < n; i++ {
+		if taken[i] {
+			continue
+		}
+		col := machine.PhysReg(i)
+		if first == machine.NoPhysReg {
+			first = col
+		}
+		if config.IsCalleeSave(class, col) == preferCallee {
+			return col
+		}
+	}
+	return first
+}
+
+// sortItems orders by decreasing end, then increasing register.
+func sortItems(items []scanItem) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].end != items[j].end {
+			return items[i].end > items[j].end
+		}
+		return items[i].reg < items[j].reg
+	})
+}
+
+// Spill reasons carried into the obs SpillChoice events.
+const (
+	reasonChoice   = "negative-benefit"
+	reasonPressure = "blocked"
+)

@@ -67,6 +67,11 @@ const (
 	// Not emitted when liveness was served from an already-built shared
 	// cache without solving.
 	KindLiveness
+	// KindEscalate records the hybrid tier abandoning the linear-scan
+	// result of one function and escalating to graph coloring: Reason
+	// carries why ("spill" or "overhead"), N the number of registers the
+	// scan wanted to spill.
+	KindEscalate
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -95,6 +100,8 @@ func (k Kind) String() string {
 		return "prep_cache"
 	case KindLiveness:
 		return "liveness"
+	case KindEscalate:
+		return "escalate"
 	}
 	return "unknown"
 }
@@ -107,6 +114,7 @@ const (
 	PhaseRanges   = "liverange"     // cost and benefit analysis
 	PhaseColor    = "color"         // color ordering + assignment
 	PhaseRewrite  = "spill-rewrite" // spill-code insertion
+	PhaseScan     = "scan"          // graph-free linear scan (package linscan)
 )
 
 // Decision reasons carried by SimplifyPop and SpillChoice events. All

@@ -60,6 +60,12 @@ type State struct {
 	// NoSpill marks the spill temporaries introduced by rewrites; they
 	// must never be spill candidates themselves.
 	NoSpill map[ir.Reg]bool
+	// Escalated records that a tiered pipeline abandoned its cheap tier
+	// for this function (the hybrid scan-first strategy sets it when the
+	// scan spills and graph coloring takes over). It is per-allocation
+	// state, deliberately not reset between rounds: once escalated, every
+	// later round stays in the expensive tier.
+	Escalated bool
 
 	// LiveHit and BaseHit report whether this round's liveness and
 	// base graphs were served from an already-built shared cache (the

@@ -88,11 +88,11 @@ func setsEq(a, b *bitset.Set) bool {
 // `go test -fuzz=FuzzLivenessDifferential ./internal/randprog` explores
 // seeds indefinitely; the corpus seeds run in normal test mode.
 func FuzzLivenessDifferential(f *testing.F) {
-	for seed := int64(0); seed < 10; seed++ {
+	for seed := int64(0); seed < 12; seed++ {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
-		src := randprog.Generate(seed, randprog.DefaultOptions())
+		src := randprog.Generate(seed, randprog.ForSeed(seed))
 		prog, err := callcost.Compile(src)
 		if err != nil {
 			t.Fatalf("seed %d: generated program does not compile: %v", seed, err)

@@ -16,7 +16,10 @@ import (
 // explores seeds indefinitely; the corpus seeds below run in normal
 // test mode.
 func FuzzDifferential(f *testing.F) {
-	for seed := int64(0); seed < 10; seed++ {
+	// Seeds map onto shape profiles via randprog.ForSeed (seed mod 3:
+	// balanced, EBB-heavy, critical-edge), so the corpus covers every
+	// profile several times over.
+	for seed := int64(0); seed < 21; seed++ {
 		f.Add(seed)
 	}
 	strategies := []callcost.Strategy{
@@ -25,13 +28,15 @@ func FuzzDifferential(f *testing.F) {
 		callcost.ImprovedAll(),
 		callcost.Priority(callcost.PrioritySorting),
 		callcost.CBH(),
+		callcost.LinearScan(),
+		callcost.HybridTiered(),
 	}
 	configs := []callcost.Config{
 		callcost.NewConfig(6, 4, 0, 0),
 		callcost.NewConfig(8, 6, 4, 4),
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
-		src := randprog.Generate(seed, randprog.DefaultOptions())
+		src := randprog.Generate(seed, randprog.ForSeed(seed))
 		prog, err := callcost.Compile(src)
 		if err != nil {
 			t.Fatalf("seed %d: generated program does not compile: %v", seed, err)

@@ -15,6 +15,25 @@ import (
 	"strings"
 )
 
+// Shape selects the statement mix of the generated control flow, for
+// stressing specific CFG structures a register allocator's liveness
+// and splitting heuristics care about.
+type Shape int
+
+const (
+	// ShapeDefault is the balanced mix.
+	ShapeDefault Shape = iota
+	// ShapeEBBHeavy is branch-rich and loop-free-ish: long chains of
+	// deeply nested if/else with rare else branches, producing extended
+	// basic blocks with many side exits and join points.
+	ShapeEBBHeavy
+	// ShapeCriticalEdge is loop-heavy: counted loops and bounded
+	// do-while loops with frequent guarded break/continue, producing
+	// critical edges (branch out of a block with multiple successors
+	// into a block with multiple predecessors) everywhere.
+	ShapeCriticalEdge
+)
+
 // Options bound the generated program.
 type Options struct {
 	// Funcs is the number of helper functions (besides main).
@@ -25,11 +44,39 @@ type Options struct {
 	MaxDepth int
 	// MaxLoopTrip bounds loop iteration counts.
 	MaxLoopTrip int
+	// Shape selects the statement mix (default: balanced).
+	Shape Shape
 }
 
 // DefaultOptions returns the standard bounds.
 func DefaultOptions() Options {
 	return Options{Funcs: 4, MaxStmts: 6, MaxDepth: 3, MaxLoopTrip: 9}
+}
+
+// EBBHeavyOptions returns bounds tuned for the extended-basic-block
+// shape: deeper nesting, more statements, almost no loops.
+func EBBHeavyOptions() Options {
+	return Options{Funcs: 4, MaxStmts: 7, MaxDepth: 4, MaxLoopTrip: 5, Shape: ShapeEBBHeavy}
+}
+
+// CriticalEdgeOptions returns bounds tuned for the critical-edge
+// shape: loop-dominated control flow with frequent break/continue.
+func CriticalEdgeOptions() Options {
+	return Options{Funcs: 4, MaxStmts: 5, MaxDepth: 3, MaxLoopTrip: 7, Shape: ShapeCriticalEdge}
+}
+
+// ForSeed maps a fuzz seed onto one of the three shape profiles, so a
+// single int64-seeded fuzz target explores all of them: seeds ≡ 1
+// (mod 3) generate EBB-heavy programs, seeds ≡ 2 critical-edge ones.
+func ForSeed(seed int64) Options {
+	switch ((seed % 3) + 3) % 3 {
+	case 1:
+		return EBBHeavyOptions()
+	case 2:
+		return CriticalEdgeOptions()
+	default:
+		return DefaultOptions()
+	}
 }
 
 // Generate produces a random MC program from the seed.
@@ -103,6 +150,7 @@ func (g *gen) program() string {
 		MaxStmts:    min(mainOpts.MaxStmts, 5),
 		MaxDepth:    min(mainOpts.MaxDepth, 2),
 		MaxLoopTrip: min(mainOpts.MaxLoopTrip, 4),
+		Shape:       mainOpts.Shape,
 	}
 	for i := 0; i < g.opts.Funcs; i++ {
 		sig := funcSig{
@@ -185,26 +233,51 @@ func (g *gen) block(level int) {
 	}
 }
 
+// stmtMix holds cumulative thresholds out of 10 for the statement
+// picker, plus the shape-dependent branch probabilities.
+type stmtMix struct {
+	decl, assign, ifStmt, loop, doWhile int
+	elseChance, breakChance             float64
+}
+
+func (g *gen) mix() stmtMix {
+	switch g.opts.Shape {
+	case ShapeEBBHeavy:
+		// Mostly straight-line code punctured by rarely-else ifs: long
+		// extended basic blocks with side exits.
+		return stmtMix{decl: 2, assign: 4, ifStmt: 8, loop: 8, doWhile: 8,
+			elseChance: 0.25, breakChance: 0.4}
+	case ShapeCriticalEdge:
+		// Loop-dominated, break/continue-rich control flow.
+		return stmtMix{decl: 2, assign: 4, ifStmt: 5, loop: 7, doWhile: 9,
+			elseChance: 0.5, breakChance: 0.7}
+	default:
+		return stmtMix{decl: 3, assign: 6, ifStmt: 7, loop: 8, doWhile: 9,
+			elseChance: 0.5, breakChance: 0.4}
+	}
+}
+
 func (g *gen) stmt(level int) {
 	deep := g.depth >= g.opts.MaxDepth
+	m := g.mix()
 	switch c := g.pick(10); {
-	case c < 3: // declaration
+	case c < m.decl: // declaration
 		g.declStmt(level)
-	case c < 6: // assignment
+	case c < m.assign: // assignment
 		g.assignStmt(level)
-	case c < 7 && !deep: // if
+	case c < m.ifStmt && !deep: // if
 		g.depth++
 		g.printf("%sif (%s) {\n", g.indent(level), g.cond())
 		g.nested(level + 1)
-		if g.chance(0.5) {
+		if g.chance(m.elseChance) {
 			g.printf("%s} else {\n", g.indent(level))
 			g.nested(level + 1)
 		}
 		g.printf("%s}\n", g.indent(level))
 		g.depth--
-	case c < 8 && !deep: // counted loop
+	case c < m.loop && !deep: // counted loop
 		g.loopStmt(level)
-	case c < 9 && !deep: // bounded do-while, with optional break/continue
+	case c < m.doWhile && !deep: // bounded do-while, with optional break/continue
 		g.doWhileStmt(level)
 	default: // call for effect or extra assignment
 		if len(g.callable) > 0 && g.chance(0.6) {
@@ -288,7 +361,7 @@ func (g *gen) doWhileStmt(level int) {
 	g.depth++
 	ints, flts := len(g.intVars), len(g.floatVars)
 	g.printf("%s%s = %s + 1;\n", g.indent(level+1), v, v)
-	if g.chance(0.4) {
+	if g.chance(g.mix().breakChance) {
 		if g.chance(0.5) {
 			g.printf("%sif (%s == %d) { break; }\n", g.indent(level+1), v, 1+g.pick(trip))
 		} else {

@@ -1,6 +1,7 @@
 package randprog_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro"
@@ -45,6 +46,41 @@ func TestGeneratedProgramsTerminate(t *testing.T) {
 	}
 	if expensive > seeds/2 {
 		t.Errorf("%d of %d seeds exceeded the step budget; generator bounds are too loose", expensive, seeds)
+	}
+}
+
+// TestShapeProfiles checks that every shape profile generates
+// compilable, terminating programs and actually skews the control-flow
+// mix the way its name promises.
+func TestShapeProfiles(t *testing.T) {
+	profiles := map[string]randprog.Options{
+		"default":       randprog.DefaultOptions(),
+		"ebb-heavy":     randprog.EBBHeavyOptions(),
+		"critical-edge": randprog.CriticalEdgeOptions(),
+	}
+	loops := map[string]int{}
+	branches := map[string]int{}
+	for name, opts := range profiles {
+		for seed := int64(0); seed < 20; seed++ {
+			src := randprog.Generate(seed, opts)
+			prog, err := callcost.Compile(src)
+			if err != nil {
+				t.Fatalf("%s seed %d does not compile: %v\n%s", name, seed, err, src)
+			}
+			if _, err := interp.Run(prog.IR, interp.Options{MaxSteps: 3_000_000}); err != nil && err != interp.ErrStepLimit {
+				t.Fatalf("%s seed %d failed to run: %v", name, seed, err)
+			}
+			loops[name] += strings.Count(src, "for (") + strings.Count(src, "do {")
+			branches[name] += strings.Count(src, "if (")
+		}
+	}
+	if loops["ebb-heavy"] >= loops["critical-edge"] {
+		t.Errorf("ebb-heavy generated %d loops, critical-edge %d; expected fewer",
+			loops["ebb-heavy"], loops["critical-edge"])
+	}
+	if branches["ebb-heavy"] <= branches["critical-edge"] {
+		t.Errorf("ebb-heavy generated %d branches, critical-edge %d; expected more",
+			branches["ebb-heavy"], branches["critical-edge"])
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 // This file defines the concrete passes of the allocation pipeline —
@@ -235,6 +236,9 @@ func (p colorPass) Run(s *pipeline.State) error {
 	}
 	s.SpillSet = spillSet
 	s.Colors = colors
+	if b := telemetry.B(); b != nil {
+		b.ColorRounds.Inc()
+	}
 	return nil
 }
 
@@ -268,11 +272,26 @@ func (p spillRewritePass) Run(s *pipeline.State) error {
 	return nil
 }
 
+// PipelineBuilder is an optional Strategy extension: a strategy whose
+// natural pipeline is not the standard six-pass coloring sequence
+// (e.g. the graph-free linear scan, which has no build/coalesce/color
+// phases) supplies its own. BuildPipeline — and through it every
+// driver that leaves Options.Pipeline nil — consults it before
+// assembling the default.
+type PipelineBuilder interface {
+	BuildPipeline(insertSpills SpillInserter, opts Options) pipeline.Pipeline
+}
+
 // BuildPipeline assembles the default allocation pipeline for strat
-// under opts, mapping the option booleans onto pass variants. Callers
-// wanting a non-standard pipeline derive one from this with Replace
-// and Drop (or assemble their own) and set Options.Pipeline.
+// under opts, mapping the option booleans onto pass variants. A
+// strategy implementing PipelineBuilder supplies its own pipeline
+// instead. Callers wanting a non-standard pipeline derive one from
+// this with Replace and Drop (or assemble their own) and set
+// Options.Pipeline.
 func BuildPipeline(strat Strategy, insertSpills SpillInserter, opts Options) pipeline.Pipeline {
+	if pb, ok := strat.(PipelineBuilder); ok {
+		return pb.BuildPipeline(insertSpills, opts)
+	}
 	mode := AggressiveCoalesce
 	switch {
 	case !opts.Coalesce:

@@ -765,6 +765,10 @@ type FuncAlloc struct {
 	Graphs [ir.NumClasses]*interference.Graph
 	// Config echoes the register configuration used.
 	Config machine.Config
+	// Escalated reports that a tiered strategy abandoned its cheap tier
+	// for this function (the hybrid linear-scan strategy escalating to
+	// graph coloring). Always false for single-tier strategies.
+	Escalated bool
 }
 
 // ColorOf returns the physical register of virtual register r.
@@ -817,14 +821,15 @@ func AllocatePrepared(prep *PreparedFunc, ff *freq.FuncFreq, config machine.Conf
 		return nil, fmt.Errorf("regalloc: %s on %s: %w", strat.Name(), prep.Fn.Name, err)
 	}
 	return &FuncAlloc{
-		Fn:     s.Fn,
-		Colors: s.Colors,
-		SlotOf: s.SlotOf,
-		Rounds: rounds,
-		Ranges: s.Ranges,
-		Live:   s.Live,
-		Graphs: s.Graphs,
-		Config: config,
+		Fn:        s.Fn,
+		Colors:    s.Colors,
+		SlotOf:    s.SlotOf,
+		Rounds:    rounds,
+		Ranges:    s.Ranges,
+		Live:      s.Live,
+		Graphs:    s.Graphs,
+		Config:    config,
+		Escalated: s.Escalated,
 	}, nil
 }
 

@@ -34,6 +34,21 @@ type Builtin struct {
 	// (pass_runs_total).
 	PassRuns *Counter
 
+	// Strategy tiers (packages linscan and regalloc).
+
+	// ScanRounds counts allocation rounds completed by the graph-free
+	// linear-scan tier (alloc_scan_rounds_total); ColorRounds the rounds
+	// completed by a graph-coloring color pass
+	// (alloc_color_rounds_total). Together they split alloc_rounds_total
+	// by tier: for the hybrid strategy, the coloring share is exactly
+	// the escalated work.
+	ScanRounds, ColorRounds *Counter
+	// HybridEscalations counts functions whose hybrid scan tier spilled
+	// (or exceeded its overhead budget) and escalated to graph coloring
+	// (hybrid_escalations_total). The escalation rate is
+	// hybrid_escalations_total / alloc_funcs_total of a hybrid run.
+	HybridEscalations *Counter
+
 	// Prep-cache behavior (pipeline.AnalysisManager).
 
 	// PrepLiveHits / PrepLiveMisses count round-0 liveness requests
@@ -114,6 +129,9 @@ func newBuiltin(r *Registry) *Builtin {
 		SpilledRegs:        r.Counter("alloc_spilled_regs_total"),
 		Rounds:             r.Histogram("alloc_rounds", RoundsBuckets),
 		PassRuns:           r.Counter("pass_runs_total"),
+		ScanRounds:         r.Counter("alloc_scan_rounds_total"),
+		ColorRounds:        r.Counter("alloc_color_rounds_total"),
+		HybridEscalations:  r.Counter("hybrid_escalations_total"),
 		PrepLiveHits:       r.Counter("prep_live_hits_total"),
 		PrepLiveMisses:     r.Counter("prep_live_misses_total"),
 		PrepGraphHits:      r.Counter("prep_graph_hits_total"),
@@ -129,7 +147,7 @@ func newBuiltin(r *Registry) *Builtin {
 		phase:              make(map[string]*Histogram),
 	}
 	for _, p := range []string{obs.PhaseLiveness, obs.PhaseBuild, obs.PhaseCoalesce,
-		obs.PhaseRanges, obs.PhaseColor, obs.PhaseRewrite} {
+		obs.PhaseRanges, obs.PhaseColor, obs.PhaseRewrite, obs.PhaseScan} {
 		b.phase[p] = r.Histogram(phaseMetricName(p), PhaseBuckets)
 	}
 	return b

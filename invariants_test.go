@@ -1,0 +1,150 @@
+package callcost
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/bitset"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/machine"
+	"repro/internal/rewrite"
+)
+
+// This file holds the strategy-agnostic allocation invariants: every
+// registered strategy — graph-coloring, priority, linear scan, hybrid
+// — must produce allocations where no two simultaneously-live ranges
+// of a bank share a register, and where the allocated program computes
+// exactly what the source-level interpreter computes. The interference
+// check here is deliberately independent of rewrite.Validate (it
+// recomputes liveness from scratch and tests pure simultaneous
+// liveness), so a bug in the shared validator cannot hide a bug in a
+// strategy.
+
+var invariantConfigs = []machine.Config{
+	machine.NewConfig(6, 4, 0, 0), // calling-convention minimum, heavy spilling
+	machine.NewConfig(8, 6, 4, 4), // mid-size with callee-save banks
+}
+
+// checkInterferenceInvariant verifies, from a fresh liveness solve,
+// that no two interfering live ranges of a bank share a register.
+// Interference is Chaitin's definition — r interferes with d when r is
+// live across a definition of d (a move's source excepted: source and
+// destination hold the same value, which is exactly what coalescing
+// exploits) — because under coalescing, simultaneously-live
+// move-related ranges legitimately share a register. Parameters are
+// definitions at entry, so live-in parameters must be pairwise
+// distinct.
+func checkInterferenceInvariant(t *testing.T, strat string, plan *rewrite.FuncPlan) {
+	t.Helper()
+	fa := plan.Alloc
+	fn := fa.Fn
+	live := liveness.Compute(fn, cfg.New(fn))
+	badColor := func(r ir.Reg) bool {
+		col := fa.Colors[r]
+		return col == machine.NoPhysReg || int(col) >= fa.Config.Total(fn.RegClass(r))
+	}
+	// Live-in parameters are simultaneous definitions at entry.
+	var seen [ir.NumClasses]map[machine.PhysReg]ir.Reg
+	entryIn := live.In[fn.Entry().ID]
+	for _, p := range fn.Params {
+		if !entryIn.Has(int(p)) {
+			continue
+		}
+		if badColor(p) {
+			t.Errorf("%s: live-in parameter %v of %s has invalid color %v",
+				strat, p, fn.Name, fa.Colors[p])
+			continue
+		}
+		c := fn.RegClass(p)
+		if seen[c] == nil {
+			seen[c] = make(map[machine.PhysReg]ir.Reg)
+		}
+		if prev, clash := seen[c][fa.Colors[p]]; clash {
+			t.Errorf("%s: parameters %v and %v of %s share register %v",
+				strat, prev, p, fn.Name, fa.Colors[p])
+			continue
+		}
+		seen[c][fa.Colors[p]] = p
+	}
+	for _, b := range fn.Blocks {
+		b := b
+		live.WalkBlock(b, func(in *ir.Instr, after *bitset.Set) {
+			if !in.HasDst() {
+				return
+			}
+			d := in.Dst
+			if badColor(d) {
+				t.Errorf("%s: block %d: definition of %v in %s has invalid color %v",
+					strat, b.ID, d, fn.Name, fa.Colors[d])
+				return
+			}
+			moveSrc := ir.NoReg
+			if in.Op == ir.OpMove {
+				moveSrc = in.Args[0]
+			}
+			c, col := fn.RegClass(d), fa.Colors[d]
+			after.ForEach(func(i int) {
+				r := ir.Reg(i)
+				if r == d || r == moveSrc || fn.RegClass(r) != c {
+					return
+				}
+				if badColor(r) {
+					t.Errorf("%s: block %d: live register %v of %s has invalid color %v",
+						strat, b.ID, r, fn.Name, fa.Colors[r])
+					return
+				}
+				if fa.Colors[r] == col {
+					t.Errorf("%s: block %d after %v: defining %v clobbers live %v in register %v of %s",
+						strat, b.ID, in.Op, d, r, col, fn.Name)
+				}
+			})
+		})
+	}
+}
+
+// TestStrategyInvariants runs every registered strategy over every
+// benchmark program at both machine configurations, checking the
+// interference invariant and that minterp execution results are
+// byte-identical across strategies and equal to the source-level
+// interpreter's reference result.
+func TestStrategyInvariants(t *testing.T) {
+	strategies := Strategies()
+	names := make([]string, 0, len(strategies))
+	for n := range strategies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, prog := range benchprog.Names() {
+		prog := prog
+		t.Run(prog, func(t *testing.T) {
+			t.Parallel()
+			p := MustCompile(benchprog.ByName(prog).Source)
+			pf, ref, err := p.Profile()
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			for _, config := range invariantConfigs {
+				for _, sname := range names {
+					a, err := p.Allocate(strategies[sname], config, pf)
+					if err != nil {
+						t.Fatalf("%s at %s: allocate: %v", sname, config, err)
+					}
+					for _, plan := range a.Plans {
+						checkInterferenceInvariant(t, sname, plan)
+					}
+					res, err := a.Execute()
+					if err != nil {
+						t.Fatalf("%s at %s: execute: %v", sname, config, err)
+					}
+					if res.RetInt != ref.RetInt {
+						t.Errorf("%s at %s: returned %d, reference interpreter returned %d",
+							sname, config, res.RetInt, ref.RetInt)
+					}
+				}
+			}
+		})
+	}
+}
