@@ -302,6 +302,13 @@ func BenchmarkAllocateProgram(b *testing.B) {
 // prepared-function cache is off so every iteration pays exactly the
 // analyses its strategy needs — the scan's win is precisely not
 // building interference graphs.
+//
+// Each cell also reports the pareto-sweep quality metrics as custom
+// units: the analytic total overhead under dynamic weights
+// ("overhead") and, for the hybrid, how many functions escalated to
+// full coloring ("escalated"). Both are deterministic, so
+// cmd/benchdiff gates them tightly against the baseline's pareto
+// section — a quality regression fails CI like a wall-time one.
 func BenchmarkAllocateStrategy(b *testing.B) {
 	// li and eqntott escalate under the hybrid tier (their hot function
 	// spills); ear and sc are spill-light and stay entirely in the scan.
@@ -324,11 +331,24 @@ func BenchmarkAllocateStrategy(b *testing.B) {
 			b.Run(pname+"/"+s.name, func(b *testing.B) {
 				opts := callcost.DefaultAllocOptions()
 				opts.NoPrepCache = true
+				var alloc *callcost.Allocation
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := p.Program.AllocateWithOptions(s.strat, cfgRegs, p.Dynamic, opts); err != nil {
+					var err error
+					if alloc, err = p.Program.AllocateWithOptions(s.strat, cfgRegs, p.Dynamic, opts); err != nil {
 						b.Fatal(err)
 					}
+				}
+				b.StopTimer()
+				b.ReportMetric(alloc.Overhead(p.Dynamic).Total(), "overhead")
+				if s.name == "hybrid" {
+					escalated := 0
+					for _, plan := range alloc.Plans {
+						if plan.Alloc.Escalated {
+							escalated++
+						}
+					}
+					b.ReportMetric(float64(escalated), "escalated")
 				}
 			})
 		}

@@ -123,11 +123,15 @@ func CBH() Strategy { return &cbh.CBH{} }
 func LinearScan() Strategy { return &linscan.Scan{} }
 
 // HybridTiered returns the scan-first, color-on-spill tiered
-// allocator: every function is first allocated by the linear scan, and
-// only functions whose scan spills escalate to the full SC+BS+PR
+// allocator: every function is first allocated by the hole-aware
+// linear scan, and only functions whose scan takes a pressure spill —
+// or whose estimated scan overhead exceeds the
+// linscan.DefaultMaxScanOverhead bar — escalate to the full SC+BS+PR
 // graph-coloring allocator. Spill-light functions keep the scan's
 // multi-x allocation-time win; spill-heavy ones keep coloring quality.
-func HybridTiered() Strategy { return &linscan.Hybrid{Escalate: core.All()} }
+func HybridTiered() Strategy {
+	return &linscan.Hybrid{Escalate: core.All(), MaxScanOverhead: linscan.DefaultMaxScanOverhead}
+}
 
 // Strategies returns the named standard strategies, for tests and
 // sweeps.

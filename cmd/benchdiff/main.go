@@ -1,18 +1,20 @@
 // benchdiff is the benchmark regression gate: it compares two
 // measurement files (or a fresh benchmark run against a checked-in
 // baseline) and exits nonzero when a metric moved the wrong way past
-// the noise threshold. CI runs it as a smoke step against BENCH_6.json.
+// the noise threshold. CI runs it as a smoke step against BENCH_7.json.
 //
 // Two-file mode diffs every numeric leaf the files share:
 //
-//	benchdiff -threshold 0.2 BENCH_5.json BENCH_6.json
+//	benchdiff -threshold 0.2 BENCH_6.json BENCH_7.json
 //
 // Run mode executes `go test -bench` itself, canonicalizes the
-// SpillRound, AllocateProgram, and AllocateStrategy metrics to the
+// SpillRound, AllocateProgram, and AllocateStrategy metrics —
+// including AllocateStrategy's custom "overhead" and "escalated"
+// units, which gate the pareto sweep's quality axes — to the
 // baseline's paths, and diffs those. Metrics the baseline does not
 // carry are printed as explicit WARNINGs instead of passing silently:
 //
-//	benchdiff -bench -baseline BENCH_6.json -benchtime 200x -threshold 0.5 -o current.json
+//	benchdiff -bench -baseline BENCH_7.json -benchtime 200x -threshold 0.5 -o current.json
 //
 // The threshold is relative (0.5 = 50%); run mode wants a generous one,
 // since short -benchtime runs on shared CI hardware are noisy.
@@ -103,6 +105,8 @@ func runBenchMode(baseline, pattern, benchtime, pkg, out string, threshold float
 		"spill_round.round1_plus_us_per_op.",
 		"spill_round.ns_per_op.",
 		"allocate_program.ns_per_op.",
-		"allocate_strategy.ns_per_op.")
+		"allocate_strategy.ns_per_op.",
+		"pareto.overhead.",
+		"pareto.escalated.")
 	return benchdiff.Compare(base, cur, threshold), nil
 }

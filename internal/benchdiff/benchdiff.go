@@ -51,6 +51,7 @@ var (
 		"ns": true, "us": true, "ms": true, "op": true, "time": true,
 		"bytes": true, "b": true, "allocs": true, "misses": true,
 		"depth": true, "rounds": true, "spills": true,
+		"overhead": true, "escalated": true,
 	}
 	higherTokens = map[string]bool{
 		"speedup": true, "speedups": true, "ratio": true, "rate": true,

@@ -54,6 +54,8 @@ func TestDirectionOf(t *testing.T) {
 		{"liveness_solver.sparse_ns_op", LowerIsBetter},
 		{"spill_round.speedup_update_vs_seed.fpppp/twoel", HigherIsBetter},
 		{"bench.SpillRound/fpppp_twoel/update.ns/op", LowerIsBetter},
+		{"pareto.overhead.li.linscan", LowerIsBetter},
+		{"pareto.escalated.li.hybrid", LowerIsBetter},
 		{"pr", Neutral},
 	}
 	for _, c := range cases {
@@ -163,6 +165,33 @@ func TestCanonicalizeSpillRound(t *testing.T) {
 	}
 	if _, ok := out["bench.AllocateProgram/fpppp.ns/op"]; !ok {
 		t.Fatal("other benchmarks must pass through")
+	}
+}
+
+// TestCanonicalizePareto: AllocateStrategy's custom overhead and
+// escalated units re-key under the baseline's pareto section; the
+// wall-time unit of the same cell keeps its allocate_strategy path.
+func TestCanonicalizePareto(t *testing.T) {
+	in := map[string]float64{
+		"bench.AllocateStrategy/li/linscan.ns/op":    165000,
+		"bench.AllocateStrategy/li/linscan.overhead": 123456.5,
+		"bench.AllocateStrategy/li/hybrid.escalated": 1,
+		"bench.AllocateStrategy/li/hybrid.overhead":  98765,
+	}
+	out := Canonicalize(in)
+	want := map[string]float64{
+		"allocate_strategy.ns_per_op.li.linscan": 165000,
+		"pareto.overhead.li.linscan":             123456.5,
+		"pareto.escalated.li.hybrid":             1,
+		"pareto.overhead.li.hybrid":              98765,
+	}
+	for k, v := range want {
+		if out[k] != v {
+			t.Errorf("%s = %g, want %g (out: %v)", k, out[k], v, out)
+		}
+	}
+	if len(out) != len(want) {
+		t.Fatalf("Canonicalize left stray keys: %v", out)
 	}
 }
 

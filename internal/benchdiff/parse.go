@@ -95,8 +95,15 @@ func CanonicalizeSpillRound(metrics map[string]float64) map[string]float64 {
 //	  → allocate_program.ns_per_op.<mode>
 //	bench.AllocateStrategy/<prog>/<strat>.ns/op
 //	  → allocate_strategy.ns_per_op.<prog>.<strat>
+//	bench.AllocateStrategy/<prog>/<strat>.overhead
+//	  → pareto.overhead.<prog>.<strat>
+//	bench.AllocateStrategy/<prog>/<strat>.escalated
+//	  → pareto.escalated.<prog>.<strat>
 //
-// Entries matching no rule pass through unchanged.
+// The last two are the pareto sweep's quality axes (analytic total
+// overhead; hybrid escalation count), reported by the benchmark as
+// custom units so the quality side of the frontier is gated, not just
+// the wall time. Entries matching no rule pass through unchanged.
 func Canonicalize(metrics map[string]float64) map[string]float64 {
 	out := make(map[string]float64, len(metrics))
 	for key, v := range CanonicalizeSpillRound(metrics) {
@@ -121,10 +128,30 @@ func Canonicalize(metrics map[string]float64) map[string]float64 {
 					continue
 				}
 			}
+			if canonicalizeParetoUnit(out, rest, ".overhead", "pareto.overhead.", v) ||
+				canonicalizeParetoUnit(out, rest, ".escalated", "pareto.escalated.", v) {
+				continue
+			}
 		}
 		out[key] = v
 	}
 	return out
+}
+
+// canonicalizeParetoUnit re-keys one AllocateStrategy quality metric
+// ("<prog>/<strat>.<unit>" with the prefix already cut) under the
+// pareto section, reporting whether it matched.
+func canonicalizeParetoUnit(out map[string]float64, rest, suffix, section string, v float64) bool {
+	rest, ok := strings.CutSuffix(rest, suffix)
+	if !ok {
+		return false
+	}
+	prog, strat, ok := strings.Cut(rest, "/")
+	if !ok || strings.Contains(strat, "/") {
+		return false
+	}
+	out[section+prog+"."+strat] = v
+	return true
 }
 
 // Restrict returns the entries of m whose path starts with any of the

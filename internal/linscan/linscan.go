@@ -1,13 +1,22 @@
 // Package linscan implements a graph-free linear-scan register
 // allocator in the LuaJIT/Mono tradition: blocks are walked backward so
 // liveness falls out of the walk, no interference graph is built and no
-// simplify stack is kept, and each virtual register is summarized by a
-// conservative position interval (its hull over the block layout
-// order). Scanning the intervals once assigns registers; the paper's
-// benefit_caller/benefit_callee split (Lueh & Gross §4) steers every
-// choice between a caller-save and a callee-save register, and
+// simplify stack is kept, and each virtual register is summarized by an
+// ordered set of live segments (with holes at def-dead-redef gaps and
+// across blocks where it is not live) plus the conservative [start,end]
+// hull over them. Scanning the intervals once assigns registers; the
+// paper's benefit_caller/benefit_callee split (Lueh & Gross §4) steers
+// every choice between a caller-save and a callee-save register, and
 // move-affinity plus call-site argument hints place values
-// optimistically where a later instruction wants them.
+// optimistically where a later instruction wants them. When a bank is
+// blocked the scan binpacks second-chance style (Traub et al.): a
+// register may be assigned into a hole of an already-occupied physical
+// register when their segment sets are disjoint, and a conflicting
+// resident that blocks the bank is displaced and immediately re-seated
+// into another register's holes when one accepts it — the bank
+// reshuffles instead of spilling. Ranges that lose their register
+// outright get one more pass against the committed assignment before
+// they fall to memory.
 //
 // The allocator plugs into the same pass pipeline as the coloring
 // strategies (liveness → scan → spill-rewrite); the Hybrid strategy
@@ -26,11 +35,14 @@ import (
 	"repro/internal/machine"
 )
 
-// funcIntervals is the product of one backward analysis walk: the
-// conservative live interval, spill/caller costs, and placement hints
+// funcIntervals is the product of one backward analysis walk: the live
+// segments, conservative hull, spill/caller costs, and placement hints
 // of every virtual register of one function.
 type funcIntervals struct {
-	// start/end bound each register's interval in layout positions
+	// segs[r] is r's ordered set of disjoint live segments in the
+	// doubled slot space (see segments.go).
+	segs []segList
+	// start/end bound each register's segment hull in slots
 	// (start > end means the register never occurs live).
 	start, end []int32
 	// spillCost is the paper's weighted spill cost: one store per
@@ -51,31 +63,29 @@ type funcIntervals struct {
 	// entry is the function's entry frequency; the callee-save benefit
 	// is spillCost − 2×entry (one save and one restore per invocation).
 	entry float64
+	// hullOnly disables the segment refinement: conflict falls back to
+	// hull overlap and the blocked path spills instead of binpacking —
+	// the PR 7 behavior, kept as an ablation and differential baseline.
+	hullOnly bool
 }
 
 // live reports whether r ever occurs or is live.
 func (fi *funcIntervals) live(r int) bool { return fi.start[r] <= fi.end[r] }
 
-func (fi *funcIntervals) extend(r int, pos int32) {
-	if pos < fi.start[r] {
-		fi.start[r] = pos
-	}
-	if pos > fi.end[r] {
-		fi.end[r] = pos
-	}
-}
-
 // analyze performs the single backward walk. Positions number the
-// instructions in block layout order, with one extra boundary slot per
-// block covering its live-out set, so the interval hull of a register
-// covers every point where it is live: a register live at a point is
-// either upward-exposed there (its block's live-in covers the block
-// start), defined earlier in the block (the definition extends the
-// hull), or live-out (the boundary slot covers the block end). Two
-// simultaneously-live registers therefore always have overlapping
-// hulls — the conservative superset of true interference that makes
-// the scan sound without a graph.
-func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine.Config, scratch *bitset.Set) *funcIntervals {
+// instructions in block layout order, doubled into read/write slots
+// with one extra boundary slot per block covering its live-out set
+// (segments.go), so the segments of a register cover every slot where
+// it is live or written: a register live at a point is either
+// upward-exposed there (its segment reaches the block start), defined
+// earlier in the block (the defining write slot opens a segment), or
+// live-out (the boundary slot covers the block end). Two
+// simultaneously-live registers therefore always have intersecting
+// segments — the conservative superset of true interference that makes
+// the scan sound without a graph — while registers that are never live
+// at once keep disjoint segment sets the scan can pack into one
+// physical register.
+func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine.Config, sb *segBuilder) *funcIntervals {
 	nr := fn.NumRegs()
 	fi := &funcIntervals{
 		start:       make([]int32, nr),
@@ -106,28 +116,24 @@ func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine
 		paramIdx[c]++
 	}
 
+	sb.reset(nr)
 	pos := int32(0)
 	for _, b := range fn.Blocks {
 		n := int32(len(b.Instrs))
 		boundary := pos + n
 		w := ff.Block[b.ID]
-		out := live.Out[b.ID]
-		out.ForEach(func(r int) { fi.extend(r, boundary) })
+		live.Out[b.ID].ForEach(func(r int) { sb.open(ir.Reg(r), boundarySlot(boundary)) })
 
-		// The walk's live set starts as the block's live-out and is
-		// updated per instruction; at a call it is exactly the set of
-		// registers live across the call site.
-		scratch.Clear()
-		scratch.UnionWith(out)
-		for i := len(b.Instrs) - 1; i >= 0; i-- {
-			in := &b.Instrs[i]
+		live.WalkBlockIndexed(b, func(i int, in *ir.Instr, liveAfter *bitset.Set) {
 			ip := pos + int32(i)
 			if in.Op == ir.OpCall {
+				// liveAfter at a call is exactly the set of registers
+				// live across the call site.
 				dst := ir.NoReg
 				if in.HasDst() {
 					dst = in.Dst
 				}
-				scratch.ForEach(func(r int) {
+				liveAfter.ForEach(func(r int) {
 					if ir.Reg(r) == dst {
 						return
 					}
@@ -152,13 +158,11 @@ func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine
 				fi.affinity[in.Args[0]] = in.Dst
 			}
 			if in.HasDst() {
-				fi.extend(int(in.Dst), ip)
 				fi.spillCost[in.Dst] += w
-				scratch.Remove(int(in.Dst))
+				sb.close(in.Dst, writeSlot(ip))
 			}
 			for ai, a := range in.Args {
-				fi.extend(int(a), ip)
-				scratch.Add(int(a))
+				sb.open(a, readSlot(ip))
 				dup := false
 				for _, prev := range in.Args[:ai] {
 					if prev == a {
@@ -170,11 +174,32 @@ func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine
 					fi.spillCost[a] += w
 				}
 			}
-		}
-		live.In[b.ID].ForEach(func(r int) { fi.extend(r, pos) })
+		})
+		sb.flushBlock(readSlot(pos))
 		pos = boundary + 1
 	}
+
+	fi.segs = sb.finalize()
+	for r := 0; r < nr; r++ {
+		if s := fi.segs[r]; len(s) > 0 {
+			fi.start[r] = s[0].from
+			fi.end[r] = s[len(s)-1].to
+		}
+	}
 	return fi
+}
+
+// conflicts reports whether registers a and b may need distinct
+// physical registers: hull overlap under the conservative ablation,
+// segment intersection otherwise.
+func (fi *funcIntervals) conflicts(a, b int) bool {
+	if fi.start[a] > fi.end[b] || fi.start[b] > fi.end[a] {
+		return false
+	}
+	if fi.hullOnly {
+		return true
+	}
+	return fi.segs[a].intersects(fi.segs[b])
 }
 
 // benefits returns the paper's two benefit functions for register r:
@@ -192,6 +217,14 @@ func (fi *funcIntervals) prefersCallee(r int) bool {
 	return fi.crossesCall[r] && bcallee > bcaller
 }
 
+// Assignment paths recorded per register, for the obs events and the
+// telemetry counters.
+const (
+	viaScan   uint8 = iota // free register at first chance
+	viaHole                // binpacked into a hole of an occupied register
+	viaSecond              // assigned by the second-chance pass after losing its first
+)
+
 // scanOutcome is the result of scanning one function's intervals: the
 // flat coloring, the registers to spill (in decision order, so stack
 // slots number deterministically), and the estimated overhead of the
@@ -200,9 +233,18 @@ type scanOutcome struct {
 	colors       []machine.PhysReg
 	spilled      []ir.Reg
 	spillReasons []string
+	// via records each colored register's assignment path.
+	via []uint8
+	// holeAssigns/secondChance count the binpacking decisions.
+	holeAssigns, secondChance int
+	// pressureSpills counts the spills forced by register pressure
+	// (reasonPressure) as opposed to chosen by the cost model; only
+	// these signal that the scan's packing failed.
+	pressureSpills int
 	// estOverhead approximates the allocation's weighted memory-op
 	// overhead: caller-save saves around calls, callee-save entry/exit
-	// saves, and the spill cost of everything sent to memory.
+	// saves (paid once per callee-save register however many ranges
+	// share it), and the spill cost of everything sent to memory.
 	estOverhead float64
 }
 
@@ -227,6 +269,13 @@ type scanItem struct {
 	start, end int32
 }
 
+// occupant is one register resident in a physical register whose hull
+// still overlaps the sweep point.
+type occupant struct {
+	reg   ir.Reg
+	start int32
+}
+
 // scan allocates one bank's intervals. noSpill marks registers that
 // must never be sent to memory (spill temporaries of earlier rounds).
 func (fi *funcIntervals) scan(fn *ir.Func, class ir.Class, config machine.Config, noSpill func(ir.Reg) bool, out *scanOutcome) error {
@@ -242,34 +291,49 @@ func (fi *funcIntervals) scan(fn *ir.Func, class ir.Class, config machine.Config
 	// reverse execution order, matching the analysis walk.
 	sortItems(items)
 
+	// Per-color occupancy. occ holds the active residents — hulls still
+	// overlapping the sweep point, mirroring the classic active list —
+	// while assigned keeps every committed resident for the
+	// second-chance pass at the end. taken caches len(occ) > 0 for the
+	// free-register pick.
+	occ := make([][]occupant, n)
+	assigned := make([][]ir.Reg, n)
 	taken := make([]bool, n)
-	type activeItem struct {
-		reg   ir.Reg
-		start int32
-		col   machine.PhysReg
-	}
-	active := make([]activeItem, 0, n)
+	var pending []ir.Reg
 
 	spill := func(r ir.Reg, reason string) {
 		out.spilled = append(out.spilled, r)
 		out.spillReasons = append(out.spillReasons, reason)
 		out.estOverhead += fi.spillCost[r]
+		if reason == reasonPressure {
+			out.pressureSpills++
+		}
+	}
+	place := func(r ir.Reg, col machine.PhysReg, start int32, via uint8) {
+		out.colors[r] = col
+		out.via[r] = via
+		occ[col] = append(occ[col], occupant{reg: r, start: start})
+		assigned[col] = append(assigned[col], r)
+		taken[col] = true
 	}
 
-	calleeUsed := make([]bool, n)
 	for _, it := range items {
 		r := int(it.reg)
 		// Expire: an active interval starting above the current end can
 		// no longer overlap anything, because every remaining interval
 		// ends at or below this one.
-		for j := 0; j < len(active); {
-			if active[j].start > it.end {
-				taken[active[j].col] = false
-				active[j] = active[len(active)-1]
-				active = active[:len(active)-1]
-			} else {
-				j++
+		for col := range occ {
+			o := occ[col]
+			for j := 0; j < len(o); {
+				if o[j].start > it.end {
+					o[j] = o[len(o)-1]
+					o = o[:len(o)-1]
+				} else {
+					j++
+				}
 			}
+			occ[col] = o
+			taken[col] = len(o) > 0
 		}
 
 		bcaller, bcallee := fi.benefits(r)
@@ -280,66 +344,203 @@ func (fi *funcIntervals) scan(fn *ir.Func, class ir.Class, config machine.Config
 			continue
 		}
 
-		col := machine.NoPhysReg
-		if free := n - len(active); free == 0 {
-			// Blocked: evict the cheapest spillable holder (or give up
-			// on this interval if it is itself the cheapest).
-			vreg, vcost := ir.NoReg, math.Inf(1)
-			vidx := -1
-			if !noSpill(it.reg) {
-				vreg, vcost = it.reg, fi.spillCost[r]
-			}
-			for j, a := range active {
-				if noSpill(a.reg) {
-					continue
-				}
-				if c := fi.spillCost[a.reg]; c < vcost || (c == vcost && a.reg < vreg) {
-					vreg, vcost, vidx = a.reg, c, j
-				}
-			}
-			if vreg == ir.NoReg {
-				return errUnspillable{fn: fn.Name, class: class}
-			}
-			if vreg == it.reg {
-				spill(it.reg, reasonPressure)
-				continue
-			}
-			col = active[vidx].col
-			out.colors[vreg] = machine.NoPhysReg
-			spill(vreg, reasonPressure)
-			active[vidx] = active[len(active)-1]
-			active = active[:len(active)-1]
-			taken[col] = false
+		preferCallee := fi.prefersCallee(r)
+		free := func(col machine.PhysReg) bool { return !taken[col] }
+		if col := fi.pickBy(it.reg, class, config, n, out.colors, preferCallee, free); col != machine.NoPhysReg {
+			place(it.reg, col, it.start, viaScan)
+			continue
 		}
 
-		preferCallee := fi.prefersCallee(r)
-		if col == machine.NoPhysReg {
-			col = fi.pick(it.reg, class, config, taken, out.colors, preferCallee)
+		// Every register is occupied. First chance, hole assignment:
+		// binpack the range into a register whose residents' segments
+		// are all disjoint from its own.
+		if !fi.hullOnly {
+			hole := func(col machine.PhysReg) bool {
+				for _, o := range occ[col] {
+					if fi.segs[o.reg].intersects(fi.segs[r]) {
+						return false
+					}
+				}
+				return true
+			}
+			if col := fi.pickBy(it.reg, class, config, n, out.colors, preferCallee, hole); col != machine.NoPhysReg {
+				place(it.reg, col, it.start, viaHole)
+				out.holeAssigns++
+				continue
+			}
 		}
-		out.colors[it.reg] = col
-		taken[col] = true
-		active = append(active, activeItem{reg: it.reg, start: it.start, col: col})
+
+		// Blocked: find the cheapest way to clear one register for the
+		// item. A conflicting resident that can re-seat into a hole of
+		// another register — checked against the committed assignment of
+		// that register, so the move is always valid — displaces for
+		// free: the bank reshuffles instead of spilling. A register whose
+		// conflicts include an immovable unspillable temporary cannot be
+		// cleared. The cheapest clearing is compared against surrendering
+		// the item itself.
+		reseatTarget := func(vr ir.Reg, exclude machine.PhysReg) machine.PhysReg {
+			return fi.pickBy(vr, class, config, n, out.colors, fi.prefersCallee(int(vr)),
+				func(col machine.PhysReg) bool {
+					if col == exclude {
+						return false
+					}
+					for _, a := range assigned[col] {
+						if fi.segs[a].intersects(fi.segs[vr]) {
+							return false
+						}
+					}
+					return true
+				})
+		}
+		evictCol, evictCost := machine.NoPhysReg, math.Inf(1)
+		for i := 0; i < n; i++ {
+			col := machine.PhysReg(i)
+			cost, clear := 0.0, true
+			for _, o := range occ[col] {
+				if !fi.hullOnly && !fi.segs[o.reg].intersects(fi.segs[r]) {
+					continue
+				}
+				if !fi.hullOnly && reseatTarget(o.reg, col) != machine.NoPhysReg {
+					continue
+				}
+				if noSpill(o.reg) {
+					clear = false
+					break
+				}
+				cost += fi.spillCost[o.reg]
+			}
+			if clear && cost < evictCost {
+				evictCol, evictCost = col, cost
+			}
+		}
+		selfCost := math.Inf(1)
+		if !noSpill(it.reg) {
+			selfCost = fi.spillCost[r]
+		}
+		if evictCol == machine.NoPhysReg && math.IsInf(selfCost, 1) {
+			return errUnspillable{fn: fn.Name, class: class}
+		}
+		if selfCost <= evictCost {
+			// The item is the cheapest loser; it gets a second chance
+			// against the committed assignment before going to memory.
+			fi.surrender(it.reg, &pending, spill)
+			continue
+		}
+		o := occ[evictCol]
+		var displaced []ir.Reg
+		for j := 0; j < len(o); {
+			vr := o[j].reg
+			if !fi.hullOnly && !fi.segs[vr].intersects(fi.segs[r]) {
+				j++
+				continue
+			}
+			out.colors[vr] = machine.NoPhysReg
+			assigned[evictCol] = removeReg(assigned[evictCol], vr)
+			displaced = append(displaced, vr)
+			o[j] = o[len(o)-1]
+			o = o[:len(o)-1]
+		}
+		occ[evictCol] = o
+		place(it.reg, evictCol, it.start, viaScan)
+		// Second chance, taken immediately: each displaced range re-seats
+		// into a hole of another register if one accepts its whole
+		// segment set. The evictor is already committed, so its old
+		// register rejects it naturally; displaced residents of one
+		// register are pairwise disjoint, so earlier re-seats never block
+		// later ones. Whatever cannot re-seat falls back to the pending
+		// pass (memory under the hull ablation).
+		for _, vr := range displaced {
+			if !fi.hullOnly {
+				if col := reseatTarget(vr, machine.NoPhysReg); col != machine.NoPhysReg {
+					place(vr, col, fi.start[vr], viaSecond)
+					out.secondChance++
+					continue
+				}
+			}
+			fi.surrender(vr, &pending, spill)
+		}
+	}
+
+	// Last call: surrendered ranges (and displaced ones that found no
+	// hole at eviction time) get one more pass against the final
+	// committed assignment — a later eviction may have cleared exactly
+	// the residents that blocked them — before they fall to memory.
+	for _, r := range pending {
+		fit := func(col machine.PhysReg) bool {
+			for _, a := range assigned[col] {
+				if fi.segs[a].intersects(fi.segs[int(r)]) {
+					return false
+				}
+			}
+			return true
+		}
+		col := fi.pickBy(r, class, config, n, out.colors, fi.prefersCallee(int(r)), fit)
+		if col == machine.NoPhysReg {
+			spill(r, reasonPressure)
+			continue
+		}
+		out.colors[r] = col
+		out.via[r] = viaSecond
+		assigned[col] = append(assigned[col], r)
+		out.secondChance++
+	}
+
+	// Price the bank's outcome: one save/restore pair per callee-save
+	// register used — shared by every range binpacked into it, which is
+	// how hole assignment amortizes the 2×entry cost the benefit split
+	// charges — plus the caller-save cost of each call-crossing
+	// resident. Spill costs were added as the decisions were made.
+	calleeUsed := make([]bool, n)
+	for _, it := range items {
+		col := out.colors[it.reg]
+		if col == machine.NoPhysReg {
+			continue
+		}
 		if config.IsCalleeSave(class, col) {
 			if !calleeUsed[col] {
 				calleeUsed[col] = true
 				out.estOverhead += 2 * fi.entry
 			}
-		} else if fi.crossesCall[r] {
-			out.estOverhead += fi.callerCost[r]
+		} else if fi.crossesCall[int(it.reg)] {
+			out.estOverhead += fi.callerCost[it.reg]
 		}
 	}
 	return nil
 }
 
-// pick chooses a free register for r: the move partner's register
-// first (a no-op shuffle), then the positional hint, then the first
-// free register of the benefit-preferred kind, falling back to the
-// other kind. Hinted choices are taken only within the preferred kind —
-// optimistic placement must not override the storage-class decision.
-func (fi *funcIntervals) pick(r ir.Reg, class ir.Class, config machine.Config, taken []bool, colors []machine.PhysReg, preferCallee bool) machine.PhysReg {
+// surrender routes a range that lost its register: under the hull
+// ablation it spills immediately (the PR 7 behavior); otherwise it
+// joins the pending list for the second-chance pass.
+func (fi *funcIntervals) surrender(r ir.Reg, pending *[]ir.Reg, spill func(ir.Reg, string)) {
+	if fi.hullOnly {
+		spill(r, reasonPressure)
+		return
+	}
+	*pending = append(*pending, r)
+}
+
+// removeReg deletes the first occurrence of r by swap-removal.
+func removeReg(s []ir.Reg, r ir.Reg) []ir.Reg {
+	for i, a := range s {
+		if a == r {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// pickBy chooses a register for r among the ones fits accepts: the
+// move partner's register first (a no-op shuffle), then the positional
+// hint — both only within the benefit-preferred save kind, because
+// optimistic placement must not override the storage-class decision —
+// then the first fitting register of the preferred kind, falling back
+// to the first fitting register of any kind. NoPhysReg means nothing
+// fits.
+func (fi *funcIntervals) pickBy(r ir.Reg, class ir.Class, config machine.Config, ncol int, colors []machine.PhysReg, preferCallee bool, fits func(machine.PhysReg) bool) machine.PhysReg {
 	usable := func(col machine.PhysReg) bool {
-		return col != machine.NoPhysReg && !taken[col] &&
-			config.IsCalleeSave(class, col) == preferCallee
+		return col != machine.NoPhysReg && int(col) < ncol &&
+			config.IsCalleeSave(class, col) == preferCallee && fits(col)
 	}
 	if p := fi.affinity[r]; p != ir.NoReg {
 		if col := colors[p]; usable(col) {
@@ -349,13 +550,12 @@ func (fi *funcIntervals) pick(r ir.Reg, class ir.Class, config machine.Config, t
 	if col := fi.hint[r]; usable(col) {
 		return col
 	}
-	n := len(taken)
 	first := machine.NoPhysReg
-	for i := 0; i < n; i++ {
-		if taken[i] {
+	for i := 0; i < ncol; i++ {
+		col := machine.PhysReg(i)
+		if !fits(col) {
 			continue
 		}
-		col := machine.PhysReg(i)
 		if first == machine.NoPhysReg {
 			first = col
 		}

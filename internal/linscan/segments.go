@@ -1,0 +1,159 @@
+package linscan
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Lifetime segments (Traub et al.'s second-chance binpacking): instead
+// of one conservative [start,end] hull per register, each register
+// carries an ordered set of disjoint live segments with holes at
+// def-dead-redef gaps and across blocks where the register is not
+// live. Two registers whose hulls overlap but whose segment sets are
+// disjoint are never simultaneously live and never clobber each other,
+// so they can share a physical register — the scan exploits exactly
+// that when a bank is blocked.
+//
+// Positions use a doubled slot space over the block layout order:
+// instruction i occupies a read slot 2i (its arguments) and a write
+// slot 2i+1 (its destination), and each block gets one even boundary
+// slot past its last instruction covering the live-out set. A use
+// therefore ends a segment at the read slot and a definition opens one
+// at the write slot, so a register dying at an instruction and the
+// register that instruction defines occupy disjoint slots — the same
+// read-before-write refinement Chaitin-style interference applies via
+// its live-at-definition rule.
+
+// readSlot and writeSlot map an instruction's layout index into the
+// doubled slot space; boundarySlot covers a block's live-out set.
+func readSlot(ip int32) int32     { return 2 * ip }
+func writeSlot(ip int32) int32    { return 2*ip + 1 }
+func boundarySlot(ip int32) int32 { return 2 * ip }
+
+// seg is one closed range [from,to] of slots where a register is live
+// (or occupied by a dead definition's write).
+type seg struct {
+	from, to int32
+}
+
+// segList is a register's ordered set of disjoint live segments.
+type segList []seg
+
+// intersects reports whether two segment sets share any slot, by a
+// two-pointer sweep over the sorted lists.
+func (s segList) intersects(o segList) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		if s[i].to < o[j].from {
+			i++
+			continue
+		}
+		if o[j].to < s[i].from {
+			j++
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// covers reports whether any segment contains the slot.
+func (s segList) covers(slot int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i].to >= slot })
+	return i < len(s) && s[i].from <= slot
+}
+
+// segBuilder accumulates segments during the backward analysis walk.
+// Segments are pushed per block in decreasing order (the walk runs
+// backward) with blocks visited in increasing layout order; finalize
+// sorts each register's list and merges continuations.
+type segBuilder struct {
+	segs [][]seg
+	// openEnd[r] is the end slot of r's currently open segment, or -1.
+	// Going backward, a segment opens at the last slot where r is live
+	// (a use, or the block boundary when live-out) and closes at the
+	// defining write slot or the block start.
+	openEnd []int32
+	// opened lists the registers opened in the current block, so the
+	// block flush does not scan every register.
+	opened []ir.Reg
+}
+
+func (sb *segBuilder) reset(nr int) {
+	if cap(sb.segs) < nr {
+		sb.segs = make([][]seg, nr)
+		sb.openEnd = make([]int32, nr)
+	} else {
+		sb.segs = sb.segs[:nr]
+		for r := range sb.segs {
+			sb.segs[r] = sb.segs[r][:0]
+		}
+		sb.openEnd = sb.openEnd[:nr]
+	}
+	for r := range sb.openEnd {
+		sb.openEnd[r] = -1
+	}
+	sb.opened = sb.opened[:0]
+}
+
+// open starts a segment ending at slot unless r already has one open.
+func (sb *segBuilder) open(r ir.Reg, slot int32) {
+	if sb.openEnd[r] >= 0 {
+		return
+	}
+	sb.openEnd[r] = slot
+	sb.opened = append(sb.opened, r)
+}
+
+// close ends r's open segment at slot (a defining write). With no open
+// segment the definition is dead and occupies just its own write slot —
+// the register file is still written there, so the slot must conflict.
+func (sb *segBuilder) close(r ir.Reg, slot int32) {
+	if end := sb.openEnd[r]; end >= 0 {
+		sb.segs[r] = append(sb.segs[r], seg{from: slot, to: end})
+		sb.openEnd[r] = -1
+	} else {
+		sb.segs[r] = append(sb.segs[r], seg{from: slot, to: slot})
+	}
+}
+
+// flushBlock closes every still-open segment at the block's first read
+// slot: anything open here is live-in (or upward-exposed in unreachable
+// code) and its segment reaches the block start.
+func (sb *segBuilder) flushBlock(blockStart int32) {
+	for _, r := range sb.opened {
+		if end := sb.openEnd[r]; end >= 0 {
+			sb.segs[r] = append(sb.segs[r], seg{from: blockStart, to: end})
+			sb.openEnd[r] = -1
+		}
+	}
+	sb.opened = sb.opened[:0]
+}
+
+// finalize sorts each register's segments and merges continuations: a
+// gap of at most two slots is a handoff inside one liveness span (a
+// live-through block boundary, or a same-instruction use+redefine),
+// never a genuine hole — a dead gap always spans at least one whole
+// read/write slot pair plus the reopening write.
+func (sb *segBuilder) finalize() []segList {
+	out := make([]segList, len(sb.segs))
+	for r, segs := range sb.segs {
+		if len(segs) == 0 {
+			continue
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].from < segs[j].from })
+		merged := segs[:1]
+		for _, s := range segs[1:] {
+			if last := &merged[len(merged)-1]; s.from-last.to <= 2 {
+				if s.to > last.to {
+					last.to = s.to
+				}
+			} else {
+				merged = append(merged, s)
+			}
+		}
+		out[r] = segList(merged)
+	}
+	return out
+}

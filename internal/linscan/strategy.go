@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/bitset"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -19,10 +18,18 @@ import (
 //	liveness → scan → spill-rewrite
 //
 // — dropping build-graph, coalesce, liverange, and color entirely: the
-// scan pass derives intervals, costs, and hints from one backward walk
-// and assigns registers in a single sweep. The zero value is ready to
-// use and safe for concurrent allocations.
-type Scan struct{}
+// scan pass derives segments, costs, and hints from one backward walk
+// and assigns registers in a single sweep with hole-aware second-chance
+// binpacking. The zero value is ready to use and safe for concurrent
+// allocations.
+type Scan struct {
+	// ConservativeHulls disables the segment refinement: conflict falls
+	// back to the PR 7 hull-overlap test and the blocked path spills
+	// instead of binpacking. Kept as an ablation and as the baseline of
+	// the hole-vs-hull overhead differential; the registered "linscan"
+	// strategy leaves it false.
+	ConservativeHulls bool
+}
 
 // Name implements Strategy.
 func (*Scan) Name() string { return "linscan" }
@@ -30,10 +37,10 @@ func (*Scan) Name() string { return "linscan" }
 // BuildPipeline implements regalloc.PipelineBuilder. The coalescing
 // options have no meaning without a graph and are ignored; Rebuild
 // keeps its usual effect on the liveness pass.
-func (*Scan) BuildPipeline(insertSpills regalloc.SpillInserter, opts regalloc.Options) pipeline.Pipeline {
+func (sc *Scan) BuildPipeline(insertSpills regalloc.SpillInserter, opts regalloc.Options) pipeline.Pipeline {
 	return pipeline.New(
 		regalloc.LivenessPass(opts.Rebuild),
-		scanPass{},
+		scanPass{hulls: sc.ConservativeHulls},
 		regalloc.SpillRewritePass(insertSpills),
 	)
 }
@@ -112,10 +119,19 @@ func (sc *Scan) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 }
 
 // runScan performs the analysis walk and the per-bank scans against
-// the pipeline state, without committing anything.
-func runScan(s *pipeline.State) (*funcIntervals, *scanOutcome, error) {
+// the pipeline state, without committing anything. hulls selects the
+// conservative hull-overlap ablation.
+func runScan(s *pipeline.State, hulls bool) (*funcIntervals, *scanOutcome, error) {
 	nr := s.Fn.NumRegs()
-	fi := analyze(s.Fn, s.Live, s.FF, s.Config, bitset.New(nr))
+	// The segment arena parks on the state between rounds, so spill
+	// rounds reuse the round-0 allocations.
+	sb, ok := s.Scratch.(*segBuilder)
+	if !ok {
+		sb = new(segBuilder)
+		s.Scratch = sb
+	}
+	fi := analyze(s.Fn, s.Live, s.FF, s.Config, sb)
+	fi.hullOnly = hulls
 	// Recycle the colors backing array across rounds, like the color
 	// pass: only the final round's contents escape into the result.
 	colors := s.Colors
@@ -127,7 +143,7 @@ func runScan(s *pipeline.State) (*funcIntervals, *scanOutcome, error) {
 	for i := range colors {
 		colors[i] = machine.NoPhysReg
 	}
-	out := &scanOutcome{colors: colors}
+	out := &scanOutcome{colors: colors, via: make([]uint8, nr)}
 	for c := ir.Class(0); c < ir.NumClasses; c++ {
 		if err := fi.scan(s.Fn, c, s.Config, s.IsNoSpill, out); err != nil {
 			return fi, out, err
@@ -172,12 +188,33 @@ func commit(s *pipeline.State, fi *funcIntervals, out *scanOutcome) {
 				Wanted: kindName(fi.prefersCallee(r)),
 				Chosen: kindName(s.Config.IsCalleeSave(c, col)),
 				Cost:   fi.spillCost[r], BenefitCaller: bcaller, BenefitCallee: bcallee})
+			// Binpacking decisions ride directly behind their assignment:
+			// a hole event for a range packed into an occupied register at
+			// first chance, a second-chance event for one that lost its
+			// register and was re-seated against the committed assignment.
+			// N carries the range's segment count (≥ 2 means real holes).
+			switch out.via[r] {
+			case viaHole:
+				s.Tracer.Emit(obs.Event{Kind: obs.KindHoleAssign, Fn: s.Fn.Name,
+					Class: c, Round: s.Round, Reg: ir.Reg(r), Color: col,
+					Cost: fi.spillCost[r], N: len(fi.segs[r])})
+			case viaSecond:
+				s.Tracer.Emit(obs.Event{Kind: obs.KindSecondChance, Fn: s.Fn.Name,
+					Class: c, Round: s.Round, Reg: ir.Reg(r), Color: col,
+					Cost: fi.spillCost[r], N: len(fi.segs[r])})
+			}
 		}
 	}
 	s.SpillSet = spillSet
 	s.Colors = out.colors
 	if b := telemetry.B(); b != nil {
 		b.ScanRounds.Inc()
+		if out.holeAssigns > 0 {
+			b.ScanHoleAssigns.Add(int64(out.holeAssigns))
+		}
+		if out.secondChance > 0 {
+			b.ScanSecondChance.Add(int64(out.secondChance))
+		}
 	}
 }
 
@@ -189,13 +226,16 @@ func kindName(callee bool) string {
 }
 
 // scanPass is the Scan strategy's single allocation pass.
-type scanPass struct{}
+type scanPass struct {
+	// hulls selects the conservative hull-overlap ablation.
+	hulls bool
+}
 
 func (scanPass) Name() string                    { return obs.PhaseScan }
 func (scanPass) Preserves() pipeline.AnalysisSet { return pipeline.PreserveAll }
 
-func (scanPass) Run(s *pipeline.State) error {
-	fi, out, err := runScan(s)
+func (p scanPass) Run(s *pipeline.State) error {
+	fi, out, err := runScan(s, p.hulls)
 	if err != nil {
 		return err
 	}
@@ -203,12 +243,25 @@ func (scanPass) Run(s *pipeline.State) error {
 	return nil
 }
 
+// DefaultMaxScanOverhead is the escalation bar callcost.HybridTiered
+// installs. Re-derived for the segment-refined scan from the knee of
+// the benchprog bar sweep (cmd/experiments -exp pareto): above ~20000
+// estimated weighted memory operations, full coloring reliably recovers
+// meaningful quality over the scan (the long tail of hot spill-heavy
+// functions); below it, escalations stop paying for themselves (at a
+// bar of 25000 an extra function escalates with zero total-overhead
+// gain over 30000). The hull-based scan could not afford a finite bar
+// at all — every spill escalated; the sharper segments both raised the
+// bar and cut benchprog escalations from 7/76 to 6/76 at 333745 total
+// overhead (vs 487666), within 4% of improved coloring.
+const DefaultMaxScanOverhead = 20000
+
 // Hybrid is the two-tier strategy: run the linear scan first and keep
 // its result when it is clean; escalate to graph coloring — once, for
 // the whole rest of the function's allocation — when the scan would
-// spill or its estimated overhead exceeds the budget. Spill-light
-// functions (the common case) pay only the scan; the hard ones get the
-// full coloring treatment they were going to need anyway.
+// take a pressure spill or its estimated overhead exceeds the budget.
+// Spill-light functions (the common case) pay only the scan; the hard
+// ones get the full coloring treatment they were going to need anyway.
 type Hybrid struct {
 	// Escalate is the graph-coloring strategy of the expensive tier.
 	// Nil falls back to base Chaitin; callers usually install the
@@ -278,13 +331,17 @@ func (hybridScanPass) Preserves() pipeline.AnalysisSet { return pipeline.Preserv
 func (hybridScanPass) Skip(s *pipeline.State) bool { return s.Escalated }
 
 func (p hybridScanPass) Run(s *pipeline.State) error {
-	fi, out, err := runScan(s)
+	fi, out, err := runScan(s, false)
 	reason := ""
 	switch {
 	case err != nil:
 		// Unspillable pressure the scan cannot express; coloring can.
 		reason = "scan-error"
-	case len(out.spilled) > 0:
+	case out.pressureSpills > 0:
+		// Only pressure spills signal that the scan's packing failed.
+		// Spills by choice are the cost model speaking — the coloring
+		// tier's §4 machinery makes the same negative-benefit call — so
+		// they are not worth a full coloring run by themselves.
 		reason = "spill"
 	case p.h.MaxScanOverhead > 0 && out.estOverhead > p.h.MaxScanOverhead:
 		reason = "overhead"

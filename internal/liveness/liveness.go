@@ -317,6 +317,16 @@ func Rebase(prev *Info, fn *ir.Func, g *cfg.Graph, dirty []int, removed []ir.Reg
 // it. The set passed to visit is reused between calls; clone it to keep
 // it. The walk mutates its own working set only.
 func (info *Info) WalkBlock(b *ir.Block, visit func(in *ir.Instr, liveAfter *bitset.Set)) {
+	info.WalkBlockIndexed(b, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
+		visit(in, liveAfter)
+	})
+}
+
+// WalkBlockIndexed is WalkBlock with the instruction's index in the
+// block passed to visit, for clients that map instructions to layout
+// positions (the linear-scan segment builder). The same reuse contract
+// applies: liveAfter is a pooled set, clone it to keep it.
+func (info *Info) WalkBlockIndexed(b *ir.Block, visit func(i int, in *ir.Instr, liveAfter *bitset.Set)) {
 	if info.walk == nil {
 		info.walk = bitset.New(info.Fn.NumRegs())
 	}
@@ -324,7 +334,7 @@ func (info *Info) WalkBlock(b *ir.Block, visit func(in *ir.Instr, liveAfter *bit
 	live.Copy(info.Out[b.ID])
 	for i := len(b.Instrs) - 1; i >= 0; i-- {
 		in := &b.Instrs[i]
-		visit(in, live)
+		visit(i, in, live)
 		if in.HasDst() {
 			live.Remove(int(in.Dst))
 		}

@@ -86,6 +86,17 @@ func (bm *BlockMap) Clone() *BlockMap {
 // Blocks reports how many blocks the map covers.
 func (bm *BlockMap) Blocks() int { return len(bm.perBlock) }
 
+// Of returns the set of blocks where register r is live or referenced.
+// The set is shared with the map; callers must treat it as read-only.
+// Out of range (a register newer than the map) returns nil, which reads
+// as the empty set.
+func (bm *BlockMap) Of(r ir.Reg) *bitset.Set {
+	if int(r) >= len(bm.perReg) {
+		return nil
+	}
+	return bm.perReg[r]
+}
+
 // Rebase updates bm — which must be privately owned — to the current
 // fn and live by re-scanning only the listed blocks (unique IDs; the
 // changed set liveness.Rebase reports). New registers get empty rows

@@ -60,6 +60,42 @@ func TestJSONLGoldenQuickstart(t *testing.T) {
 	obstest.CompareGolden(t, filepath.Join("testdata", "quickstart.jsonl.golden"), got, *update)
 }
 
+// TestJSONLGoldenSecondChance pins the linear-scan decision stream on
+// a program dense enough to block the register bank: the golden holds
+// hole_assign events (ranges seated inside lifetime holes of occupied
+// registers) and second_chance events (residents displaced by an
+// eviction that re-seat elsewhere instead of spilling). Regenerate
+// with:
+//
+//	go test ./internal/obs -run Golden -update
+func TestJSONLGoldenSecondChance(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "secondchance.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := callcost.Compile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	opts := callcost.WithTracer(callcost.DefaultAllocOptions(), callcost.NewJSONLSink(&buf))
+	if _, err := prog.AllocateWithOptions(callcost.LinearScan(),
+		callcost.NewConfig(6, 4, 0, 0), prog.StaticFreq(), opts); err != nil {
+		t.Fatal(err)
+	}
+	got := obstest.Scrub(t, buf.Bytes())
+
+	// Both binpacking kinds must be present regardless of golden drift:
+	// a fixture that stops exercising them is no fixture at all.
+	for _, kind := range []string{"hole_assign", "second_chance"} {
+		if !strings.Contains(got, fmt.Sprintf("%q:%q", "kind", kind)) {
+			t.Errorf("stream has no %s event", kind)
+		}
+	}
+
+	obstest.CompareGolden(t, filepath.Join("testdata", "secondchance.jsonl.golden"), got, *update)
+}
+
 // TestNarrativeAgreesWithJSONL feeds one run to both sinks and checks
 // that every color_assign and spill_choice event's numbers reappear
 // verbatim in the narrative — the acceptance criterion that -explain

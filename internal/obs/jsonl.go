@@ -96,6 +96,16 @@ func (ev Event) jsonMap() map[string]any {
 		m["mode"] = ev.Reason
 		m["visited"] = ev.N
 		m["total"] = ev.Total
+	case KindEscalate:
+		m["round"] = ev.Round
+		m["reason"] = ev.Reason
+		m["spills"] = ev.N
+	case KindHoleAssign, KindSecondChance:
+		bank()
+		m["reg"] = int(ev.Reg)
+		m["color"] = int(ev.Color)
+		m["spill_cost"] = ev.Cost
+		m["segments"] = ev.N
 	}
 	return m
 }

@@ -67,5 +67,13 @@ func (s *Narrative) Emit(ev Event) {
 	case KindPrefDecide:
 		fmt.Fprintf(s.w, "%s prefer-caller %s: callee-save oversubscribed at a call, key=%g (%s)\n",
 			pre, reg(ev.Reg), ev.Key, ev.Reason)
+	case KindEscalate:
+		fmt.Fprintf(s.w, "  r%d escalate to coloring: %s (%d scan spills)\n", ev.Round, ev.Reason, ev.N)
+	case KindHoleAssign:
+		fmt.Fprintf(s.w, "%s hole-assign %s -> occupied r%d (%d segments; spill_cost=%g)\n",
+			pre, reg(ev.Reg), int(ev.Color), ev.N, ev.Cost)
+	case KindSecondChance:
+		fmt.Fprintf(s.w, "%s second-chance %s -> r%d instead of memory (%d segments; spill_cost=%g)\n",
+			pre, reg(ev.Reg), int(ev.Color), ev.N, ev.Cost)
 	}
 }

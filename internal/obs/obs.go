@@ -72,6 +72,18 @@ const (
 	// carries why ("spill" or "overhead"), N the number of registers the
 	// scan wanted to spill.
 	KindEscalate
+	// KindHoleAssign records the linear scan binpacking a live range
+	// into a lifetime hole of an already-occupied physical register at
+	// first chance: every resident's segment set is disjoint from the
+	// range's. Color is the shared register, N the range's segment
+	// count.
+	KindHoleAssign
+	// KindSecondChance records a range that lost its register (evicted,
+	// or the cheapest loser when its bank blocked) being re-seated by
+	// the second-chance pass against the bank's committed assignment
+	// instead of spilling. Color is the register found, N the range's
+	// segment count.
+	KindSecondChance
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -102,6 +114,10 @@ func (k Kind) String() string {
 		return "liveness"
 	case KindEscalate:
 		return "escalate"
+	case KindHoleAssign:
+		return "hole_assign"
+	case KindSecondChance:
+		return "second_chance"
 	}
 	return "unknown"
 }

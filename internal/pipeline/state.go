@@ -67,6 +67,14 @@ type State struct {
 	// later round stays in the expensive tier.
 	Escalated bool
 
+	// Scratch is strategy-private working storage that survives across
+	// rounds of one allocation (never shared between functions). A pass
+	// that needs per-round scratch — the linear scan's segment arena,
+	// for example — parks it here so spill rounds reuse the round-0
+	// allocations. Passes must tolerate any value left by another pass
+	// (type-assert, replace on mismatch).
+	Scratch any
+
 	// LiveHit and BaseHit report whether this round's liveness and
 	// base graphs were served from an already-built shared cache (the
 	// prep-cache tracing signal).

@@ -32,6 +32,12 @@ const (
 	// critical edges (branch out of a block with multiple successors
 	// into a block with multiple predecessors) everywhere.
 	ShapeCriticalEdge
+	// ShapeHoleHeavy is long-straight-line code with many variables and
+	// frequent from-scratch rebinds (a variable redefined without
+	// reading its old value), producing def-dead-redef lifetime holes
+	// and long cold gaps inside hot blocks — the structure the
+	// hole-aware linear scan binpacks into.
+	ShapeHoleHeavy
 )
 
 // Options bound the generated program.
@@ -65,15 +71,25 @@ func CriticalEdgeOptions() Options {
 	return Options{Funcs: 4, MaxStmts: 5, MaxDepth: 3, MaxLoopTrip: 7, Shape: ShapeCriticalEdge}
 }
 
-// ForSeed maps a fuzz seed onto one of the three shape profiles, so a
+// HoleHeavyOptions returns bounds tuned for the hole-heavy shape: long
+// blocks of mostly straight-line declarations and rebinds, shallow
+// nesting, few loops.
+func HoleHeavyOptions() Options {
+	return Options{Funcs: 4, MaxStmts: 9, MaxDepth: 2, MaxLoopTrip: 6, Shape: ShapeHoleHeavy}
+}
+
+// ForSeed maps a fuzz seed onto one of the four shape profiles, so a
 // single int64-seeded fuzz target explores all of them: seeds ≡ 1
-// (mod 3) generate EBB-heavy programs, seeds ≡ 2 critical-edge ones.
+// (mod 4) generate EBB-heavy programs, seeds ≡ 2 critical-edge ones,
+// and seeds ≡ 3 hole-heavy ones.
 func ForSeed(seed int64) Options {
-	switch ((seed % 3) + 3) % 3 {
+	switch ((seed % 4) + 4) % 4 {
 	case 1:
 		return EBBHeavyOptions()
 	case 2:
 		return CriticalEdgeOptions()
+	case 3:
+		return HoleHeavyOptions()
 	default:
 		return DefaultOptions()
 	}
@@ -251,6 +267,11 @@ func (g *gen) mix() stmtMix {
 		// Loop-dominated, break/continue-rich control flow.
 		return stmtMix{decl: 2, assign: 4, ifStmt: 5, loop: 7, doWhile: 9,
 			elseChance: 0.5, breakChance: 0.7}
+	case ShapeHoleHeavy:
+		// Declaration- and rebind-dominated straight-line code: many
+		// variables, frequent redefinitions, rare control flow.
+		return stmtMix{decl: 3, assign: 8, ifStmt: 9, loop: 10, doWhile: 10,
+			elseChance: 0.3, breakChance: 0.3}
 	default:
 		return stmtMix{decl: 3, assign: 6, ifStmt: 7, loop: 8, doWhile: 9,
 			elseChance: 0.5, breakChance: 0.4}
@@ -311,7 +332,31 @@ func (g *gen) assignable(vars []string) []string {
 	return out
 }
 
+// rebindStmt redefines an existing unprotected int variable from an
+// expression that never reads it, so the previous value's live range
+// ends at its last earlier use and a hole opens before this definition
+// — the def-dead-redef pattern that splits a lifetime into segments.
+// Returns false when no variable is eligible.
+func (g *gen) rebindStmt(level int) bool {
+	ints := g.assignable(g.intVars)
+	if len(ints) == 0 {
+		return false
+	}
+	v := ints[g.pick(len(ints))]
+	src := g.literal(false)
+	if len(ints) > 1 && g.chance(0.7) {
+		if w := ints[g.pick(len(ints))]; w != v {
+			src = w
+		}
+	}
+	g.printf("%s%s = (%s + %s);\n", g.indent(level), v, src, g.literal(false))
+	return true
+}
+
 func (g *gen) assignStmt(level int) {
+	if g.opts.Shape == ShapeHoleHeavy && g.chance(0.6) && g.rebindStmt(level) {
+		return
+	}
 	switch g.pick(5) {
 	case 0: // global int
 		g.printf("%sgi0 = %s;\n", g.indent(level), g.expr(false, 2))

@@ -57,6 +57,7 @@ func TestShapeProfiles(t *testing.T) {
 		"default":       randprog.DefaultOptions(),
 		"ebb-heavy":     randprog.EBBHeavyOptions(),
 		"critical-edge": randprog.CriticalEdgeOptions(),
+		"hole-heavy":    randprog.HoleHeavyOptions(),
 	}
 	loops := map[string]int{}
 	branches := map[string]int{}
@@ -81,6 +82,13 @@ func TestShapeProfiles(t *testing.T) {
 	if branches["ebb-heavy"] <= branches["critical-edge"] {
 		t.Errorf("ebb-heavy generated %d branches, critical-edge %d; expected more",
 			branches["ebb-heavy"], branches["critical-edge"])
+	}
+	// Hole-heavy is straight-line-dominated: less control flow than any
+	// other profile.
+	for _, other := range []string{"default", "ebb-heavy", "critical-edge"} {
+		if h, o := loops["hole-heavy"]+branches["hole-heavy"], loops[other]+branches[other]; h >= o {
+			t.Errorf("hole-heavy generated %d control statements, %s %d; expected fewer", h, other, o)
+		}
 	}
 }
 
@@ -117,7 +125,10 @@ func TestDifferentialAllStrategies(t *testing.T) {
 		callcost.FullMachine(),
 	}
 	for seed := int64(0); seed < seeds; seed++ {
-		src := randprog.Generate(seed, randprog.DefaultOptions())
+		// Rotate through all shape profiles (including hole-heavy, which
+		// exercises the scan tier's segment binpacking) rather than
+		// pinning the balanced mix.
+		src := randprog.Generate(seed, randprog.ForSeed(seed))
 		prog, err := callcost.Compile(src)
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v", seed, err)

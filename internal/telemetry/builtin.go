@@ -43,6 +43,13 @@ type Builtin struct {
 	// by tier: for the hybrid strategy, the coloring share is exactly
 	// the escalated work.
 	ScanRounds, ColorRounds *Counter
+	// ScanHoleAssigns counts live ranges the scan binpacked into a
+	// lifetime hole of an occupied register at first chance
+	// (alloc_scan_hole_assigns_total); ScanSecondChance counts ranges
+	// re-seated by the second-chance pass after losing their register
+	// (alloc_scan_second_chance_total). Both measure spills the segment
+	// refinement avoided that hull-overlap scanning would have taken.
+	ScanHoleAssigns, ScanSecondChance *Counter
 	// HybridEscalations counts functions whose hybrid scan tier spilled
 	// (or exceeded its overhead budget) and escalated to graph coloring
 	// (hybrid_escalations_total). The escalation rate is
@@ -130,6 +137,8 @@ func newBuiltin(r *Registry) *Builtin {
 		Rounds:             r.Histogram("alloc_rounds", RoundsBuckets),
 		PassRuns:           r.Counter("pass_runs_total"),
 		ScanRounds:         r.Counter("alloc_scan_rounds_total"),
+		ScanHoleAssigns:    r.Counter("alloc_scan_hole_assigns_total"),
+		ScanSecondChance:   r.Counter("alloc_scan_second_chance_total"),
 		ColorRounds:        r.Counter("alloc_color_rounds_total"),
 		HybridEscalations:  r.Counter("hybrid_escalations_total"),
 		PrepLiveHits:       r.Counter("prep_live_hits_total"),

@@ -1,0 +1,56 @@
+package callcost
+
+import (
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/linscan"
+	"repro/internal/metrics"
+)
+
+// TestHoleAwareScanBeatsHulls is the segment-refinement differential:
+// on every benchmark program and both invariant configurations, the
+// hole-aware scan (segment-intersection conflicts, hole assignment,
+// second-chance binpacking) must produce total analytic overhead no
+// worse than the conservative hull-overlap ablation
+// (Scan.ConservativeHulls, the PR 7 behavior). Segment sets only remove
+// conflicts that hulls invent, and every binpacking decision replaces a
+// spill the hull scan would have taken, so a regression here means the
+// refinement mispriced something.
+func TestHoleAwareScanBeatsHulls(t *testing.T) {
+	for _, prog := range benchprog.Names() {
+		prog := prog
+		t.Run(prog, func(t *testing.T) {
+			t.Parallel()
+			p := MustCompile(benchprog.ByName(prog).Source)
+			pf, _, err := p.Profile()
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			for _, config := range invariantConfigs {
+				holes, err := p.Allocate(&linscan.Scan{}, config, pf)
+				if err != nil {
+					t.Fatalf("hole-aware scan at %s: %v", config, err)
+				}
+				hulls, err := p.Allocate(&linscan.Scan{ConservativeHulls: true}, config, pf)
+				if err != nil {
+					t.Fatalf("hull scan at %s: %v", config, err)
+				}
+				ho, hu := holes.Overhead(pf).Total(), hulls.Overhead(pf).Total()
+				t.Logf("%s at %s: hole-aware overhead %.1f vs hull %.1f", prog, config, ho, hu)
+				if ho > hu {
+					t.Errorf("%s at %s: hole-aware scan overhead %.1f exceeds hull scan's %.1f",
+						prog, config, ho, hu)
+				}
+				// Per-function breakdown under -v, for bar derivation and
+				// regression forensics.
+				if testing.Verbose() {
+					for name, plan := range holes.Plans {
+						o := metrics.Analytic(plan, pf.ByFunc[name])
+						t.Logf("  fn %s: hole-aware overhead %.1f", name, o.Total())
+					}
+				}
+			}
+		})
+	}
+}
