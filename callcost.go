@@ -19,6 +19,7 @@
 package callcost
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -209,11 +210,11 @@ func (p *Program) StaticFreq() *freq.ProgramFreq {
 // also shares). One PreparedProgram serves every (strategy, config)
 // cell of a sweep; all methods are safe for concurrent use.
 type PreparedProgram struct {
-	funcs map[string]*regalloc.PreparedFunc
+	funcs map[string]*pipeline.FuncCache
 }
 
 // Func returns the prepared state of the named function, or nil.
-func (pp *PreparedProgram) Func(name string) *regalloc.PreparedFunc { return pp.funcs[name] }
+func (pp *PreparedProgram) Func(name string) *pipeline.FuncCache { return pp.funcs[name] }
 
 // Prepare returns the program's prep cache, creating it on first call.
 // The artifacts themselves are built lazily, on each function's first
@@ -222,7 +223,7 @@ func (pp *PreparedProgram) Func(name string) *regalloc.PreparedFunc { return pp.
 // explicitly or warm it up.
 func (p *Program) Prepare() *PreparedProgram {
 	p.prepOnce.Do(func() {
-		pp := &PreparedProgram{funcs: make(map[string]*regalloc.PreparedFunc, len(p.IR.Funcs))}
+		pp := &PreparedProgram{funcs: make(map[string]*pipeline.FuncCache, len(p.IR.Funcs))}
 		for _, fn := range p.IR.Funcs {
 			pp.funcs[fn.Name] = regalloc.Prepare(fn)
 		}
@@ -348,15 +349,19 @@ func (p *Program) AllocateWithOptions(strat Strategy, config Config, pf *freq.Pr
 		// emission number, total across all functions of the run.
 		opts.Tracer = obs.NewSequencer(opts.Tracer)
 	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	funcs := p.IR.Funcs
 	plans := make([]*rewrite.FuncPlan, len(funcs))
-	err := par.ForEachIndexed(len(funcs), workers, func(i int) error {
+	err := par.ForEachIndexedCtx(ctx, len(funcs), workers, func(i int) error {
 		fn := funcs[i]
 		ff := pf.ByFunc[fn.Name]
 		if ff == nil {
 			return fmt.Errorf("callcost: no frequency info for %s", fn.Name)
 		}
-		pfn := (*regalloc.PreparedFunc)(nil)
+		pfn := (*pipeline.FuncCache)(nil)
 		if prep != nil {
 			pfn = prep.Func(fn.Name)
 		}

@@ -1,20 +1,20 @@
 // benchdiff is the benchmark regression gate: it compares two
 // measurement files (or a fresh benchmark run against a checked-in
 // baseline) and exits nonzero when a metric moved the wrong way past
-// the noise threshold. CI runs it as a smoke step against BENCH_7.json.
+// the noise threshold. CI runs it as a smoke step against BENCH_8.json.
 //
 // Two-file mode diffs every numeric leaf the files share:
 //
 //	benchdiff -threshold 0.2 BENCH_6.json BENCH_7.json
 //
 // Run mode executes `go test -bench` itself, canonicalizes the
-// SpillRound, AllocateProgram, and AllocateStrategy metrics —
-// including AllocateStrategy's custom "overhead" and "escalated"
-// units, which gate the pareto sweep's quality axes — to the
-// baseline's paths, and diffs those. Metrics the baseline does not
+// SpillRound, AllocateProgram, AllocateStrategy, and ServerAllocate
+// metrics — including AllocateStrategy's custom "overhead" and
+// "escalated" units, which gate the pareto sweep's quality axes — to
+// the baseline's paths, and diffs those. Metrics the baseline does not
 // carry are printed as explicit WARNINGs instead of passing silently:
 //
-//	benchdiff -bench -baseline BENCH_7.json -benchtime 200x -threshold 0.5 -o current.json
+//	benchdiff -bench -baseline BENCH_8.json -benchtime 200x -threshold 0.5 -o current.json
 //
 // The threshold is relative (0.5 = 50%); run mode wants a generous one,
 // since short -benchtime runs on shared CI hardware are noisy.
@@ -39,7 +39,7 @@ func run() int {
 	var (
 		bench     = flag.Bool("bench", false, "run `go test -bench` and diff against -baseline instead of diffing two files")
 		baseline  = flag.String("baseline", "", "baseline JSON file for -bench mode")
-		pattern   = flag.String("pattern", "BenchmarkSpillRound$|BenchmarkAllocateProgram$|BenchmarkAllocateStrategy$", "benchmark regexp for -bench mode")
+		pattern   = flag.String("pattern", "BenchmarkSpillRound$|BenchmarkAllocateProgram$|BenchmarkAllocateStrategy$|BenchmarkServerAllocate$", "benchmark regexp for -bench mode")
 		benchtime = flag.String("benchtime", "200x", "go test -benchtime for -bench mode")
 		pkg       = flag.String("pkg", ".", "package to benchmark in -bench mode")
 		out       = flag.String("o", "", "write the current measurements as flat JSON to this file")
@@ -107,6 +107,7 @@ func runBenchMode(baseline, pattern, benchtime, pkg, out string, threshold float
 		"allocate_program.ns_per_op.",
 		"allocate_strategy.ns_per_op.",
 		"pareto.overhead.",
-		"pareto.escalated.")
+		"pareto.escalated.",
+		"server_allocate.ns_per_op.")
 	return benchdiff.Compare(base, cur, threshold), nil
 }

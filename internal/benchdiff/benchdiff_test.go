@@ -195,6 +195,26 @@ func TestCanonicalizePareto(t *testing.T) {
 	}
 }
 
+// TestCanonicalizeServerAllocate: the rallocd request-cost benchmark
+// re-keys under the server_allocate section; non-ns units pass through.
+func TestCanonicalizeServerAllocate(t *testing.T) {
+	in := map[string]float64{
+		"bench.ServerAllocate/ear/cold.ns/op":     1852509,
+		"bench.ServerAllocate/ear/warm.ns/op":     911650,
+		"bench.ServerAllocate/ear/warm.allocs/op": 42,
+	}
+	out := Canonicalize(in)
+	if v := out["server_allocate.ns_per_op.ear.cold"]; v != 1852509 {
+		t.Fatalf("cold key missing: %v", out)
+	}
+	if v := out["server_allocate.ns_per_op.ear.warm"]; v != 911650 {
+		t.Fatalf("warm key missing: %v", out)
+	}
+	if _, ok := out["bench.ServerAllocate/ear/warm.allocs/op"]; !ok {
+		t.Fatalf("non-ns unit must pass through: %v", out)
+	}
+}
+
 // TestDiffAgainstCheckedInBaseline exercises the exact CI shape: the
 // repo's BENCH_5.json baseline vs. a synthetic current run, via files.
 func TestDiffAgainstCheckedInBaseline(t *testing.T) {

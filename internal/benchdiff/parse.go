@@ -99,11 +99,15 @@ func CanonicalizeSpillRound(metrics map[string]float64) map[string]float64 {
 //	  → pareto.overhead.<prog>.<strat>
 //	bench.AllocateStrategy/<prog>/<strat>.escalated
 //	  → pareto.escalated.<prog>.<strat>
+//	bench.ServerAllocate/<prog>/<mode>.ns/op
+//	  → server_allocate.ns_per_op.<prog>.<mode>
 //
-// The last two are the pareto sweep's quality axes (analytic total
+// The pareto pair are the sweep's quality axes (analytic total
 // overhead; hybrid escalation count), reported by the benchmark as
 // custom units so the quality side of the frontier is gated, not just
-// the wall time. Entries matching no rule pass through unchanged.
+// the wall time; ServerAllocate is the rallocd request cost through
+// the whole HTTP/pool/cache stack, cold and warm. Entries matching no
+// rule pass through unchanged.
 func Canonicalize(metrics map[string]float64) map[string]float64 {
 	out := make(map[string]float64, len(metrics))
 	for key, v := range CanonicalizeSpillRound(metrics) {
@@ -131,6 +135,14 @@ func Canonicalize(metrics map[string]float64) map[string]float64 {
 			if canonicalizeParetoUnit(out, rest, ".overhead", "pareto.overhead.", v) ||
 				canonicalizeParetoUnit(out, rest, ".escalated", "pareto.escalated.", v) {
 				continue
+			}
+		}
+		if rest, ok := strings.CutPrefix(key, "bench.ServerAllocate/"); ok {
+			if rest, ok := strings.CutSuffix(rest, ".ns/op"); ok {
+				if prog, mode, ok := strings.Cut(rest, "/"); ok && !strings.Contains(mode, "/") {
+					out["server_allocate.ns_per_op."+prog+"."+mode] = v
+					continue
+				}
 			}
 		}
 		out[key] = v

@@ -1,0 +1,290 @@
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Wire form of the IR: a canonical, self-contained JSON encoding of a
+// Program. It exists for two consumers with the same requirement —
+// deterministic bytes for identical IR:
+//
+//   - the allocation service (internal/server), whose /allocate
+//     endpoint accepts a serialized program instead of MC source, and
+//   - the content-addressed result cache (internal/resultcache), whose
+//     keys hash the canonical encoding of one function.
+//
+// Determinism comes for free from encoding/json over structs and
+// slices (no maps): identical IR encodes to identical bytes within one
+// build of the codec. The encoding is versioned so a decoder can
+// reject bytes from an incompatible codec instead of misreading them.
+
+// WireVersion identifies the wire encoding. Bump it on any change to
+// the wire structs or their meaning; it is hashed into result-cache
+// keys, so stale cross-version entries can never be served.
+const WireVersion = 1
+
+// wireProgram mirrors Program.
+type wireProgram struct {
+	Version int           `json:"version"`
+	Globals []*wireSymbol `json:"globals,omitempty"`
+	Funcs   []*wireFunc   `json:"funcs"`
+}
+
+// wireSymbol mirrors Symbol.
+type wireSymbol struct {
+	Name      string  `json:"name"`
+	Class     Class   `json:"class"`
+	Size      int     `json:"size,omitempty"`
+	Local     bool    `json:"local,omitempty"`
+	Spill     bool    `json:"spill,omitempty"`
+	InitInt   int64   `json:"init_int,omitempty"`
+	InitFloat float64 `json:"init_float,omitempty"`
+}
+
+// wireFunc mirrors Func. Register classes and debug names are encoded
+// positionally: RegClasses[r] is the class of virtual register r.
+type wireFunc struct {
+	Name        string       `json:"name"`
+	Params      []Reg        `json:"params,omitempty"`
+	HasResult   bool         `json:"has_result,omitempty"`
+	ResultClass Class        `json:"result_class,omitempty"`
+	RegClasses  []Class      `json:"reg_classes"`
+	RegNames    []string     `json:"reg_names,omitempty"`
+	Locals      []int        `json:"locals,omitempty"` // indices into the program symbol table
+	Blocks      []*wireBlock `json:"blocks"`
+}
+
+// wireBlock mirrors Block; its ID is its index.
+type wireBlock struct {
+	Instrs []wireInstr `json:"instrs"`
+}
+
+// wireInstr mirrors Instr. Sym references the program-wide symbol
+// table by index (-1 = none), so shared symbols stay shared after a
+// round trip and spill slots (function locals) encode like any other
+// symbol.
+type wireInstr struct {
+	Op       Op      `json:"op"`
+	Dst      Reg     `json:"dst"`
+	Args     []Reg   `json:"args,omitempty"`
+	IntVal   int64   `json:"int_val,omitempty"`
+	FloatVal float64 `json:"float_val,omitempty"`
+	Cond     Cond    `json:"cond,omitempty"`
+	Sym      int     `json:"sym"`
+	Callee   string  `json:"callee,omitempty"`
+	Then     int     `json:"then,omitempty"`
+	Else     int     `json:"else,omitempty"`
+}
+
+// symTable assigns stable indices to every symbol a program references.
+type symTable struct {
+	index map[*Symbol]int
+	syms  []*Symbol
+}
+
+func (t *symTable) add(s *Symbol) int {
+	if s == nil {
+		return -1
+	}
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	i := len(t.syms)
+	t.index[s] = i
+	t.syms = append(t.syms, s)
+	return i
+}
+
+// EncodeProgram renders p in the canonical wire form. Identical
+// programs (same structure, same symbol contents) produce identical
+// bytes.
+func EncodeProgram(p *Program) ([]byte, error) {
+	tab := &symTable{index: make(map[*Symbol]int)}
+	wp := &wireProgram{Version: WireVersion}
+	// Seed the table with the globals in program order so their indices
+	// are position-independent of instruction order.
+	for _, g := range p.Globals {
+		tab.add(g)
+	}
+	wp.Funcs = make([]*wireFunc, len(p.Funcs))
+	for i, fn := range p.Funcs {
+		wf, err := encodeFunc(fn, tab)
+		if err != nil {
+			return nil, err
+		}
+		wp.Funcs[i] = wf
+	}
+	wp.Globals = make([]*wireSymbol, len(tab.syms))
+	for i, s := range tab.syms {
+		wp.Globals[i] = &wireSymbol{
+			Name: s.Name, Class: s.Class, Size: s.Size, Local: s.Local,
+			Spill: s.Spill, InitInt: s.InitInt, InitFloat: s.InitFloat,
+		}
+	}
+	return json.Marshal(wp)
+}
+
+// EncodeFunc renders one function in the canonical wire form, with a
+// private symbol table. It is the hashing form resultcache keys use:
+// two functions with identical structure and identical referenced
+// symbols encode identically, regardless of which program they came
+// from.
+func EncodeFunc(fn *Func) ([]byte, error) {
+	tab := &symTable{index: make(map[*Symbol]int)}
+	wf, err := encodeFunc(fn, tab)
+	if err != nil {
+		return nil, err
+	}
+	syms := make([]*wireSymbol, len(tab.syms))
+	for i, s := range tab.syms {
+		syms[i] = &wireSymbol{
+			Name: s.Name, Class: s.Class, Size: s.Size, Local: s.Local,
+			Spill: s.Spill, InitInt: s.InitInt, InitFloat: s.InitFloat,
+		}
+	}
+	return json.Marshal(struct {
+		Version int           `json:"version"`
+		Syms    []*wireSymbol `json:"syms,omitempty"`
+		Func    *wireFunc     `json:"func"`
+	}{WireVersion, syms, wf})
+}
+
+func encodeFunc(fn *Func, tab *symTable) (*wireFunc, error) {
+	wf := &wireFunc{
+		Name:        fn.Name,
+		Params:      fn.Params,
+		HasResult:   fn.HasResult,
+		ResultClass: fn.ResultClass,
+		RegClasses:  make([]Class, fn.NumRegs()),
+		RegNames:    make([]string, fn.NumRegs()),
+	}
+	named := false
+	for r := 0; r < fn.NumRegs(); r++ {
+		wf.RegClasses[r] = fn.RegClass(Reg(r))
+		wf.RegNames[r] = fn.RegName(Reg(r))
+		named = named || wf.RegNames[r] != ""
+	}
+	if !named {
+		wf.RegNames = nil
+	}
+	for _, l := range fn.Locals {
+		wf.Locals = append(wf.Locals, tab.add(l))
+	}
+	wf.Blocks = make([]*wireBlock, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		if b.ID != i {
+			return nil, fmt.Errorf("ir: encode %s: block %d has ID %d", fn.Name, i, b.ID)
+		}
+		wb := &wireBlock{Instrs: make([]wireInstr, len(b.Instrs))}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			wb.Instrs[j] = wireInstr{
+				Op: in.Op, Dst: in.Dst, Args: in.Args,
+				IntVal: in.IntVal, FloatVal: in.FloatVal, Cond: in.Cond,
+				Sym: tab.add(in.Sym), Callee: in.Callee,
+				Then: in.Then, Else: in.Else,
+			}
+		}
+		wf.Blocks[i] = wb
+	}
+	return wf, nil
+}
+
+// DecodeProgram parses the wire form back into a validated Program.
+// The result is structurally equal to the encoded one: same block IDs,
+// same virtual-register numbering, same symbol sharing — so an
+// allocation of the decoded program is byte-identical to one of the
+// original.
+func DecodeProgram(data []byte) (*Program, error) {
+	var wp wireProgram
+	if err := json.Unmarshal(data, &wp); err != nil {
+		return nil, fmt.Errorf("ir: decode program: %w", err)
+	}
+	if wp.Version != WireVersion {
+		return nil, fmt.Errorf("ir: decode program: wire version %d, want %d", wp.Version, WireVersion)
+	}
+	syms := make([]*Symbol, len(wp.Globals))
+	for i, ws := range wp.Globals {
+		syms[i] = &Symbol{
+			Name: ws.Name, Class: ws.Class, Size: ws.Size, Local: ws.Local,
+			Spill: ws.Spill, InitInt: ws.InitInt, InitFloat: ws.InitFloat,
+		}
+	}
+	p := &Program{}
+	for _, g := range syms {
+		if !g.Local {
+			p.Globals = append(p.Globals, g)
+		}
+	}
+	for _, wf := range wp.Funcs {
+		fn, err := decodeFunc(wf, syms)
+		if err != nil {
+			return nil, err
+		}
+		p.AddFunc(fn)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: decoded program invalid: %w", err)
+	}
+	return p, nil
+}
+
+func decodeFunc(wf *wireFunc, syms []*Symbol) (*Func, error) {
+	fn := &Func{
+		Name:        wf.Name,
+		Params:      wf.Params,
+		HasResult:   wf.HasResult,
+		ResultClass: wf.ResultClass,
+	}
+	for r, c := range wf.RegClasses {
+		if c < 0 || c >= NumClasses {
+			return nil, fmt.Errorf("ir: decode %s: register v%d has class %d", wf.Name, r, c)
+		}
+		name := ""
+		if r < len(wf.RegNames) {
+			name = wf.RegNames[r]
+		}
+		fn.NewReg(c, name)
+	}
+	symAt := func(i int) (*Symbol, error) {
+		if i == -1 {
+			return nil, nil
+		}
+		if i < 0 || i >= len(syms) {
+			return nil, fmt.Errorf("ir: decode %s: symbol index %d out of range [0,%d)", wf.Name, i, len(syms))
+		}
+		return syms[i], nil
+	}
+	for _, li := range wf.Locals {
+		s, err := symAt(li)
+		if err != nil {
+			return nil, err
+		}
+		if s == nil {
+			return nil, fmt.Errorf("ir: decode %s: nil local symbol", wf.Name)
+		}
+		fn.Locals = append(fn.Locals, s)
+	}
+	for i, wb := range wf.Blocks {
+		b := fn.NewBlock()
+		if b.ID != i {
+			return nil, fmt.Errorf("ir: decode %s: block ID drift", wf.Name)
+		}
+		b.Instrs = make([]Instr, len(wb.Instrs))
+		for j := range wb.Instrs {
+			wi := &wb.Instrs[j]
+			sym, err := symAt(wi.Sym)
+			if err != nil {
+				return nil, err
+			}
+			b.Instrs[j] = Instr{
+				Op: wi.Op, Dst: wi.Dst, Args: wi.Args,
+				IntVal: wi.IntVal, FloatVal: wi.FloatVal, Cond: wi.Cond,
+				Sym: sym, Callee: wi.Callee,
+				Then: wi.Then, Else: wi.Else,
+			}
+		}
+	}
+	return fn, nil
+}

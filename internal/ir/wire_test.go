@@ -1,0 +1,129 @@
+package ir_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/compile"
+	"repro/internal/ir"
+	"repro/internal/randprog"
+)
+
+// TestWireRoundTrip: encode → decode must preserve the program
+// exactly — the String rendering covers blocks, instructions, register
+// numbering and debug names, and symbol identity is checked via the
+// re-encoding (shared symbols must stay shared for the bytes to
+// match).
+func TestWireRoundTrip(t *testing.T) {
+	srcs := map[string]string{}
+	for _, p := range benchprog.All() {
+		srcs[p.Name] = p.Source
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		srcs[fmt.Sprintf("randprog%d", seed)] = randprog.Generate(seed, randprog.ForSeed(seed))
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			prog, err := compile.Source(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := ir.EncodeProgram(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ir.DecodeProgram(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := back.String(), prog.String(); got != want {
+				t.Fatalf("round trip changed the program:\n--- original\n%s\n--- decoded\n%s", want, got)
+			}
+			data2, err := ir.EncodeProgram(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, data2) {
+				t.Fatal("re-encoding the decoded program produced different bytes")
+			}
+		})
+	}
+}
+
+// TestWireEncodeDeterministic: two compiles of the same source must
+// encode to identical bytes — the property the content-addressed
+// result cache keys rely on.
+func TestWireEncodeDeterministic(t *testing.T) {
+	src := benchprog.ByName("li").Source
+	a, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := ir.EncodeProgram(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := ir.EncodeProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("identical source compiled twice encodes differently")
+	}
+	for i, fn := range a.Funcs {
+		fa, err := ir.EncodeFunc(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := ir.EncodeFunc(b.Funcs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fa, fb) {
+			t.Fatalf("function %s encodes differently across compiles", fn.Name)
+		}
+	}
+}
+
+// TestWireVersionGate: a version the codec does not speak must be
+// rejected, not misread.
+func TestWireVersionGate(t *testing.T) {
+	prog, err := compile.Source(benchprog.ByName("compress").Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ir.EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data, []byte(`{"version":1`), []byte(`{"version":999`), 1)
+	if _, err := ir.DecodeProgram(bad); err == nil {
+		t.Fatal("decoding a future wire version succeeded")
+	}
+}
+
+// TestWireFuncDigestDistinguishes: EncodeFunc must differ for
+// different functions (the cache-key injectivity smoke check).
+func TestWireFuncDigestDistinguishes(t *testing.T) {
+	prog, err := compile.Source(benchprog.ByName("eqntott").Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, fn := range prog.Funcs {
+		data, err := ir.EncodeFunc(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[string(data)]; dup {
+			t.Fatalf("functions %s and %s encode identically", prev, fn.Name)
+		}
+		seen[string(data)] = fn.Name
+	}
+}

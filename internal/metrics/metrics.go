@@ -19,6 +19,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/freq"
 	"repro/internal/ir"
@@ -120,15 +121,23 @@ func Analytic(plan *rewrite.FuncPlan, ff *freq.FuncFreq) Overhead {
 	return o
 }
 
-// AnalyticProgram sums Analytic over every function plan.
+// AnalyticProgram sums Analytic over every function plan, in sorted
+// name order: float addition is not associative, so a fixed order is
+// what makes the program total byte-reproducible across runs (the
+// allocation daemon's differential gate compares serialized totals).
 func AnalyticProgram(plans map[string]*rewrite.FuncPlan, pf *freq.ProgramFreq) Overhead {
+	names := make([]string, 0, len(plans))
+	for name := range plans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var o Overhead
-	for name, plan := range plans {
+	for _, name := range names {
 		ff := pf.ByFunc[name]
 		if ff == nil {
 			continue
 		}
-		o = o.Add(Analytic(plan, ff))
+		o = o.Add(Analytic(plans[name], ff))
 	}
 	return o
 }

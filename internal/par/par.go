@@ -1,9 +1,12 @@
-// Package par provides the bounded index-parallel loop shared by the
-// allocator driver (per-function parallel allocation) and the
-// experiment harness (parallel sweep cells).
+// Package par provides the bounded concurrency primitives shared by
+// the allocator driver, the experiment harness, and the allocation
+// daemon: an index-parallel loop (ForEachIndexed) and a server-grade
+// worker pool with a bounded admission queue (Pool).
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,6 +26,17 @@ import (
 // scheduling — only wall time changes. Callers print or merge strictly
 // after ForEachIndexed returns.
 func ForEachIndexed(n, workers int, f func(i int) error) error {
+	return ForEachIndexedCtx(context.Background(), n, workers, f)
+}
+
+// ForEachIndexedCtx is ForEachIndexed with cancellation: once ctx is
+// done, no further indices are dispatched — queued work is abandoned,
+// tasks already running finish — and the loop returns ctx.Err()
+// unless an earlier-indexed task failed first (task errors keep
+// priority, reported by lowest index; ctx.Err() slots in at the first
+// undispatched index). The sequential path checks ctx between
+// iterations.
+func ForEachIndexedCtx(ctx context.Context, n, workers int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -39,13 +53,19 @@ func ForEachIndexed(n, workers int, f func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	done := ctx.Done()
 	errs := make([]error, n)
+	var canceledAt atomic.Int64 // first index not dispatched due to cancellation; n+1 = none
+	canceledAt.Store(int64(n + 1))
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -56,6 +76,18 @@ func ForEachIndexed(n, workers int, f func(i int) error) error {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
+				}
+				select {
+				case <-done:
+					// Record the earliest abandoned index so the
+					// returned error respects index priority.
+					for {
+						old := canceledAt.Load()
+						if int64(i) >= old || canceledAt.CompareAndSwap(old, int64(i)) {
+							return
+						}
+					}
+				default:
 				}
 				if b != nil {
 					// Unclaimed tasks = n minus the claim counter; the
@@ -78,10 +110,118 @@ func ForEachIndexed(n, workers int, f func(i int) error) error {
 	if b != nil {
 		b.ParQueueDepth.Set(0)
 	}
-	for _, err := range errs {
+	stop := int(canceledAt.Load())
+	for i, err := range errs {
+		if i >= stop {
+			break
+		}
 		if err != nil {
 			return err
 		}
 	}
+	if stop <= n {
+		return ctx.Err()
+	}
 	return nil
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+
+// ErrQueueFull reports that the pool's bounded admission queue had no
+// room for the task. The allocation daemon maps it to HTTP 429: under
+// saturation, shedding load at admission beats queueing without bound.
+var ErrQueueFull = errors.New("par: admission queue full")
+
+// ErrPoolClosed reports a Submit after Close/Drain began.
+var ErrPoolClosed = errors.New("par: pool closed")
+
+// Pool is a long-lived worker pool with a bounded admission queue —
+// the execution layer of the allocation daemon. Tasks are submitted
+// with a context and run on one of a fixed set of workers; when every
+// worker is busy and the queue is full, Submit fails fast with
+// ErrQueueFull (backpressure) instead of queueing unboundedly.
+// Drain stops admission and waits for queued and running tasks to
+// finish — the daemon's graceful-shutdown path.
+type Pool struct {
+	queue chan task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// QueueDepth and Busy, when non-nil, track the number of admitted-
+	// but-not-started tasks and the number of running tasks. The daemon
+	// wires them to its request telemetry gauges.
+	QueueDepth *telemetry.Gauge
+	Busy       *telemetry.Gauge
+}
+
+type task struct {
+	ctx context.Context
+	run func(ctx context.Context)
+}
+
+// NewPool starts a pool of workers goroutines with an admission queue
+// of queueSize tasks beyond the ones being executed. workers <= 0
+// selects GOMAXPROCS; queueSize < 0 selects 0 (admission only when a
+// worker is free to take the task soon).
+func NewPool(workers, queueSize int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueSize < 0 {
+		queueSize = 0
+	}
+	p := &Pool{queue: make(chan task, queueSize)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.queue {
+				p.QueueDepth.Add(-1)
+				// A task whose request died while queued is not worth
+				// starting.
+				if t.ctx.Err() != nil {
+					continue
+				}
+				p.Busy.Add(1)
+				t.run(t.ctx)
+				p.Busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit offers run to the pool. It returns nil when the task was
+// admitted (run will be called with ctx on a worker goroutine, unless
+// ctx is already done by then), ErrQueueFull when the queue is full,
+// and ErrPoolClosed after Drain began. Submit never blocks on a full
+// queue — that is the backpressure contract.
+func (p *Pool) Submit(ctx context.Context, run func(ctx context.Context)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- task{ctx: ctx, run: run}:
+		p.QueueDepth.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Drain stops admission and waits until every queued and running task
+// has finished. Safe to call more than once.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
 }

@@ -1,0 +1,158 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachIndexedCtxCancelStopsDispatch: once the context is
+// canceled, no further queued indices are dispatched, and the loop
+// reports the cancellation. A gate holds the first tasks mid-run so
+// the cancellation provably lands while work is still queued.
+func TestForEachIndexedCtxCancelStopsDispatch(t *testing.T) {
+	const n, workers = 1000, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var dispatched atomic.Int64
+	started := make(chan struct{}, n)
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachIndexedCtx(ctx, n, workers, func(i int) error {
+			dispatched.Add(1)
+			started <- struct{}{}
+			<-gate
+			return nil
+		})
+	}()
+	// Let every worker pick up one task, then cancel while the rest of
+	// the indices are still undispatched.
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	cancel()
+	close(gate)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The running tasks finish; nothing new starts after cancel. Give
+	// racing claims a generous allowance: at most one extra claim per
+	// worker could have passed the ctx check before cancel landed.
+	if d := dispatched.Load(); d >= n/2 {
+		t.Fatalf("dispatched %d of %d tasks after cancellation", d, n)
+	}
+}
+
+// TestForEachIndexedCtxSequentialCancel: the workers==1 path checks the
+// context between iterations.
+func TestForEachIndexedCtxSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForEachIndexedCtx(ctx, 100, 1, func(i int) error {
+		ran++
+		if i == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d tasks, want 5", ran)
+	}
+}
+
+// TestForEachIndexedErrorPriority: the lowest-indexed task error wins
+// over a later cancellation.
+func TestForEachIndexedErrorPriority(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEachIndexed(100, 8, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestPoolBackpressure: a full admission queue rejects with
+// ErrQueueFull instead of blocking, and frees up once tasks drain.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Drain()
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	// First task occupies the worker...
+	if err := p.Submit(context.Background(), func(context.Context) {
+		close(running)
+		<-gate
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// ...second fills the queue slot...
+	if err := p.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	// ...third must shed.
+	if err := p.Submit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(gate)
+}
+
+// TestPoolDrain: Drain runs every admitted task to completion and
+// rejects later submissions.
+func TestPoolDrain(t *testing.T) {
+	p := NewPool(2, 16)
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		if err := p.Submit(context.Background(), func(context.Context) {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	if n := ran.Load(); n != 10 {
+		t.Fatalf("ran %d tasks, want 10 (drain abandoned admitted work)", n)
+	}
+	if err := p.Submit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+	p.Drain() // idempotent
+}
+
+// TestPoolSkipsDeadRequests: a task whose context died while queued is
+// never started.
+func TestPoolSkipsDeadRequests(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Drain()
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(context.Background(), func(context.Context) {
+		close(running)
+		<-gate
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Bool
+	if err := p.Submit(ctx, func(context.Context) { started.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(gate)
+	p.Drain()
+	if started.Load() {
+		t.Fatal("task with a dead context was started")
+	}
+}

@@ -147,6 +147,12 @@ func (r *Runner) Run(s *State) (rounds int, err error) {
 	for round := 0; round < maxRounds; round++ {
 		s.BeginRound(round)
 		for _, p := range r.Passes {
+			if s.Ctx != nil {
+				if err := s.Ctx.Err(); err != nil {
+					finish(round)
+					return round, err
+				}
+			}
 			if sk, ok := p.(Skipper); ok && sk.Skip(s) {
 				continue
 			}

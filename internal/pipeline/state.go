@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"repro/internal/freq"
 	"repro/internal/interference"
 	"repro/internal/ir"
@@ -29,6 +31,12 @@ type State struct {
 	Round int
 	// Tracer receives decision events; nil disables tracing.
 	Tracer obs.Tracer
+	// Ctx, when non-nil, carries the deadline/cancellation of the
+	// request this allocation serves. The runner polls it between
+	// passes and abandons the run with ctx.Err() once it is done; nil
+	// (the default for in-process callers) costs one nil check per
+	// pass.
+	Ctx context.Context
 	// AM owns the analysis artifacts and their validity.
 	AM *AnalysisManager
 

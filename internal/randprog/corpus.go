@@ -1,0 +1,60 @@
+package randprog
+
+import "encoding/json"
+
+// corpusRequest mirrors the allocation daemon's request wire shape
+// (internal/server.Request). It is redeclared here rather than
+// imported so the generator stays dependency-free; the server's tests
+// pin the two shapes against each other.
+type corpusRequest struct {
+	Source   string       `json:"source"`
+	Config   corpusConfig `json:"config"`
+	Strategy string       `json:"strategy"`
+}
+
+type corpusConfig struct {
+	RI int `json:"ri"`
+	RF int `json:"rf"`
+	EI int `json:"ei"`
+	EF int `json:"ef"`
+}
+
+// corpusConfigs is the register-pressure rotation of the corpus: tight
+// (heavy spilling), the paper's headline split, caller-save only, and
+// roomy.
+var corpusConfigs = []corpusConfig{
+	{RI: 6, RF: 4, EI: 0, EF: 0},
+	{RI: 8, RF: 6, EI: 4, EF: 4},
+	{RI: 10, RF: 6, EI: 0, EF: 0},
+	{RI: 12, RF: 8, EI: 8, EF: 6},
+}
+
+// corpusStrategies rotates the allocator families the daemon serves:
+// the paper's improved coloring, the graph-free linear scan, and the
+// scan-first hybrid.
+var corpusStrategies = []string{"improved", "linscan", "hybrid"}
+
+// Corpus returns n serialized allocation-request bodies, ready to POST
+// to the daemon's /allocate endpoint. Request i carries the program of
+// seed+i under ForSeed's rotating shape, with the register
+// configuration and strategy rotating independently. The mapping is
+// pure: the same (seed, n) always yields the same bytes, so load runs
+// are reproducible and a corpus can be replayed against two builds.
+func Corpus(seed int64, n int) [][]byte {
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		req := corpusRequest{
+			Source:   Generate(s, ForSeed(s)),
+			Config:   corpusConfigs[i%len(corpusConfigs)],
+			Strategy: corpusStrategies[i%len(corpusStrategies)],
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			// Marshal of a plain struct of strings and ints cannot fail.
+			panic(err)
+		}
+		bodies[i] = body
+	}
+	return bodies
+}

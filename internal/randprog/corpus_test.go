@@ -1,0 +1,54 @@
+package randprog
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCorpusDeterministic: the same (seed, n) yields the same bytes —
+// the property that makes load runs replayable.
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(42, 24)
+	b := Corpus(42, 24)
+	if len(a) != 24 || len(b) != 24 {
+		t.Fatalf("lengths %d/%d, want 24", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("body %d differs between identical corpus calls", i)
+		}
+	}
+	if bytes.Equal(a[0], Corpus(43, 1)[0]) {
+		t.Fatal("different seeds produced the same first body")
+	}
+}
+
+// TestCorpusShape: every body is a JSON object carrying a nonempty
+// source, a strategy, and a config, and the rotations actually rotate.
+func TestCorpusShape(t *testing.T) {
+	bodies := Corpus(7, 12)
+	strategies := make(map[string]bool)
+	configs := make(map[string]bool)
+	for i, body := range bodies {
+		var req struct {
+			Source   string          `json:"source"`
+			Strategy string          `json:"strategy"`
+			Config   json.RawMessage `json:"config"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Fatalf("body %d: %v", i, err)
+		}
+		if req.Source == "" || req.Strategy == "" || len(req.Config) == 0 {
+			t.Fatalf("body %d incomplete: %s", i, body)
+		}
+		strategies[req.Strategy] = true
+		configs[string(req.Config)] = true
+	}
+	if len(strategies) != len(corpusStrategies) {
+		t.Fatalf("strategies seen %v, want all of %v", strategies, corpusStrategies)
+	}
+	if len(configs) != len(corpusConfigs) {
+		t.Fatalf("%d distinct configs, want %d", len(configs), len(corpusConfigs))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/liverange"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // AllocateLegacy is the pre-pipeline allocation driver, preserved
@@ -21,7 +22,7 @@ import (
 // — colors, spill slots, round counts, assembly, and the traced event
 // stream — on every benchmark program. It is not part of the public
 // allocation surface and ignores opts.Pipeline.
-func AllocateLegacy(prep *PreparedFunc, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
+func AllocateLegacy(prep *pipeline.FuncCache, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = DefaultMaxRounds
 	}

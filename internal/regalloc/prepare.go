@@ -5,12 +5,9 @@ import (
 	"repro/internal/pipeline"
 )
 
-// PreparedFunc is the shared per-function prep cache, now owned by the
-// pipeline's analysis layer as pipeline.FuncCache. The alias keeps the
-// established regalloc surface (Prepare/AllocatePrepared and the
-// Program-level cache in the public API) unchanged.
-type PreparedFunc = pipeline.FuncCache
-
-// Prepare wraps fn in an empty cache; artifacts are built lazily on
-// first use.
-func Prepare(fn *ir.Func) *PreparedFunc { return pipeline.NewFuncCache(fn) }
+// Prepare wraps fn in an empty shared prep cache (pipeline.FuncCache);
+// artifacts are built lazily on first use. The cache layer has one
+// name: pipeline.FuncCache owns the round-0 analysis artifacts, and
+// internal/resultcache owns completed allocations, content-addressed
+// across requests.
+func Prepare(fn *ir.Func) *pipeline.FuncCache { return pipeline.NewFuncCache(fn) }

@@ -33,7 +33,7 @@ func prepFixture(t *testing.T, src, fn string) (*ir.Func, *freq.FuncFreq) {
 }
 
 // freshBaseGraphs builds the round-0 graphs of fn from scratch, as the
-// oracle for what a PreparedFunc's bases must still look like after any
+// oracle for what a FuncCache's bases must still look like after any
 // number of allocations consumed them.
 func freshBaseGraphs(fn *ir.Func) [ir.NumClasses]*interference.Graph {
 	live := liveness.Compute(fn, cfg.New(fn))
@@ -83,7 +83,7 @@ func TestNoCoalesceBaseGraphsStayFrozen(t *testing.T) {
 	}
 }
 
-// TestAllocatePreparedMatchesAllocateFunc holds a shared PreparedFunc
+// TestAllocatePreparedMatchesAllocateFunc holds a shared FuncCache
 // to the same results as the from-scratch entry point across strategies
 // and configurations, including spilling ones.
 func TestAllocatePreparedMatchesAllocateFunc(t *testing.T) {
@@ -159,7 +159,7 @@ func TestAllocateAliasesOriginalWhenNoSpills(t *testing.T) {
 }
 
 // TestPreparedFuncConcurrentAllocations allocates from one shared
-// PreparedFunc on many goroutines at once — the shape of a parallel
+// FuncCache on many goroutines at once — the shape of a parallel
 // figure sweep. Meaningful chiefly under -race: it proves the frozen
 // artifacts really are read without writes. Results must all agree.
 func TestPreparedFuncConcurrentAllocations(t *testing.T) {

@@ -20,6 +20,7 @@
 package regalloc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -699,6 +700,12 @@ type Options struct {
 	Rebuild bool
 	// MaxRounds bounds build→color→spill iterations.
 	MaxRounds int
+	// Ctx, when non-nil, bounds the allocation with a deadline or
+	// cancellation: the pipeline runner polls it between passes and
+	// the per-function driver loop checks it before dispatching each
+	// function, so a canceled request stops consuming CPU at the next
+	// pass boundary. Nil — the default — costs one nil check per pass.
+	Ctx context.Context
 	// Tracer receives decision events and phase timings (package obs).
 	// Nil — the default — disables tracing; every emission site is
 	// guarded, so the untraced path adds no work and no allocations.
@@ -792,11 +799,11 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 	return AllocatePrepared(Prepare(fn), ff, config, strat, insertSpills, opts)
 }
 
-// AllocatePrepared is AllocateFunc consuming a PreparedFunc: the
+// AllocatePrepared is AllocateFunc consuming a shared pipeline.FuncCache: the
 // round-0 CFG, liveness, and base interference graphs come from the
 // cache (built on first use) instead of being rebuilt, and are consumed
 // through copy-on-write Snapshot views so the cached artifacts stay
-// frozen. Many goroutines may allocate from the same PreparedFunc
+// frozen. Many goroutines may allocate from the same FuncCache
 // concurrently; the result is byte-identical to AllocateFunc on a
 // fresh function.
 //
@@ -805,13 +812,14 @@ func AllocateFunc(fn *ir.Func, ff *freq.FuncFreq, config machine.Config, strat S
 // opts.Pipeline overrides it with. The runner emits the per-pass phase
 // events; a run that exhausts the round budget returns an error
 // wrapping pipeline.ErrRoundLimit.
-func AllocatePrepared(prep *PreparedFunc, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
+func AllocatePrepared(prep *pipeline.FuncCache, ff *freq.FuncFreq, config machine.Config, strat Strategy, insertSpills SpillInserter, opts Options) (*FuncAlloc, error) {
 	pl := opts.Pipeline
 	if pl == nil {
 		def := BuildPipeline(strat, insertSpills, opts)
 		pl = &def
 	}
 	s := pipeline.NewState(prep, ff, config, opts.Tracer)
+	s.Ctx = opts.Ctx
 	runner := &pipeline.Runner{Passes: pl.Passes(), MaxRounds: opts.MaxRounds}
 	rounds, err := runner.Run(s)
 	if err != nil {

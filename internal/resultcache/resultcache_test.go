@@ -1,0 +1,225 @@
+package resultcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/compile"
+	"repro/internal/freq"
+	"repro/internal/machine"
+	"repro/internal/rewrite"
+	"repro/internal/telemetry"
+)
+
+// keysFor computes a key per function of the li benchmark under the
+// given parameters.
+func keysFor(t *testing.T, config machine.Config, strategy string, pipeline []string) map[string]Key {
+	t.Helper()
+	prog, err := compile.Source(benchprog.ByName("li").Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := freq.Static(prog)
+	out := map[string]Key{}
+	for _, fn := range prog.Funcs {
+		k, err := KeyFor(fn, pf.ByFunc[fn.Name], config, strategy, pipeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[fn.Name] = k
+	}
+	return out
+}
+
+// TestKeyStability: the same inputs must produce the same key across
+// independent compiles; every varied input must change it.
+func TestKeyStability(t *testing.T) {
+	cfg := machine.NewConfig(8, 6, 4, 4)
+	pl := []string{"liveness", "build-graph", "coalesce", "liverange", "color", "spill-rewrite"}
+	base := keysFor(t, cfg, "improved", pl)
+	again := keysFor(t, cfg, "improved", pl)
+	for name, k := range base {
+		if again[name] != k {
+			t.Fatalf("%s: key not stable across compiles", name)
+		}
+	}
+
+	seen := map[Key]string{}
+	for name, k := range base {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("functions %s and %s share a key", prev, name)
+		}
+		seen[k] = name
+	}
+	variants := []map[string]Key{
+		keysFor(t, machine.NewConfig(6, 4, 0, 0), "improved", pl),
+		keysFor(t, cfg, "linscan", pl),
+		keysFor(t, cfg, "improved", []string{"liveness", "scan", "spill-rewrite"}),
+	}
+	for i, v := range variants {
+		for name, k := range v {
+			if base[name] == k {
+				t.Fatalf("variant %d: %s key unchanged by varied input", i, name)
+			}
+		}
+	}
+}
+
+// TestKeyFreqSensitivity: the frequency table is an allocation input,
+// so a different table must produce a different key.
+func TestKeyFreqSensitivity(t *testing.T) {
+	prog, err := compile.Source(benchprog.ByName("compress").Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Funcs[0]
+	cfg := machine.NewConfig(8, 6, 4, 4)
+	pf := freq.Static(prog)
+	ff := pf.ByFunc[fn.Name]
+	k1, err := KeyFor(fn, ff, cfg, "improved", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := &freq.FuncFreq{Entry: ff.Entry + 1, Block: ff.Block}
+	k2, err := KeyFor(fn, bumped, cfg, "improved", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("key ignores the frequency table")
+	}
+}
+
+// TestLRUEviction: the cache never holds more than max entries and
+// evicts in least-recently-used order.
+func TestLRUEviction(t *testing.T) {
+	b := telemetry.Enable(nil)
+	defer telemetry.Disable()
+	c := New(2)
+	mk := func(i byte) Key { var k Key; k[0] = i; return k }
+	plan := func() (*rewrite.FuncPlan, error) { return &rewrite.FuncPlan{}, nil }
+
+	for i := byte(1); i <= 3; i++ {
+		if _, hit, err := c.Do(mk(i), plan); err != nil || hit {
+			t.Fatalf("insert %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// 1 was evicted; 2 and 3 resident.
+	if _, hit := c.Get(mk(1)); hit {
+		t.Fatal("evicted entry still resident")
+	}
+	if _, hit := c.Get(mk(2)); !hit {
+		t.Fatal("entry 2 missing")
+	}
+	// Touch 2, insert 4: 3 must go.
+	if _, hit, _ := c.Do(mk(4), plan); hit {
+		t.Fatal("fresh key hit")
+	}
+	if _, hit := c.Get(mk(3)); hit {
+		t.Fatal("LRU evicted the wrong entry")
+	}
+	snap := b.Reg.Snapshot()
+	if got := snap.Counters["result_cache_evictions_total"]; got != 2 {
+		t.Fatalf("evictions counter = %d, want 2", got)
+	}
+	if got := snap.Gauges["result_cache_entries"]; got != 2 {
+		t.Fatalf("entries gauge = %d, want 2", got)
+	}
+}
+
+// TestSingleflight: concurrent Do calls for one key run compute once;
+// the rest share the result and count as hits.
+func TestSingleflight(t *testing.T) {
+	b := telemetry.Enable(nil)
+	defer telemetry.Disable()
+	c := New(8)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	shared := &rewrite.FuncPlan{}
+	const callers = 16
+	var wg sync.WaitGroup
+	plans := make([]*rewrite.FuncPlan, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.Do(Key{42}, func() (*rewrite.FuncPlan, error) {
+				<-gate
+				computes.Add(1)
+				return shared, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			plans[i] = p
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, p := range plans {
+		if p != shared {
+			t.Fatalf("caller %d got a different plan", i)
+		}
+	}
+	snap := b.Reg.Snapshot()
+	if misses := snap.Counters["result_cache_misses_total"]; misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if hits := snap.Counters["result_cache_hits_total"]; hits != callers-1 {
+		t.Fatalf("hits = %d, want %d", hits, callers-1)
+	}
+}
+
+// TestFailedComputeNotCachedAndRetried: an error result must not be
+// cached, and a waiting follower must take over rather than inherit
+// the leader's failure.
+func TestFailedComputeNotCachedAndRetried(t *testing.T) {
+	c := New(8)
+	boom := errors.New("canceled")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderErr error
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, leaderErr = c.Do(Key{7}, func() (*rewrite.FuncPlan, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	var followerPlan *rewrite.FuncPlan
+	var followerErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		followerPlan, _, followerErr = c.Do(Key{7}, func() (*rewrite.FuncPlan, error) {
+			return &rewrite.FuncPlan{}, nil
+		})
+	}()
+	close(release)
+	<-leaderDone
+	if !errors.Is(leaderErr, boom) {
+		t.Fatalf("leader error = %v, want %v", leaderErr, boom)
+	}
+	<-done
+	if followerErr != nil {
+		t.Fatalf("follower inherited the leader's failure: %v", followerErr)
+	}
+	if followerPlan == nil {
+		t.Fatal("follower got no plan")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (only the successful compute cached)", c.Len())
+	}
+}

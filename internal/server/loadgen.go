@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// LoadStats is the outcome tally of one load run.
+type LoadStats struct {
+	// Requests is the number of requests sent.
+	Requests int
+	// OK counts 200s; Shed counts 429s (backpressure working as
+	// designed). Everything else lands in Other by status code — any
+	// entry there fails the load gate.
+	OK    int
+	Shed  int
+	Other map[int]int
+	// CacheHits and CacheMisses sum the per-response cache counters of
+	// the 200s.
+	CacheHits   int
+	CacheMisses int
+	// Verified counts responses byte-checked against the in-process
+	// oracle.
+	Verified int
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+// HitRatio returns the cache hit share of the served functions.
+func (s *LoadStats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+func (s *LoadStats) String() string {
+	return fmt.Sprintf("%d requests in %v: %d ok, %d shed (429), %d other; cache %d/%d (%.1f%% hits); %d verified",
+		s.Requests, s.Elapsed.Round(time.Millisecond), s.OK, s.Shed, other(s.Other),
+		s.CacheHits, s.CacheHits+s.CacheMisses, 100*s.HitRatio(), s.Verified)
+}
+
+func other(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// RunLoad fires bodies at baseURL's /allocate endpoint from
+// concurrency goroutines and tallies the outcomes. When verifyEvery is
+// n > 0, every n-th successful response is byte-compared against the
+// in-process oracle (ReferenceResult) — the load generator doubles as
+// a differential checker. The first verification mismatch or transport
+// error aborts the run.
+func RunLoad(baseURL string, bodies [][]byte, concurrency, verifyEvery int) (*LoadStats, error) {
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	client := &http.Client{
+		Timeout: 120 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency,
+			MaxIdleConnsPerHost: concurrency,
+		},
+	}
+	stats := &LoadStats{Other: make(map[int]int)}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var next int64
+	var nextMu sync.Mutex
+	claim := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		i := int(next)
+		next++
+		if i >= len(bodies) {
+			return -1
+		}
+		return i
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					return
+				}
+				i := claim()
+				if i < 0 {
+					return
+				}
+				resp, err := client.Post(baseURL+"/allocate", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					fail(fmt.Errorf("request %d: %w", i, err))
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					fail(fmt.Errorf("request %d: read response: %w", i, err))
+					return
+				}
+				mu.Lock()
+				stats.Requests++
+				switch resp.StatusCode {
+				case http.StatusOK:
+					stats.OK++
+				case http.StatusTooManyRequests:
+					stats.Shed++
+				default:
+					stats.Other[resp.StatusCode]++
+				}
+				mu.Unlock()
+				if resp.StatusCode != http.StatusOK {
+					continue
+				}
+				var r Response
+				if err := json.Unmarshal(raw, &r); err != nil {
+					fail(fmt.Errorf("request %d: bad response JSON: %w", i, err))
+					return
+				}
+				mu.Lock()
+				stats.CacheHits += r.CacheHits
+				stats.CacheMisses += r.CacheMisses
+				verify := verifyEvery > 0 && i%verifyEvery == 0
+				mu.Unlock()
+				if verify {
+					if err := verifyAgainstOracle(bodies[i], &r); err != nil {
+						fail(fmt.Errorf("request %d: %w", i, err))
+						return
+					}
+					mu.Lock()
+					stats.Verified++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(t0)
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, nil
+}
+
+// verifyAgainstOracle byte-compares a served result against the
+// in-process reference for the same request body.
+func verifyAgainstOracle(body []byte, got *Response) error {
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return fmt.Errorf("decode request for verification: %w", err)
+	}
+	want, err := ReferenceResult(&req)
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	gb, err := json.Marshal(got.Result)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(wb, gb) {
+		return fmt.Errorf("served result differs from in-process oracle:\nserved: %.400s\noracle: %.400s", gb, wb)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/randprog"
+)
+
+// TestCorpusDecodesAsRequest pins the corpus emitter's wire shape to
+// the server's: every body must decode into a Request the server
+// accepts. This is the contract test for the redeclared struct in
+// internal/randprog.
+func TestCorpusDecodesAsRequest(t *testing.T) {
+	for i, body := range randprog.Corpus(3, 12) {
+		var req Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Fatalf("body %d does not decode as server.Request: %v", i, err)
+		}
+		if req.Source == "" || req.Strategy == "" || req.Config.RI == 0 {
+			t.Fatalf("body %d decoded incomplete: %+v", i, req)
+		}
+		if _, _, _, err := resolve(&req); err != nil {
+			t.Fatalf("body %d rejected by resolve: %v", i, err)
+		}
+	}
+}
+
+// TestRunLoadSmoke drives a small corpus through the full loadgen path
+// — HTTP edge, pool, cache — with every response verified against the
+// in-process oracle.
+func TestRunLoadSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 256})
+	bodies := randprog.Corpus(11, 16)
+	// Send the corpus twice so the second pass hits the cache.
+	bodies = append(bodies, randprog.Corpus(11, 16)...)
+	stats, err := RunLoad(ts.URL, bodies, 8, 4)
+	if err != nil {
+		t.Fatalf("load run failed: %v (stats: %v)", err, stats)
+	}
+	if stats.OK != len(bodies) {
+		t.Fatalf("ok=%d of %d: %v", stats.OK, len(bodies), stats)
+	}
+	if stats.Verified == 0 {
+		t.Fatal("no responses were verified")
+	}
+	if stats.CacheHits == 0 {
+		t.Fatalf("repeated corpus produced no cache hits: %v", stats)
+	}
+}

@@ -1,0 +1,567 @@
+// Package server is the allocation service behind cmd/rallocd:
+// register allocation as a request/response protocol over HTTP/JSON,
+// built from three layers.
+//
+// The request core is content-addressed: every function of a request
+// is keyed by the hash of its exact allocation inputs (IR, frequency
+// table, machine configuration, strategy, resolved pass pipeline) and
+// served from internal/resultcache when a completed allocation for
+// that key is resident — repeat traffic and shared helpers never
+// re-color. The execution layer is a bounded worker pool
+// (internal/par.Pool): requests are admitted into a bounded queue and
+// shed with 429 when it is full, carry per-request deadlines that the
+// pass pipeline polls, and drain gracefully on shutdown. The edge is
+// plain net/http with deterministic JSON rendering — the same bytes
+// for the same request, no matter which worker, cache state, or
+// daemon instance served it — with the telemetry introspection
+// endpoints (/metrics, /spans, /debug/pprof/) mounted beside the
+// service endpoints.
+//
+// Endpoints:
+//
+//	POST /allocate   one allocation request (MC source or wire IR)
+//	POST /batch      an array of requests, admitted as one unit
+//	GET  /healthz    liveness
+//	GET  /metrics    telemetry registry snapshot
+//	GET  /spans      recent spans
+//	/debug/pprof/    runtime profiles
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/freq"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/regalloc"
+	"repro/internal/resultcache"
+	"repro/internal/rewrite"
+	"repro/internal/telemetry"
+)
+
+// Request is one allocation request. The program arrives either as MC
+// source text or as a wire-format IR program (ir.EncodeProgram);
+// exactly one of the two must be set.
+type Request struct {
+	Source string          `json:"source,omitempty"`
+	IR     json.RawMessage `json:"ir,omitempty"`
+	// Config is the register configuration in the paper's (Ri,Rf,Ei,Ef)
+	// notation.
+	Config ConfigRequest `json:"config"`
+	// Strategy names the allocator (callcost.Strategies): "chaitin",
+	// "optimistic", "improved", "priority", "cbh", "linscan", "hybrid".
+	Strategy string `json:"strategy"`
+	// Freq selects the frequency table: "static" (default, estimated)
+	// or "profile" (run the program on the reference interpreter).
+	Freq string `json:"freq,omitempty"`
+	// Drop lists pipeline passes to drop — the ablation surface, and
+	// part of the cache key.
+	Drop []string `json:"drop,omitempty"`
+	// MaxRounds overrides the build→color→spill round budget; 0 keeps
+	// the default.
+	MaxRounds int `json:"maxRounds,omitempty"`
+	// NoCache bypasses the result cache (reads and writes).
+	NoCache bool `json:"noCache,omitempty"`
+	// Trace attaches a request-scoped event trace: the response's Trace
+	// field carries the full JSONL decision stream. Traced requests
+	// run sequentially and bypass the cache. Also enabled by ?trace=1.
+	Trace bool `json:"trace,omitempty"`
+	// TimeoutMs overrides the server's per-request deadline.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// ConfigRequest is the (Ri,Rf,Ei,Ef) register-file configuration.
+type ConfigRequest struct {
+	RI int `json:"ri"`
+	RF int `json:"rf"`
+	EI int `json:"ei"`
+	EF int `json:"ef"`
+}
+
+// Response is the reply to one allocation request: the deterministic
+// Result plus per-request metadata.
+type Response struct {
+	Result *Result `json:"result"`
+	// CacheHits and CacheMisses count this request's functions served
+	// from the result cache vs. colored.
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+	// Trace is the JSONL decision stream of a traced request.
+	Trace string `json:"trace,omitempty"`
+}
+
+// BatchItem is the outcome of one request of a /batch call.
+type BatchItem struct {
+	Status   int       `json:"status"`
+	Error    string    `json:"error,omitempty"`
+	Response *Response `json:"response,omitempty"`
+}
+
+// errorBody is the JSON shape of every non-2xx reply.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Options configures New.
+type Options struct {
+	// Workers is the allocation worker count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the admission queue beyond the running workers;
+	// a full queue sheds with 429. < 0 selects 0.
+	QueueSize int
+	// CacheEntries bounds the result cache; <= 0 selects
+	// resultcache.DefaultMaxEntries.
+	CacheEntries int
+	// Timeout is the per-request deadline; 0 disables it.
+	Timeout time.Duration
+	// Registry receives the request telemetry and backs /metrics. Nil
+	// uses the globally enabled registry, or a private one when
+	// telemetry is disabled.
+	Registry *telemetry.Registry
+	// Spans, when non-nil, backs /spans.
+	Spans *telemetry.SpanRecorder
+}
+
+// LatencyBuckets are the upper bounds, in milliseconds, of the request
+// latency histogram.
+var LatencyBuckets = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// Server is the allocation service. Construct with New; it implements
+// http.Handler. Close drains the worker pool.
+type Server struct {
+	mux     *http.ServeMux
+	pool    *par.Pool
+	cache   *resultcache.Cache
+	spans   *telemetry.SpanRecorder
+	timeout time.Duration
+
+	requests *telemetry.Counter
+	shed     *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
+	inflight *telemetry.Gauge
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	reg := opts.Registry
+	if reg == nil {
+		if b := telemetry.B(); b != nil {
+			reg = b.Reg
+		} else {
+			reg = telemetry.NewRegistry()
+		}
+	}
+	s := &Server{
+		mux:      http.NewServeMux(),
+		pool:     par.NewPool(opts.Workers, opts.QueueSize),
+		cache:    resultcache.New(opts.CacheEntries),
+		spans:    opts.Spans,
+		timeout:  opts.Timeout,
+		requests: reg.Counter("server_requests_total"),
+		shed:     reg.Counter("server_shed_total"),
+		errors:   reg.Counter("server_errors_total"),
+		latency:  reg.Histogram("server_request_latency_ms", LatencyBuckets),
+		inflight: reg.Gauge("server_inflight"),
+	}
+	s.pool.QueueDepth = reg.Gauge("server_queue_depth")
+	s.pool.Busy = reg.Gauge("server_busy_workers")
+
+	telemetry.Register(s.mux, reg, opts.Spans)
+	s.mux.HandleFunc("POST /allocate", s.instrument(s.handleAllocate))
+	s.mux.HandleFunc("POST /batch", s.instrument(s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops admission and waits for queued and running requests to
+// finish — the graceful-drain path.
+func (s *Server) Close() { s.pool.Drain() }
+
+// instrument wraps a handler with the request telemetry: request
+// counter, in-flight gauge, latency histogram, shed/error counters.
+func (s *Server) instrument(h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.requests.Inc()
+		s.inflight.Add(1)
+		status := h(w, r)
+		s.inflight.Add(-1)
+		s.latency.Observe(float64(time.Since(t0).Nanoseconds()) / 1e6)
+		switch {
+		case status == http.StatusTooManyRequests:
+			s.shed.Inc()
+		case status >= 500:
+			s.errors.Inc()
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, "rallocd endpoints:\n"+
+		"  POST /allocate        one allocation request (?trace=1 for the decision stream)\n"+
+		"  POST /batch           an array of requests\n"+
+		"  GET  /healthz         liveness\n"+
+		"  GET  /metrics         telemetry snapshot (JSON; ?format=text)\n"+
+		"  GET  /spans           recent spans (JSON; ?format=flame)\n"+
+		"  /debug/pprof/         runtime profiles\n")
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) int {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		req.Trace = true
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMs)
+	defer cancel()
+	v, err := s.dispatch(ctx, func(ctx context.Context) (any, error) {
+		return s.run(ctx, &req)
+	})
+	if err != nil {
+		status := statusOf(err)
+		return writeJSON(w, status, errorBody{Error: err.Error()})
+	}
+	return writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	var reqs []Request
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		return writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	}
+	ctx, cancel := s.requestContext(r.Context(), 0)
+	defer cancel()
+	// The batch is one unit of admission: it occupies one worker slot
+	// and its items run sequentially on it, so a batch can never
+	// deadlock the pool against itself.
+	v, err := s.dispatch(ctx, func(ctx context.Context) (any, error) {
+		items := make([]BatchItem, len(reqs))
+		for i := range reqs {
+			if cerr := ctx.Err(); cerr != nil {
+				for j := i; j < len(reqs); j++ {
+					items[j] = BatchItem{Status: statusOf(cerr), Error: cerr.Error()}
+				}
+				break
+			}
+			resp, rerr := s.run(ctx, &reqs[i])
+			if rerr != nil {
+				items[i] = BatchItem{Status: statusOf(rerr), Error: rerr.Error()}
+			} else {
+				items[i] = BatchItem{Status: http.StatusOK, Response: resp}
+			}
+		}
+		return items, nil
+	})
+	if err != nil {
+		return writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
+	}
+	return writeJSON(w, http.StatusOK, v)
+}
+
+// requestContext applies the per-request deadline: the request
+// override when given, else the server default, else none.
+func (s *Server) requestContext(parent context.Context, timeoutMs int) (context.Context, context.CancelFunc) {
+	timeout := s.timeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(parent, timeout)
+	}
+	return context.WithCancel(parent)
+}
+
+type dispatchResult struct {
+	v   any
+	err error
+}
+
+// dispatch admits work into the pool and waits for its result or the
+// request's end. A full queue fails fast with par.ErrQueueFull — the
+// backpressure the edge maps to 429.
+func (s *Server) dispatch(ctx context.Context, work func(ctx context.Context) (any, error)) (any, error) {
+	done := make(chan dispatchResult, 1)
+	if err := s.pool.Submit(ctx, func(ctx context.Context) {
+		v, err := work(ctx)
+		done <- dispatchResult{v, err}
+	}); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-done:
+		return res.v, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// requestError carries an HTTP status with a request-level failure.
+type requestError struct {
+	status int
+	msg    string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &requestError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusOf maps a processing error to its HTTP status.
+func statusOf(err error) int {
+	var re *requestError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &re):
+		return re.status
+	case errors.Is(err, par.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, par.ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// run executes one allocation request on the calling goroutine (a pool
+// worker). It is the request core: resolve inputs, consult the
+// content-addressed cache per function, color what misses.
+// resolved is a request with every input validated and constructed:
+// the program, configuration, strategy, frequency table, and
+// framework options.
+type resolved struct {
+	prog   *callcost.Program
+	config machine.Config
+	strat  callcost.Strategy
+	pf     *freq.ProgramFreq
+	opts   callcost.AllocOptions
+}
+
+// resolveAll validates req and builds every allocation input.
+func resolveAll(ctx context.Context, req *Request) (*resolved, error) {
+	prog, config, strat, err := resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	var pf *freq.ProgramFreq
+	switch req.Freq {
+	case "", "static":
+		pf = prog.StaticFreq()
+	case "profile":
+		var perr error
+		pf, _, perr = prog.Profile()
+		if perr != nil {
+			return nil, badRequest("profile run failed: %v", perr)
+		}
+	default:
+		return nil, badRequest("unknown freq %q (want static or profile)", req.Freq)
+	}
+	opts := callcost.DefaultAllocOptions()
+	opts.Ctx = ctx
+	if req.MaxRounds > 0 {
+		opts.MaxRounds = req.MaxRounds
+	}
+	if len(req.Drop) > 0 {
+		pl := callcost.PipelineFor(strat, opts)
+		for _, name := range req.Drop {
+			pl = pl.Drop(name)
+		}
+		opts.Pipeline = &pl
+	}
+	return &resolved{prog: prog, config: config, strat: strat, pf: pf, opts: opts}, nil
+}
+
+// ReferenceResult computes req's result through the public in-process
+// path — Program.AllocateWithOptions, no result cache, no pool — and
+// renders it with the same encoder as the service. It is the oracle of
+// the differential gates: a served Response.Result must be
+// byte-identical to it.
+func ReferenceResult(req *Request) (*Result, error) {
+	rv, err := resolveAll(context.Background(), req)
+	if err != nil {
+		return nil, err
+	}
+	a, err := rv.prog.AllocateWithOptions(rv.strat, rv.config, rv.pf, rv.opts)
+	if err != nil {
+		return nil, err
+	}
+	return RenderResult(a, rv.pf), nil
+}
+
+func (s *Server) run(ctx context.Context, req *Request) (*Response, error) {
+	rv, err := resolveAll(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	prog, config, strat, pf, opts := rv.prog, rv.config, rv.strat, rv.pf, rv.opts
+
+	if req.Trace {
+		// Traced requests bypass the cache — a cached plan has no event
+		// stream to replay — and run sequentially so the JSONL stays in
+		// program order. When a span recorder is attached, the traced
+		// request also feeds /spans.
+		var buf bytes.Buffer
+		var tracer callcost.Tracer = callcost.NewJSONLSink(&buf)
+		if s.spans != nil {
+			tracer = callcost.MultiSink(tracer, s.spans)
+		}
+		a, aerr := prog.AllocateWithOptions(strat, config, pf, callcost.WithTracer(opts, tracer))
+		if aerr != nil {
+			return nil, aerr
+		}
+		if s.spans != nil {
+			s.spans.Flush()
+		}
+		return &Response{Result: RenderResult(a, pf), CacheMisses: len(prog.IR.Funcs), Trace: buf.String()}, nil
+	}
+
+	pipeNames := pipelineNames(strat, opts)
+	prep := prog.Prepare()
+	plans := make(map[string]*rewrite.FuncPlan, len(prog.IR.Funcs))
+	hits, misses := 0, 0
+	for _, fn := range prog.IR.Funcs {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		ff := pf.ByFunc[fn.Name]
+		if ff == nil {
+			return nil, fmt.Errorf("no frequency info for %s", fn.Name)
+		}
+		compute := func() (*rewrite.FuncPlan, error) { return allocateFunc(prep, fn, ff, config, strat, opts) }
+		var plan *rewrite.FuncPlan
+		var hit bool
+		if req.NoCache {
+			plan, err = compute()
+		} else {
+			key, kerr := resultcache.KeyFor(fn, ff, config, strat.Name(), pipeNames)
+			if kerr != nil {
+				return nil, kerr
+			}
+			plan, hit, err = s.cache.Do(key, compute)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		plans[fn.Name] = plan
+	}
+	a := &callcost.Allocation{Program: prog, Config: config, Strategy: strat.Name(), Plans: plans}
+	return &Response{Result: RenderResult(a, pf), CacheHits: hits, CacheMisses: misses}, nil
+}
+
+// allocateFunc colors one function and builds its plan — the compute
+// side of a cache miss. The cached plan keeps only what rendering
+// needs (the rewritten body, colors, slots, save/restore tables); the
+// per-round analysis artifacts are dropped so resident entries stay
+// small.
+func allocateFunc(prep *callcost.PreparedProgram, fn *ir.Func, ff *freq.FuncFreq,
+	config machine.Config, strat callcost.Strategy, opts callcost.AllocOptions) (*rewrite.FuncPlan, error) {
+	pfn := prep.Func(fn.Name)
+	if pfn == nil {
+		pfn = regalloc.Prepare(fn)
+	}
+	fa, err := regalloc.AllocatePrepared(pfn, ff, config, strat, rewrite.InsertSpills, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := rewrite.Validate(fa); err != nil {
+		return nil, fmt.Errorf("%s produced an invalid allocation: %w", strat.Name(), err)
+	}
+	plan := rewrite.BuildPlan(fa)
+	plan.Alloc.Ranges = nil
+	plan.Alloc.Live = nil
+	plan.Alloc.Graphs = [ir.NumClasses]*interference.Graph{}
+	return plan, nil
+}
+
+// resolve validates the request's program, configuration, and strategy.
+func resolve(req *Request) (*callcost.Program, machine.Config, callcost.Strategy, error) {
+	var prog *callcost.Program
+	switch {
+	case req.Source != "" && len(req.IR) > 0:
+		return nil, machine.Config{}, nil, badRequest("request has both source and ir; send exactly one")
+	case req.Source != "":
+		p, err := callcost.Compile(req.Source)
+		if err != nil {
+			return nil, machine.Config{}, nil, badRequest("compile: %v", err)
+		}
+		prog = p
+	case len(req.IR) > 0:
+		p, err := ir.DecodeProgram(req.IR)
+		if err != nil {
+			return nil, machine.Config{}, nil, badRequest("decode ir: %v", err)
+		}
+		prog = &callcost.Program{IR: p}
+	default:
+		return nil, machine.Config{}, nil, badRequest("request needs source or ir")
+	}
+	config := machine.NewConfig(req.Config.RI, req.Config.RF, req.Config.EI, req.Config.EF)
+	if !config.Valid() {
+		return nil, machine.Config{}, nil, badRequest(
+			"configuration %s below the calling-convention minimum (%d,%d,0,0)",
+			config, machine.MinCallerInt, machine.MinCallerFloat)
+	}
+	strat := callcost.Strategies()[req.Strategy]
+	if strat == nil {
+		return nil, machine.Config{}, nil, badRequest("unknown strategy %q (want one of %v)",
+			req.Strategy, strategyNames())
+	}
+	return prog, config, strat, nil
+}
+
+// pipelineNames resolves the pass-pipeline names for the cache key:
+// the explicit override when one is set, else the pipeline the
+// strategy would build under opts.
+func pipelineNames(strat callcost.Strategy, opts callcost.AllocOptions) []string {
+	if opts.Pipeline != nil {
+		return opts.Pipeline.Names()
+	}
+	return callcost.PipelineFor(strat, opts).Names()
+}
+
+func strategyNames() []string {
+	names := make([]string, 0, 8)
+	for name := range callcost.Strategies() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeJSON renders v with a deterministic encoder and returns the
+// status for the instrumentation wrapper.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // best-effort: the client may be gone
+	return status
+}

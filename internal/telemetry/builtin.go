@@ -83,6 +83,18 @@ type Builtin struct {
 	// rate is 1 − news/gets.
 	PoolGets, PoolNews *Counter
 
+	// Content-addressed result cache (internal/resultcache).
+
+	// ResultHits / ResultMisses count allocation requests served from a
+	// completed cached allocation vs. having to color
+	// (result_cache_hits_total, result_cache_misses_total);
+	// ResultEvictions counts entries the LRU bound pushed out
+	// (result_cache_evictions_total). ResultEntries is the current
+	// resident entry count (result_cache_entries).
+	ResultHits, ResultMisses, ResultEvictions *Counter
+	// ResultEntries is the result cache's resident-entry gauge.
+	ResultEntries *Gauge
+
 	// Worker pool (internal/par).
 
 	// ParLoops counts ForEachIndexed invocations (par_loops_total);
@@ -149,6 +161,10 @@ func newBuiltin(r *Registry) *Builtin {
 		SnapshotPrivatized: r.Counter("cow_privatized_total"),
 		PoolGets:           r.Counter("pool_simplifier_gets_total"),
 		PoolNews:           r.Counter("pool_simplifier_news_total"),
+		ResultHits:         r.Counter("result_cache_hits_total"),
+		ResultMisses:       r.Counter("result_cache_misses_total"),
+		ResultEvictions:    r.Counter("result_cache_evictions_total"),
+		ResultEntries:      r.Gauge("result_cache_entries"),
 		ParLoops:           r.Counter("par_loops_total"),
 		ParTasks:           r.Counter("par_tasks_total"),
 		ParQueueDepth:      r.Gauge("par_queue_depth"),

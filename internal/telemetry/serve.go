@@ -26,11 +26,34 @@ type Server struct {
 	// listening on port 0.
 	Addr string
 
-	reg    *Registry
-	spans  *SpanRecorder
 	srv    *http.Server
 	ln     net.Listener
 	closed chan struct{}
+}
+
+// handlers serves the introspection endpoints for one (registry, span
+// recorder) pair. It backs both the standalone Server and muxes that
+// mount the endpoints next to their own (cmd/rallocd).
+type handlers struct {
+	reg   *Registry
+	spans *SpanRecorder
+}
+
+// Register mounts the introspection endpoints — /metrics, /spans, and
+// /debug/pprof/ — on mux, so servers with their own endpoints (e.g.
+// cmd/rallocd) expose telemetry beside them. A nil reg serves the
+// globally enabled registry (telemetry.Enable) as of each request; a
+// nil spans serves an empty span list. The root index is not claimed;
+// callers own "/".
+func Register(mux *http.ServeMux, reg *Registry, spans *SpanRecorder) {
+	h := &handlers{reg: reg, spans: spans}
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/spans", h.handleSpans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Serve binds addr and starts serving introspection endpoints in a
@@ -42,17 +65,10 @@ func Serve(addr string, reg *Registry, spans *SpanRecorder) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{Addr: ln.Addr().String(), reg: reg, spans: spans, ln: ln,
-		closed: make(chan struct{})}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, closed: make(chan struct{})}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/spans", s.handleSpans)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", s.handleIndex)
+	Register(mux, reg, spans)
+	mux.HandleFunc("/", handleIndex)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(s.closed)
@@ -68,11 +84,11 @@ func (s *Server) Close() error {
 	return err
 }
 
-// registry resolves the registry to expose: the one bound at Serve, or
-// the globally enabled one.
-func (s *Server) registry() *Registry {
-	if s.reg != nil {
-		return s.reg
+// registry resolves the registry to expose: the one bound at Register,
+// or the globally enabled one.
+func (h *handlers) registry() *Registry {
+	if h.reg != nil {
+		return h.reg
 	}
 	if b := B(); b != nil {
 		return b.Reg
@@ -80,8 +96,8 @@ func (s *Server) registry() *Registry {
 	return nil
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	reg := s.registry()
+func (h *handlers) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := h.registry()
 	if reg == nil {
 		http.Error(w, "telemetry disabled: no registry enabled", http.StatusServiceUnavailable)
 		return
@@ -96,21 +112,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.WriteJSON(w) //nolint:errcheck // best-effort exposition
 }
 
-func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
-	if s.spans == nil {
+func (h *handlers) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if h.spans == nil {
 		http.Error(w, "no span recorder attached", http.StatusServiceUnavailable)
 		return
 	}
 	if r.URL.Query().Get("format") == "flame" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		s.spans.WriteFlame(w) //nolint:errcheck // best-effort exposition
+		h.spans.WriteFlame(w) //nolint:errcheck // best-effort exposition
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	s.spans.WriteJSON(w) //nolint:errcheck // best-effort exposition
+	h.spans.WriteJSON(w) //nolint:errcheck // best-effort exposition
 }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return

@@ -7,6 +7,7 @@ import (
 	"repro"
 	"repro/internal/benchprog"
 	"repro/internal/freq"
+	"repro/internal/pipeline"
 	"repro/internal/regalloc"
 	"repro/internal/rewrite"
 )
@@ -125,11 +126,11 @@ func BenchmarkDriverOverhead(b *testing.B) {
 	config := callcost.NewConfig(8, 6, 4, 4)
 	strat := callcost.ImprovedAll()
 	opts := callcost.DefaultAllocOptions()
-	preps := make([]*regalloc.PreparedFunc, len(prog.IR.Funcs))
+	preps := make([]*pipeline.FuncCache, len(prog.IR.Funcs))
 	for i, fn := range prog.IR.Funcs {
 		preps[i] = regalloc.Prepare(fn)
 	}
-	run := func(b *testing.B, alloc func(*regalloc.PreparedFunc, *freq.FuncFreq) error) {
+	run := func(b *testing.B, alloc func(*pipeline.FuncCache, *freq.FuncFreq) error) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for j, fn := range prog.IR.Funcs {
@@ -140,13 +141,13 @@ func BenchmarkDriverOverhead(b *testing.B) {
 		}
 	}
 	b.Run("legacy", func(b *testing.B) {
-		run(b, func(p *regalloc.PreparedFunc, ff *freq.FuncFreq) error {
+		run(b, func(p *pipeline.FuncCache, ff *freq.FuncFreq) error {
 			_, err := regalloc.AllocateLegacy(p, ff, config, strat, rewrite.InsertSpills, opts)
 			return err
 		})
 	})
 	b.Run("pipeline", func(b *testing.B) {
-		run(b, func(p *regalloc.PreparedFunc, ff *freq.FuncFreq) error {
+		run(b, func(p *pipeline.FuncCache, ff *freq.FuncFreq) error {
 			_, err := regalloc.AllocatePrepared(p, ff, config, strat, rewrite.InsertSpills, opts)
 			return err
 		})

@@ -1,0 +1,97 @@
+package callcost_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/benchprog"
+	"repro/internal/telemetry"
+)
+
+// TestServeHandlersConcurrentWithAllocations hammers the live
+// introspection endpoints while allocations mutate the registry and
+// the span recorder they expose. Under -race this is the proof that
+// Snapshot/WriteJSON observe the atomics and the span ring without
+// tearing; functionally, every response must be 200 with well-formed
+// JSON — a half-updated histogram or a torn span list would surface as
+// a decode error here.
+func TestServeHandlersConcurrentWithAllocations(t *testing.T) {
+	telemetry.Enable(nil)
+	defer telemetry.Disable()
+	spans := telemetry.NewSpanRecorder(0)
+
+	srv, err := telemetry.Serve("127.0.0.1:0", nil, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	done := make(chan struct{})
+	var requests atomic.Int64
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 10 * time.Second}
+	for g := 0; g < 4; g++ {
+		for _, url := range []string{base + "/metrics", base + "/spans"} {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					resp, err := client.Get(url)
+					if err != nil {
+						t.Errorf("GET %s: %v", url, err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						t.Errorf("read %s: %v", url, err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+						return
+					}
+					if !json.Valid(body) {
+						t.Errorf("GET %s: response is not well-formed JSON: %.200s", url, body)
+						return
+					}
+					requests.Add(1)
+				}
+			}(url)
+		}
+	}
+
+	// The allocation load: every benchprog, traced in parallel, feeding
+	// the registry and the span recorder the readers are snapshotting.
+	for _, p := range benchprog.All() {
+		prog, err := callcost.Compile(p.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := callcost.WithTracer(callcost.DefaultAllocOptions(), spans)
+		opts.Parallel = 8
+		opts.TraceParallel = true
+		if _, err := prog.AllocateWithOptions(callcost.ImprovedAll(),
+			callcost.NewConfig(6, 4, 0, 0), prog.StaticFreq(), opts); err != nil {
+			t.Fatal(err)
+		}
+		spans.Flush()
+	}
+	close(done)
+	wg.Wait()
+	if n := requests.Load(); n == 0 {
+		t.Fatal("no introspection requests completed during the allocation load")
+	}
+}

@@ -1,0 +1,164 @@
+package callcost_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+	"repro/internal/benchprog"
+	"repro/internal/ir"
+	"repro/internal/server"
+)
+
+// serverStrategies are the strategy tiers the service differential
+// covers: the paper's improved allocator plus both graph-free tiers.
+var serverStrategies = []string{"improved", "linscan", "hybrid"}
+
+func postAllocate(t *testing.T, client *http.Client, url string, req *server.Request) *server.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/allocate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /allocate: status %d: %s", resp.StatusCode, raw)
+	}
+	var r server.Response
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	return &r
+}
+
+// TestServerMatchesInProcess is the service differential gate: for
+// every benchmark program and every covered strategy, the daemon's
+// served result — colors, spill slots, assembly, overhead totals —
+// must be byte-identical to the in-process
+// Program.AllocateWithOptions path, and a warm second request must
+// reproduce the same bytes entirely from the content-addressed cache.
+func TestServerMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark-suite differential; skipped in -short")
+	}
+	s := server.New(server.Options{QueueSize: 64})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := &http.Client{}
+
+	for _, p := range benchprog.All() {
+		for _, strat := range serverStrategies {
+			t.Run(fmt.Sprintf("%s/%s", p.Name, strat), func(t *testing.T) {
+				req := server.Request{
+					Source:   p.Source,
+					Config:   server.ConfigRequest{RI: 8, RF: 6, EI: 4, EF: 4},
+					Strategy: strat,
+				}
+				want, err := server.ReferenceResult(&req)
+				if err != nil {
+					t.Fatalf("in-process reference: %v", err)
+				}
+				wantJSON, err := json.Marshal(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				cold := postAllocate(t, client, ts.URL, &req)
+				coldJSON, err := json.Marshal(cold.Result)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(coldJSON, wantJSON) {
+					t.Errorf("cold served result differs from in-process oracle:\nserved: %.600s\noracle: %.600s",
+						coldJSON, wantJSON)
+				}
+				if cold.CacheHits != 0 {
+					t.Errorf("cold request reported %d cache hits, want 0", cold.CacheHits)
+				}
+
+				warm := postAllocate(t, client, ts.URL, &req)
+				warmJSON, err := json.Marshal(warm.Result)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(warmJSON, wantJSON) {
+					t.Errorf("warm served result differs from in-process oracle:\nserved: %.600s\noracle: %.600s",
+						warmJSON, wantJSON)
+				}
+				if warm.CacheMisses != 0 || warm.CacheHits != len(want.Funcs) {
+					t.Errorf("warm request: hits=%d misses=%d, want hits=%d misses=0",
+						warm.CacheHits, warm.CacheMisses, len(want.Funcs))
+				}
+			})
+		}
+	}
+}
+
+// TestServerWireIRMatchesSource: a request carrying the serialized IR
+// of a program must produce exactly the bytes the MC-source form of
+// the same program produces — the two request encodings are one cache
+// population, not two.
+func TestServerWireIRMatchesSource(t *testing.T) {
+	s := server.New(server.Options{QueueSize: 64})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := &http.Client{}
+
+	for _, name := range []string{"ear", "eqntott", "compress"} {
+		p := benchprog.ByName(name)
+		if p == nil {
+			t.Fatalf("no benchmark program %s", name)
+		}
+		prog, err := callcost.Compile(p.Source)
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		wire, err := ir.EncodeProgram(prog.IR)
+		if err != nil {
+			t.Fatalf("encode %s: %v", name, err)
+		}
+		for _, strat := range serverStrategies {
+			t.Run(fmt.Sprintf("%s/%s", name, strat), func(t *testing.T) {
+				config := server.ConfigRequest{RI: 8, RF: 6, EI: 4, EF: 4}
+				fromSource := postAllocate(t, client, ts.URL, &server.Request{
+					Source: p.Source, Config: config, Strategy: strat,
+				})
+				fromWire := postAllocate(t, client, ts.URL, &server.Request{
+					IR: wire, Config: config, Strategy: strat,
+				})
+				sj, err := json.Marshal(fromSource.Result)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wj, err := json.Marshal(fromWire.Result)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sj, wj) {
+					t.Errorf("wire-IR result differs from source result:\nwire:   %.600s\nsource: %.600s", wj, sj)
+				}
+				// The wire form hashes to the same per-function keys, so
+				// whichever request ran second is a full cache hit.
+				if fromWire.CacheMisses != 0 {
+					t.Errorf("wire-IR request missed the cache %d times after the source request populated it",
+						fromWire.CacheMisses)
+				}
+			})
+		}
+	}
+}

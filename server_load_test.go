@@ -1,0 +1,146 @@
+package callcost_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/randprog"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// fetchCacheCounters reads the result-cache counters from /metrics —
+// the load gate measures the hit ratio exactly the way an operator
+// would, through the exposition endpoint, not through test hooks.
+func fetchCacheCounters(t *testing.T, base string) (hits, misses int64) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d: %s", resp.StatusCode, raw)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("bad /metrics JSON: %v", err)
+	}
+	return snap.Counters["result_cache_hits_total"], snap.Counters["result_cache_misses_total"]
+}
+
+// TestServerLoadSaturation is the load gate of the daemon PR: a small
+// worker pool behind a bounded queue, warmed once, then hammered by
+// 1000 concurrent senders replaying the deterministic randprog corpus.
+// Backpressure must shed with 429 — never with a 5xx — and the warm
+// traffic that is admitted must be served almost entirely from the
+// content-addressed cache (>90% hit ratio as observed via /metrics).
+// Run under -race this is also the concurrency proof for the whole
+// edge-pool-cache stack.
+func TestServerLoadSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-sender load run; skipped in -short")
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.Enable(reg)
+	defer telemetry.Disable()
+
+	// Two workers and a short queue against 1000 senders guarantees
+	// saturation; no server timeout means a deadline can never turn a
+	// slow drain into a 5xx.
+	s := server.New(server.Options{Workers: 2, QueueSize: 16, Registry: reg})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const (
+		corpusSeed  = 5
+		corpusSize  = 50
+		repeats     = 40
+		concurrency = 1000
+	)
+	corpus := randprog.Corpus(corpusSeed, corpusSize)
+
+	// Warm phase: the whole corpus as one /batch call. A batch is a
+	// single admission unit, so warming cannot be shed, and afterwards
+	// every function of every corpus program is cache-resident.
+	var batch bytes.Buffer
+	batch.WriteByte('[')
+	for i, body := range corpus {
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		batch.Write(body)
+	}
+	batch.WriteByte(']')
+	resp, err := http.Post(ts.URL+"/batch", "application/json", &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm batch: status %d: %s", resp.StatusCode, raw)
+	}
+	var items []server.BatchItem
+	if err := json.Unmarshal(raw, &items); err != nil {
+		t.Fatalf("warm batch: bad JSON: %v", err)
+	}
+	if len(items) != corpusSize {
+		t.Fatalf("warm batch returned %d items, want %d", len(items), corpusSize)
+	}
+	for i, item := range items {
+		if item.Status != http.StatusOK {
+			t.Fatalf("warm batch item %d: status %d: %s", i, item.Status, item.Error)
+		}
+	}
+	warmHits, warmMisses := fetchCacheCounters(t, ts.URL)
+
+	// Load phase: the corpus replayed from 1000 concurrent senders.
+	load := make([][]byte, 0, corpusSize*repeats)
+	for r := 0; r < repeats; r++ {
+		load = append(load, corpus...)
+	}
+	stats, err := server.RunLoad(ts.URL, load, concurrency, 0)
+	if err != nil {
+		t.Fatalf("load run failed: %v (stats: %v)", err, stats)
+	}
+	t.Logf("load: %v", stats)
+
+	if stats.Requests != len(load) {
+		t.Errorf("sent %d requests, want %d", stats.Requests, len(load))
+	}
+	if stats.Shed == 0 {
+		t.Error("no 429s: the bounded queue never saturated under 1000 senders")
+	}
+	if stats.OK == 0 {
+		t.Error("no request was admitted at all")
+	}
+	if len(stats.Other) > 0 {
+		t.Errorf("non-200/429 responses under load: %v", stats.Other)
+	}
+
+	hits, misses := fetchCacheCounters(t, ts.URL)
+	dh, dm := hits-warmHits, misses-warmMisses
+	if dh+dm == 0 {
+		t.Fatal("load phase touched the cache zero times")
+	}
+	ratio := float64(dh) / float64(dh+dm)
+	t.Logf("warm-cache: %d hits, %d misses (%.1f%% hit ratio)", dh, dm, 100*ratio)
+	if ratio <= 0.9 {
+		t.Errorf("warm-cache hit ratio %.1f%% <= 90%%", 100*ratio)
+	}
+}
