@@ -1,0 +1,215 @@
+package callcost
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/callgraph"
+	"repro/internal/freq"
+	"repro/internal/interproc"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/pipeline"
+	"repro/internal/regalloc"
+	"repro/internal/rewrite"
+	"repro/internal/telemetry"
+)
+
+// BatchOptions configures AllocateProgramBatch.
+type BatchOptions struct {
+	// Interproc enables interprocedural callee-save costs: callees are
+	// allocated before their callers (call-graph order), each callee
+	// publishes its realized clobber summary — the caller-save registers
+	// its allocated code may actually write — and callers consume those
+	// summaries both in the cost model (a call into a known callee
+	// charges 2·|clobbered ∩ bank|/|bank| per crossing instead of the
+	// paper's flat 2) and in save placement (a crossing caller-save
+	// register is saved only when the callee may write it). Calls to
+	// external callees and within a recursive component keep the paper's
+	// static estimate. Off (false), the batch driver's output is
+	// byte-identical to AllocateWithOptions.
+	Interproc bool
+	// Workers bounds the scheduling worker pool: <= 0 selects
+	// GOMAXPROCS, 1 forces sequential execution. Independent of
+	// AllocOptions.Parallel, which the batch driver ignores — the unit
+	// of parallelism here is the call-graph component, not the function.
+	Workers int
+}
+
+// BatchStats reports scheduling facts of one AllocateProgramBatch run.
+type BatchStats struct {
+	// SCCs is the number of condensed call-graph components (the task
+	// count of the scheduling DAG); Recursive the subset that is
+	// genuinely recursive.
+	SCCs, Recursive int
+	// Waves is the depth of the lock-step wave partition — the longest
+	// dependency chain in the condensed call graph. The DAG schedule is
+	// wave-free, but Waves still bounds its critical path.
+	Waves int
+	// ReadyPeak is the maximum number of components that were
+	// simultaneously ready during the run — the parallelism the
+	// program's call-graph shape exposed.
+	ReadyPeak int
+	// SummaryHits counts call sites whose caller consumed a published
+	// callee clobber summary; SummaryMisses the sites that kept the
+	// static estimate (external callee, same recursive component, or
+	// interprocedural costs disabled).
+	SummaryHits, SummaryMisses int
+}
+
+// AllocateProgramBatch register-allocates the whole program as one
+// batch scheduled over its call graph: the condensed components
+// (recursive functions collapse into one) form a task DAG, dependencies
+// pointing at callees, executed on a bounded worker pool the moment
+// their last callee finishes — independent subtrees run concurrently,
+// with no wave barriers.
+//
+// With bopts.Interproc set, the call-graph order is what makes
+// interprocedural callee-save costs sound: every callee's summary is
+// published before any caller starts, so results are deterministic and
+// independent of the worker schedule. With it clear, the driver runs
+// the same per-function allocation as AllocateWithOptions and the
+// output is byte-identical to it — colors, spill slots, assembly, and
+// overhead — which the differential tests assert.
+func (p *Program) AllocateProgramBatch(strat Strategy, config Config, pf *freq.ProgramFreq, opts AllocOptions, bopts BatchOptions) (*Allocation, BatchStats, error) {
+	if !config.Valid() {
+		return nil, BatchStats{}, fmt.Errorf("callcost: configuration %s below the calling-convention minimum (%d,%d,0,0)",
+			config, machine.MinCallerInt, machine.MinCallerFloat)
+	}
+	cg := callgraph.Build(p.IR)
+
+	var cc *interproc.Table
+	if bopts.Interproc {
+		cc = interproc.NewTable(config)
+	}
+	opts.Interproc = cc
+
+	var prep *PreparedProgram
+	if !opts.NoPrepCache {
+		prep = p.Prepare()
+	}
+	workers := bopts.Workers
+	if opts.Tracer != nil && opts.Tracer.Enabled() {
+		if !opts.TraceParallel {
+			workers = 1
+		}
+		opts.Tracer = obs.NewSequencer(opts.Tracer)
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	n := cg.NumSCCs()
+	deps := make([][]int, n)
+	recursive := 0
+	for c := 0; c < n; c++ {
+		deps[c] = cg.Deps(c)
+		if cg.Recursive(c) {
+			recursive++
+		}
+	}
+
+	funcs := p.IR.Funcs
+	plans := make([]*rewrite.FuncPlan, len(funcs))
+	planOf := make(map[string]int, len(funcs))
+	for i, fn := range funcs {
+		planOf[fn.Name] = i
+	}
+	var hits, misses atomic.Int64
+
+	stats, err := par.RunDAG(ctx, deps, workers, func(c int) error {
+		members := cg.Members(c)
+		local := func(callee string) bool { return cg.SCCOf(callee) == c }
+		for _, fn := range members {
+			ff := pf.ByFunc[fn.Name]
+			if ff == nil {
+				return fmt.Errorf("callcost: no frequency info for %s", fn.Name)
+			}
+			pfn := (*pipeline.FuncCache)(nil)
+			if prep != nil {
+				pfn = prep.Func(fn.Name)
+			}
+			if pfn == nil {
+				pfn = regalloc.Prepare(fn)
+			}
+			// Count summary consumption before this component publishes:
+			// a hit is a call site whose callee's summary is already on
+			// the table — exactly the sites the cost model and the save
+			// placement refine. Same-component callees are not yet
+			// published, so recursive calls count as misses, matching
+			// their static treatment.
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].Op != ir.OpCall {
+						continue
+					}
+					if cc != nil && cc.Lookup(b.Instrs[i].Callee) != nil {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+					}
+				}
+			}
+			fa, err := regalloc.AllocatePrepared(pfn, ff, config, strat, rewrite.InsertSpills, opts)
+			if err != nil {
+				return err
+			}
+			if err := rewrite.Validate(fa); err != nil {
+				return fmt.Errorf("callcost: %s produced an invalid allocation: %w", strat.Name(), err)
+			}
+			plans[planOf[fn.Name]] = rewrite.BuildPlanInterproc(fa, cc)
+		}
+		if cc == nil {
+			return nil
+		}
+		// Publish after every member is allocated. A recursive
+		// component publishes the member-wise union for each member —
+		// exact, because every member reaches every other, so they
+		// share one transitive clobber set.
+		sums := make([]*interproc.Summary, len(members))
+		for i, fn := range members {
+			sums[i] = rewrite.Summarize(plans[planOf[fn.Name]], cc, local)
+		}
+		if cg.Recursive(c) {
+			u := rewrite.UnionSummaries(sums...)
+			for _, fn := range members {
+				cc.Publish(fn.Name, u)
+			}
+		} else {
+			cc.Publish(members[0].Name, sums[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+
+	bs := BatchStats{
+		SCCs:          n,
+		Recursive:     recursive,
+		Waves:         len(cg.Waves()),
+		ReadyPeak:     stats.ReadyPeak,
+		SummaryHits:   int(hits.Load()),
+		SummaryMisses: int(misses.Load()),
+	}
+	if b := telemetry.B(); b != nil {
+		b.BatchWaves.Add(int64(bs.Waves))
+		b.BatchReadyPeak.Set(int64(bs.ReadyPeak))
+		b.InterprocSummaryHits.Add(hits.Load())
+	}
+
+	a := &Allocation{
+		Program:  p,
+		Config:   config,
+		Strategy: strat.Name(),
+		Plans:    make(map[string]*rewrite.FuncPlan, len(funcs)),
+	}
+	for i, fn := range funcs {
+		a.Plans[fn.Name] = plans[i]
+	}
+	return a, bs, nil
+}

@@ -301,3 +301,56 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("expected rejection of (6,2,0,0)")
 	}
 }
+
+// TestDeadParamReceive is the regression test for dead-on-entry
+// parameters: p1's incoming value is overwritten before any read, so
+// nothing stops an allocator from coalescing `p1 = p0` — unless the
+// interference model knows the entry receive still writes p1's
+// register, which would clobber p0 if they shared. Every strategy must
+// keep the answer right and the analytic/measured overheads equal, at
+// an all-caller-save configuration where sharing is most tempting.
+func TestDeadParamReceive(t *testing.T) {
+	prog := MustCompile(`
+int helper(int a, int b) { return a * 10 + b; }
+
+int f(int p0, int p1, int p2) {
+	p1 = p0;
+	p2 = helper(p1, p0);
+	return p2 * 100 + p0;
+}
+
+int main() { return f(1, -15, -7); }
+`)
+	ref, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _, err := prog.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, strat := range allStrategies() {
+		for _, cfg := range []Config{NewConfig(6, 4, 0, 0), NewConfig(8, 6, 4, 4)} {
+			alloc, err := prog.Allocate(strat, cfg, pf)
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, cfg, err)
+			}
+			res, err := alloc.Execute()
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, cfg, err)
+			}
+			if res.RetInt != ref.RetInt {
+				t.Errorf("%s at %s: returned %d, reference %d (dead param clobbered a live one?)",
+					name, cfg, res.RetInt, ref.RetInt)
+			}
+			analytic := alloc.Overhead(pf)
+			measured, _, err := alloc.MeasuredOverhead()
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, cfg, err)
+			}
+			if !closeTo(analytic.Total(), measured.Total()) {
+				t.Errorf("%s at %s: analytic %v != measured %v", name, cfg, analytic, measured)
+			}
+		}
+	}
+}

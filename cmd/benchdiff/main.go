@@ -8,10 +8,12 @@
 //	benchdiff -threshold 0.2 BENCH_6.json BENCH_7.json
 //
 // Run mode executes `go test -bench` itself, canonicalizes the
-// SpillRound, AllocateProgram, AllocateStrategy, and ServerAllocate
-// metrics — including AllocateStrategy's custom "overhead" and
-// "escalated" units, which gate the pareto sweep's quality axes — to
-// the baseline's paths, and diffs those. Metrics the baseline does not
+// SpillRound, AllocateProgram, AllocateStrategy, ServerAllocate, and
+// BatchAllocate metrics — including AllocateStrategy's custom
+// "overhead" and "escalated" units, which gate the pareto sweep's
+// quality axes, and BatchAllocate's "sched_speedup_x4", which gates
+// the call-graph schedule's available parallelism — to the baseline's
+// paths, and diffs those. Metrics the baseline does not
 // carry are printed as explicit WARNINGs instead of passing silently:
 //
 //	benchdiff -bench -baseline BENCH_8.json -benchtime 200x -threshold 0.5 -o current.json
@@ -39,7 +41,7 @@ func run() int {
 	var (
 		bench     = flag.Bool("bench", false, "run `go test -bench` and diff against -baseline instead of diffing two files")
 		baseline  = flag.String("baseline", "", "baseline JSON file for -bench mode")
-		pattern   = flag.String("pattern", "BenchmarkSpillRound$|BenchmarkAllocateProgram$|BenchmarkAllocateStrategy$|BenchmarkServerAllocate$", "benchmark regexp for -bench mode")
+		pattern   = flag.String("pattern", "BenchmarkSpillRound$|BenchmarkAllocateProgram$|BenchmarkAllocateStrategy$|BenchmarkServerAllocate$|BenchmarkBatchAllocate$", "benchmark regexp for -bench mode")
 		benchtime = flag.String("benchtime", "200x", "go test -benchtime for -bench mode")
 		pkg       = flag.String("pkg", ".", "package to benchmark in -bench mode")
 		out       = flag.String("o", "", "write the current measurements as flat JSON to this file")
@@ -108,6 +110,9 @@ func runBenchMode(baseline, pattern, benchtime, pkg, out string, threshold float
 		"allocate_strategy.ns_per_op.",
 		"pareto.overhead.",
 		"pareto.escalated.",
-		"server_allocate.ns_per_op.")
+		"server_allocate.ns_per_op.",
+		"batch.ns_per_op.",
+		"batch.sched_speedup_x4.",
+		"batch.ready_peak.")
 	return benchdiff.Compare(base, cur, threshold), nil
 }

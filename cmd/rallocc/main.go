@@ -18,6 +18,8 @@
 //	-stats     print phase timings, decision counters, and the overhead breakdown
 //	-sweep     report overhead across the paper's register sweep
 //	-parallel  per-function allocation workers (0 = all cores, 1 = sequential)
+//	-interproc whole-program batch allocation: callees first over the call
+//	           graph, callers consume realized callee-save summaries
 //	-noprepcache  rebuild round-0 artifacts per allocation instead of sharing them
 //	-passes    print the resolved allocation pass pipeline and exit
 //	-metrics   enable telemetry and print the metrics registry after the run
@@ -64,6 +66,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print phase timings and decision counters")
 	sweep := flag.Bool("sweep", false, "report overhead across the register sweep")
 	parallel := flag.Int("parallel", 0, "per-function allocation workers (0 = all cores, 1 = sequential); output is identical either way")
+	interproc := flag.Bool("interproc", false, "whole-program batch allocation with interprocedural callee-save costs (callees first over the call graph)")
 	noPrepCache := flag.Bool("noprepcache", false, "disable the shared round-0 prep cache, for A/B timing")
 	passes := flag.Bool("passes", false, "print the resolved allocation pass pipeline and exit")
 	metricsDump := flag.Bool("metrics", false, "enable telemetry and print the metrics registry (JSON) after the run")
@@ -87,7 +90,8 @@ func main() {
 		printIR: *printIR, printAsm: *printAsm, explain: *explain,
 		traceFile: *traceFile, stats: *stats, sweep: *sweep,
 		parallel: *parallel, noPrepCache: *noPrepCache,
-		metrics: *metricsDump, listen: *listen,
+		interproc: *interproc,
+		metrics:   *metricsDump, listen: *listen,
 	}
 	if opts.metrics || opts.listen != "" {
 		telemetry.Enable(nil)
@@ -129,6 +133,7 @@ type options struct {
 	explain, stats, sweep          bool
 	parallel                       int
 	noPrepCache                    bool
+	interproc                      bool
 	metrics                        bool
 	listen                         string
 	spans                          *telemetry.SpanRecorder
@@ -275,11 +280,22 @@ func mainErr(path string, o options) error {
 	// ordered sinks (-explain, -trace, -stats) still force sequential.
 	allocOpts.TraceParallel = o.spans != nil && !o.explain && o.traceFile == "" && !o.stats
 
+	var batchStats *callcost.BatchStats
+	allocate := func(cfg callcost.Config) (*callcost.Allocation, error) {
+		if !o.interproc {
+			return prog.AllocateWithOptions(strat, cfg, pf, allocOpts)
+		}
+		a, bs, err := prog.AllocateProgramBatch(strat, cfg, pf, allocOpts,
+			callcost.BatchOptions{Interproc: true, Workers: o.parallel})
+		batchStats = &bs
+		return a, err
+	}
+
 	if o.sweep {
 		fmt.Printf("%-14s %12s %12s %12s %12s %12s\n",
 			"(Ri,Rf,Ei,Ef)", "spill", "caller-save", "callee-save", "shuffle", "total")
 		for _, cfg := range machine.Sweep() {
-			alloc, err := prog.AllocateWithOptions(strat, cfg, pf, allocOpts)
+			alloc, err := allocate(cfg)
 			if err != nil {
 				return err
 			}
@@ -295,7 +311,7 @@ func mainErr(path string, o options) error {
 	if err != nil {
 		return err
 	}
-	alloc, err := prog.AllocateWithOptions(strat, cfg, pf, allocOpts)
+	alloc, err := allocate(cfg)
 	if err != nil {
 		return err
 	}
@@ -322,6 +338,12 @@ func mainErr(path string, o options) error {
 		}
 	}
 	fmt.Printf("%-20s %s\n", "program", total)
+	if batchStats != nil {
+		fmt.Printf("\nbatch schedule: %d components (%d recursive), %d waves, ready peak %d; "+
+			"summaries consumed at %d/%d call sites\n",
+			batchStats.SCCs, batchStats.Recursive, batchStats.Waves, batchStats.ReadyPeak,
+			batchStats.SummaryHits, batchStats.SummaryHits+batchStats.SummaryMisses)
+	}
 	printSinks(sk, total)
 
 	if o.run {

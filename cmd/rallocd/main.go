@@ -19,8 +19,12 @@
 // generates the deterministic randprog request corpus for -seed,
 // fires it at -addr (or at a private in-process daemon when -addr is
 // empty), and reports the outcome tally; every -verify'th response is
-// byte-compared against the in-process oracle. Exit status 1 on any
-// transport error, verification mismatch, or non-200/429 response.
+// byte-compared against the in-process oracle. With -batch k the
+// corpus is grouped into /batch requests of k items each (exercising
+// the batch fan-out path); sampling and verification are per item, by
+// global corpus index, so the same -verify sample is checked either
+// way. Exit status 1 on any transport error, verification mismatch,
+// or non-200/429 response.
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 64, "loadgen concurrent senders")
 		seed        = flag.Int64("seed", 1, "loadgen corpus seed")
 		verify      = flag.Int("verify", 0, "byte-verify every n-th response against the in-process oracle (0 = off)")
+		batch       = flag.Int("batch", 0, "group the corpus into /batch requests of this many items (0 = one /allocate per request)")
 	)
 	flag.Parse()
 
@@ -64,7 +69,7 @@ func main() {
 	}
 
 	if *loadgen {
-		os.Exit(runLoadgen(opts, *addr, *n, *concurrency, *seed, *verify))
+		os.Exit(runLoadgen(opts, *addr, *n, *concurrency, *seed, *verify, *batch))
 	}
 	os.Exit(serve(opts, *listen))
 }
@@ -100,7 +105,7 @@ func serve(opts server.Options, listen string) int {
 	return 0
 }
 
-func runLoadgen(opts server.Options, addr string, n, concurrency int, seed int64, verify int) int {
+func runLoadgen(opts server.Options, addr string, n, concurrency int, seed int64, verify, batch int) int {
 	base := addr
 	if base == "" {
 		// Private in-process daemon: same handler stack as serve mode,
@@ -116,7 +121,13 @@ func runLoadgen(opts server.Options, addr string, n, concurrency int, seed int64
 		fmt.Fprintf(os.Stderr, "rallocd: loadgen against in-process daemon %s\n", base)
 	}
 	bodies := randprog.Corpus(seed, n)
-	stats, err := server.RunLoad(base, bodies, concurrency, verify)
+	var stats *server.LoadStats
+	var err error
+	if batch > 0 {
+		stats, err = server.RunBatchLoad(base, bodies, batch, concurrency, verify)
+	} else {
+		stats, err = server.RunLoad(base, bodies, concurrency, verify)
+	}
 	fmt.Println(stats)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rallocd: loadgen: %v\n", err)

@@ -215,6 +215,38 @@ func TestCanonicalizeServerAllocate(t *testing.T) {
 	}
 }
 
+// TestCanonicalizeBatch: the batch driver benchmark re-keys under the
+// batch section — wall times per mode, plus the schedule speedup and
+// ready-peak metrics the dag cell reports. The speedup must classify
+// as higher-is-better so a schedule regression is flagged.
+func TestCanonicalizeBatch(t *testing.T) {
+	in := map[string]float64{
+		"bench.BatchAllocate/calldag/seq.ns/op":            5415700,
+		"bench.BatchAllocate/calldag/dag.ns/op":            5345671,
+		"bench.BatchAllocate/calldag/dag.sched_speedup_x4": 3.29,
+		"bench.BatchAllocate/calldag/dag.ready_peak":       20,
+	}
+	out := Canonicalize(in)
+	if v := out["batch.ns_per_op.calldag.seq"]; v != 5415700 {
+		t.Fatalf("seq key missing: %v", out)
+	}
+	if v := out["batch.ns_per_op.calldag.dag"]; v != 5345671 {
+		t.Fatalf("dag key missing: %v", out)
+	}
+	if v := out["batch.sched_speedup_x4.calldag"]; v != 3.29 {
+		t.Fatalf("speedup key missing: %v", out)
+	}
+	if v := out["batch.ready_peak.calldag"]; v != 20 {
+		t.Fatalf("ready_peak key missing: %v", out)
+	}
+	if DirectionOf("batch.sched_speedup_x4.calldag") != HigherIsBetter {
+		t.Fatal("schedule speedup must be higher-is-better")
+	}
+	if DirectionOf("batch.ns_per_op.calldag.dag") != LowerIsBetter {
+		t.Fatal("batch wall time must be lower-is-better")
+	}
+}
+
 // TestDiffAgainstCheckedInBaseline exercises the exact CI shape: the
 // repo's BENCH_5.json baseline vs. a synthetic current run, via files.
 func TestDiffAgainstCheckedInBaseline(t *testing.T) {

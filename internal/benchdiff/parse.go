@@ -101,6 +101,12 @@ func CanonicalizeSpillRound(metrics map[string]float64) map[string]float64 {
 //	  → pareto.escalated.<prog>.<strat>
 //	bench.ServerAllocate/<prog>/<mode>.ns/op
 //	  → server_allocate.ns_per_op.<prog>.<mode>
+//	bench.BatchAllocate/<prog>/<mode>.ns/op
+//	  → batch.ns_per_op.<prog>.<mode>
+//	bench.BatchAllocate/<prog>/dag.sched_speedup_x4
+//	  → batch.sched_speedup_x4.<prog>
+//	bench.BatchAllocate/<prog>/dag.ready_peak
+//	  → batch.ready_peak.<prog>
 //
 // The pareto pair are the sweep's quality axes (analytic total
 // overhead; hybrid escalation count), reported by the benchmark as
@@ -141,6 +147,26 @@ func Canonicalize(metrics map[string]float64) map[string]float64 {
 			if rest, ok := strings.CutSuffix(rest, ".ns/op"); ok {
 				if prog, mode, ok := strings.Cut(rest, "/"); ok && !strings.Contains(mode, "/") {
 					out["server_allocate.ns_per_op."+prog+"."+mode] = v
+					continue
+				}
+			}
+		}
+		if rest, ok := strings.CutPrefix(key, "bench.BatchAllocate/"); ok {
+			if rest, ok := strings.CutSuffix(rest, ".ns/op"); ok {
+				if prog, mode, ok := strings.Cut(rest, "/"); ok && !strings.Contains(mode, "/") {
+					out["batch.ns_per_op."+prog+"."+mode] = v
+					continue
+				}
+			}
+			if rest, ok := strings.CutSuffix(rest, ".sched_speedup_x4"); ok {
+				if prog, mode, ok := strings.Cut(rest, "/"); ok && mode == "dag" {
+					out["batch.sched_speedup_x4."+prog] = v
+					continue
+				}
+			}
+			if rest, ok := strings.CutSuffix(rest, ".ready_peak"); ok {
+				if prog, mode, ok := strings.Cut(rest, "/"); ok && mode == "dag" {
+					out["batch.ready_peak."+prog] = v
 					continue
 				}
 			}

@@ -1,0 +1,273 @@
+// Package callgraph builds the static call graph of an IR program and
+// condenses it for whole-program allocation scheduling.
+//
+// Nodes are the program's functions; an edge f→g exists when some
+// OpCall in f names g and g is defined in the program. Calls to
+// undefined (external) callees do not create edges — the batch driver
+// treats them as unknown and keeps the paper's static cost estimate —
+// but are recorded so callers can tell "no calls" from "only external
+// calls".
+//
+// Recursion is handled by Tarjan SCC condensation: every strongly
+// connected component becomes one scheduling unit, and the component
+// order produced is reverse topological (callees before callers), which
+// is exactly the order interprocedural summaries must be published in.
+// Waves() additionally partitions the components into levels — wave k
+// holds the components whose callees all live in waves < k — giving the
+// classic lock-step schedule; the batch driver's task DAG uses the
+// finer per-component dependency lists (Deps) so independent subtrees
+// need not wait for a whole wave.
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Graph is the condensed call graph of one program.
+type Graph struct {
+	prog *ir.Program
+
+	// index of each function in prog.Funcs, by name.
+	idx map[string]int
+
+	// callees[i] lists the distinct defined callees of function i, as
+	// indices into prog.Funcs, in first-call order.
+	callees [][]int
+
+	// external[i] is true when function i calls at least one callee
+	// not defined in the program.
+	external []bool
+
+	// sccOf[i] is the component id of function i. Component ids are
+	// assigned in reverse topological order: if f calls g and they are
+	// in different components, sccOf[g] < sccOf[f].
+	sccOf []int
+
+	// sccs[c] lists the member function indices of component c, in
+	// program order.
+	sccs [][]int
+
+	// recursive[c] is true when component c has more than one member
+	// or its single member calls itself.
+	recursive []bool
+
+	// deps[c] lists the component ids component c depends on (the
+	// components of its members' callees, excluding c itself), sorted
+	// ascending.
+	deps [][]int
+}
+
+// Build constructs the condensed call graph of p.
+func Build(p *ir.Program) *Graph {
+	n := len(p.Funcs)
+	g := &Graph{
+		prog:     p,
+		idx:      make(map[string]int, n),
+		callees:  make([][]int, n),
+		external: make([]bool, n),
+	}
+	for i, fn := range p.Funcs {
+		g.idx[fn.Name] = i
+	}
+	for i, fn := range p.Funcs {
+		seen := make(map[int]bool)
+		for _, b := range fn.Blocks {
+			for j := range b.Instrs {
+				in := &b.Instrs[j]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				c, ok := g.idx[in.Callee]
+				if !ok {
+					g.external[i] = true
+					continue
+				}
+				if !seen[c] {
+					seen[c] = true
+					g.callees[i] = append(g.callees[i], c)
+				}
+			}
+		}
+	}
+	g.condense()
+	return g
+}
+
+// condense runs an iterative Tarjan SCC pass. Tarjan completes a
+// component only after every component it can reach, so components pop
+// in reverse topological order — ids are assigned in pop order.
+func (g *Graph) condense() {
+	n := len(g.prog.Funcs)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	g.sccOf = make([]int, n)
+	var stack []int
+	next := 0
+
+	// Explicit DFS frames: fuzzed call chains can be deep.
+	type frame struct{ v, ci int }
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ci < len(g.callees[f.v]) {
+				w := g.callees[f.v][f.ci]
+				f.ci++
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] != index[v] {
+				continue
+			}
+			id := len(g.sccs)
+			var members []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				g.sccOf[w] = id
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(members)
+			g.sccs = append(g.sccs, members)
+		}
+	}
+
+	g.recursive = make([]bool, len(g.sccs))
+	g.deps = make([][]int, len(g.sccs))
+	for c, members := range g.sccs {
+		if len(members) > 1 {
+			g.recursive[c] = true
+		}
+		seen := make(map[int]bool)
+		for _, v := range members {
+			for _, w := range g.callees[v] {
+				d := g.sccOf[w]
+				if d == c {
+					g.recursive[c] = true
+					continue
+				}
+				if !seen[d] {
+					seen[d] = true
+					g.deps[c] = append(g.deps[c], d)
+				}
+			}
+		}
+		sort.Ints(g.deps[c])
+	}
+}
+
+// NumSCCs returns the number of condensed components.
+func (g *Graph) NumSCCs() int { return len(g.sccs) }
+
+// SCCOf returns the component id of the named function, or -1 when the
+// function is not defined in the program.
+func (g *Graph) SCCOf(name string) int {
+	i, ok := g.idx[name]
+	if !ok {
+		return -1
+	}
+	return g.sccOf[i]
+}
+
+// Members returns the functions of component c, in program order.
+func (g *Graph) Members(c int) []*ir.Func {
+	out := make([]*ir.Func, len(g.sccs[c]))
+	for i, v := range g.sccs[c] {
+		out[i] = g.prog.Funcs[v]
+	}
+	return out
+}
+
+// MemberNames returns the function names of component c.
+func (g *Graph) MemberNames(c int) []string {
+	out := make([]string, len(g.sccs[c]))
+	for i, v := range g.sccs[c] {
+		out[i] = g.prog.Funcs[v].Name
+	}
+	return out
+}
+
+// Recursive reports whether component c is recursive: multiple
+// members, or a single member that calls itself.
+func (g *Graph) Recursive(c int) bool { return g.recursive[c] }
+
+// Deps returns the component ids c depends on (its members' callee
+// components, excluding c), sorted ascending. Every dependency id is
+// smaller than c: component ids are assigned in reverse topological
+// order, so a plain ascending sweep is already a valid schedule.
+func (g *Graph) Deps(c int) []int { return g.deps[c] }
+
+// Callees returns the distinct defined callees of the named function,
+// in first-call order, plus whether the function also calls any
+// undefined (external) callee.
+func (g *Graph) Callees(name string) (defined []*ir.Func, external bool) {
+	i, ok := g.idx[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]*ir.Func, len(g.callees[i]))
+	for j, v := range g.callees[i] {
+		out[j] = g.prog.Funcs[v]
+	}
+	return out, g.external[i]
+}
+
+// Waves partitions the components into lock-step levels: wave 0 holds
+// the leaf components, and every component in wave k has all its
+// dependencies in waves < k. Component ids within a wave are ascending.
+func (g *Graph) Waves() [][]int {
+	level := make([]int, len(g.sccs))
+	max := 0
+	for c := range g.sccs {
+		l := 0
+		for _, d := range g.deps[c] {
+			// d < c always holds, so level[d] is final.
+			if level[d]+1 > l {
+				l = level[d] + 1
+			}
+		}
+		level[c] = l
+		if l > max {
+			max = l
+		}
+	}
+	waves := make([][]int, max+1)
+	for c := range g.sccs {
+		waves[level[c]] = append(waves[level[c]], c)
+	}
+	return waves
+}

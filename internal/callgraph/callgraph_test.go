@@ -1,0 +1,194 @@
+package callgraph
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+// synth builds a bare program from an adjacency list: each function is
+// one block of calls. Good enough for graph-shape tests — the builder
+// only reads Op and Callee.
+func synth(edges map[string][]string, order []string) *ir.Program {
+	p := &ir.Program{}
+	for _, name := range order {
+		b := &ir.Block{ID: 0}
+		for _, callee := range edges[name] {
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpCall, Callee: callee})
+		}
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet})
+		p.AddFunc(&ir.Func{Name: name, Blocks: []*ir.Block{b}})
+	}
+	return p
+}
+
+func names(fns []*ir.Func) []string {
+	out := make([]string, len(fns))
+	for i, f := range fns {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildDiamond(t *testing.T) {
+	// main calls a and b (a twice — deduplicated); both call leaf.
+	g := Build(synth(map[string][]string{
+		"main": {"a", "b", "a"},
+		"a":    {"leaf"},
+		"b":    {"leaf"},
+		"leaf": nil,
+	}, []string{"main", "a", "b", "leaf"}))
+
+	if g.NumSCCs() != 4 {
+		t.Fatalf("NumSCCs = %d, want 4", g.NumSCCs())
+	}
+	callees, ext := g.Callees("main")
+	if !eq(names(callees), []string{"a", "b"}) || ext {
+		t.Fatalf("Callees(main) = %v ext=%v", names(callees), ext)
+	}
+	for _, fn := range []string{"main", "a", "b", "leaf"} {
+		c := g.SCCOf(fn)
+		if c < 0 || g.Recursive(c) {
+			t.Fatalf("%s: scc=%d recursive=%v", fn, c, g.Recursive(c))
+		}
+	}
+	// Reverse topological ids: callee components before caller ones.
+	if !(g.SCCOf("leaf") < g.SCCOf("a") && g.SCCOf("a") < g.SCCOf("main")) ||
+		!(g.SCCOf("leaf") < g.SCCOf("b") && g.SCCOf("b") < g.SCCOf("main")) {
+		t.Fatalf("component ids not reverse topological: leaf=%d a=%d b=%d main=%d",
+			g.SCCOf("leaf"), g.SCCOf("a"), g.SCCOf("b"), g.SCCOf("main"))
+	}
+}
+
+func TestExternalCallee(t *testing.T) {
+	g := Build(synth(map[string][]string{
+		"main":   {"helper", "undefined_fn"},
+		"helper": nil,
+	}, []string{"main", "helper"}))
+	callees, ext := g.Callees("main")
+	if !eq(names(callees), []string{"helper"}) {
+		t.Fatalf("Callees(main) = %v", names(callees))
+	}
+	if !ext {
+		t.Fatal("call to undefined callee not flagged external")
+	}
+	if _, ext := g.Callees("helper"); ext {
+		t.Fatal("helper flagged external with no calls")
+	}
+	if g.SCCOf("undefined_fn") != -1 {
+		t.Fatal("SCCOf(undefined) should be -1")
+	}
+}
+
+func TestSCCMutualRecursion(t *testing.T) {
+	// even/odd are mutually recursive; self calls itself; main calls all.
+	g := Build(synth(map[string][]string{
+		"main": {"even", "self"},
+		"even": {"odd", "base"},
+		"odd":  {"even", "base"},
+		"self": {"self"},
+		"base": nil,
+	}, []string{"main", "even", "odd", "self", "base"}))
+
+	if g.SCCOf("even") != g.SCCOf("odd") {
+		t.Fatalf("even/odd split across components %d/%d", g.SCCOf("even"), g.SCCOf("odd"))
+	}
+	pair := g.SCCOf("even")
+	if !g.Recursive(pair) {
+		t.Fatal("mutual-recursion component not marked recursive")
+	}
+	if !eq(g.MemberNames(pair), []string{"even", "odd"}) {
+		t.Fatalf("members of even/odd component = %v", g.MemberNames(pair))
+	}
+	if !g.Recursive(g.SCCOf("self")) {
+		t.Fatal("self-recursive singleton not marked recursive")
+	}
+	if g.Recursive(g.SCCOf("base")) || g.Recursive(g.SCCOf("main")) {
+		t.Fatal("non-recursive function marked recursive")
+	}
+	// The pair depends on base only (internal edges are not deps).
+	deps := g.Deps(pair)
+	if len(deps) != 1 || deps[0] != g.SCCOf("base") {
+		t.Fatalf("Deps(even/odd) = %v, want [%d]", deps, g.SCCOf("base"))
+	}
+}
+
+func TestWavesAreTopological(t *testing.T) {
+	g := Build(synth(map[string][]string{
+		"main": {"a", "b"},
+		"a":    {"c", "d"},
+		"b":    {"d"},
+		"c":    {"e"},
+		"d":    {"e"},
+		"e":    nil,
+	}, []string{"main", "a", "b", "c", "d", "e"}))
+
+	waves := g.Waves()
+	waveOf := make(map[int]int)
+	total := 0
+	for w, comps := range waves {
+		for _, c := range comps {
+			waveOf[c] = w
+			total++
+		}
+	}
+	if total != g.NumSCCs() {
+		t.Fatalf("waves cover %d components, graph has %d", total, g.NumSCCs())
+	}
+	// Valid topological order: every dependency is in a strictly
+	// earlier wave.
+	for c := 0; c < g.NumSCCs(); c++ {
+		for _, d := range g.Deps(c) {
+			if waveOf[d] >= waveOf[c] {
+				t.Fatalf("component %d (wave %d) depends on %d (wave %d)",
+					c, waveOf[c], d, waveOf[d])
+			}
+		}
+	}
+	if waveOf[g.SCCOf("e")] != 0 {
+		t.Fatalf("leaf e in wave %d, want 0", waveOf[g.SCCOf("e")])
+	}
+	if w := waveOf[g.SCCOf("main")]; w != 3 {
+		t.Fatalf("main in wave %d, want 3 (e→c/d→a/b→main)", w)
+	}
+}
+
+func TestDepsPrecedeComponent(t *testing.T) {
+	// On a compiled program: every dependency id must be smaller than
+	// the component id (reverse topological id assignment), so a plain
+	// ascending sweep is a valid schedule.
+	prog, err := compile.Source(`
+int base(int x) { return x + 1; }
+int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+int chain(int n) { return base(n) + even(n); }
+int main() { return chain(7); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(prog)
+	for c := 0; c < g.NumSCCs(); c++ {
+		for _, d := range g.Deps(c) {
+			if d >= c {
+				t.Fatalf("component %d depends on %d (not reverse topological)", c, d)
+			}
+		}
+	}
+	if g.SCCOf("even") != g.SCCOf("odd") {
+		t.Fatal("compiled even/odd not condensed into one component")
+	}
+}

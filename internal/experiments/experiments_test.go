@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-callee", "ablation-coalesce", "ablation-key",
 		"ablation-priority", "ablation-rebuild", "ablation-spillheur",
 		"fig10", "fig11", "fig2", "fig6", "fig7", "fig9",
-		"pareto", "pareto-smoke", "tab2", "tab3", "tab4",
+		"interproc", "pareto", "pareto-smoke", "tab2", "tab3", "tab4",
 	}
 	all := experiments.All()
 	if len(all) != len(want) {
@@ -351,6 +351,34 @@ func TestOptimisticIntegration(t *testing.T) {
 
 // TestEveryExperimentRuns smoke-tests the printing path of each
 // experiment.
+func TestInterprocSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	rows, err := experiments.InterprocSweep(env, callcost.NewConfig(8, 6, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	hits := 0
+	for _, r := range rows {
+		if len(r.Static) != len(experiments.InterprocStrategies) ||
+			len(r.Interproc) != len(experiments.InterprocStrategies) {
+			t.Fatalf("%s: row has %d/%d entries", r.Program, len(r.Static), len(r.Interproc))
+		}
+		if r.Interproc[0] < r.Static[0] {
+			improved++
+		}
+		hits += r.SummaryHits
+	}
+	if improved < 3 {
+		t.Errorf("interprocedural costs improved only %d programs, want at least 3", improved)
+	}
+	if hits == 0 {
+		t.Error("no call site ever consumed a callee summary")
+	}
+}
+
 func TestEveryExperimentRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in -short mode")

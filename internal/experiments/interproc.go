@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+	"repro/internal/benchprog"
+)
+
+// InterprocStrategies are the allocator families the interprocedural
+// comparison sweeps: the paper's improved allocator plus the two
+// graph-free tiers, which consume the same refined call-site factors
+// through their own cost analyses.
+var InterprocStrategies = []struct {
+	Label string
+	Strat func() callcost.Strategy
+}{
+	{"improved", func() callcost.Strategy { return callcost.ImprovedAll() }},
+	{"linscan", callcost.LinearScan},
+	{"hybrid", callcost.HybridTiered},
+}
+
+// InterprocRow compares, for one program, the static call-site estimate
+// (every crossed call charges the paper's flat 2·freq) against the
+// whole-program batch allocation with interprocedural callee-save
+// costs, using measured overhead from actually executing both
+// allocations.
+type InterprocRow struct {
+	Program string
+	// Static[i] and Interproc[i] are the measured overhead totals for
+	// InterprocStrategies[i].
+	Static    []float64
+	Interproc []float64
+	// SummaryHits and SummaryMisses are the call-site summary counts of
+	// the improved-strategy batch run; SCCs and Waves its schedule shape.
+	SummaryHits, SummaryMisses int
+	SCCs, Waves                int
+}
+
+// InterprocSweep computes the comparison for every benchmark at cfg,
+// one program per worker. Both allocations of every pair are executed
+// and verified against the reference result before being measured.
+func InterprocSweep(env *Env, cfg callcost.Config) ([]InterprocRow, error) {
+	names := benchprog.Names()
+	rows := make([]InterprocRow, len(names))
+	err := forEachIndexed(len(names), func(i int) error {
+		name := names[i]
+		p, err := env.Get(name)
+		if err != nil {
+			return err
+		}
+		row := InterprocRow{Program: name}
+		for si, s := range InterprocStrategies {
+			strat := s.Strat()
+			base, err := p.Program.AllocateWithOptions(strat, cfg, p.Dynamic, p.Opts)
+			if err != nil {
+				return fmt.Errorf("%s: %s static: %w", name, s.Label, err)
+			}
+			inter, bs, err := p.Program.AllocateProgramBatch(strat, cfg, p.Dynamic, p.Opts,
+				callcost.BatchOptions{Interproc: true})
+			if err != nil {
+				return fmt.Errorf("%s: %s interproc: %w", name, s.Label, err)
+			}
+			baseOv, baseRes, err := base.MeasuredOverhead()
+			if err != nil {
+				return fmt.Errorf("%s: %s measure static: %w", name, s.Label, err)
+			}
+			interOv, interRes, err := inter.MeasuredOverhead()
+			if err != nil {
+				return fmt.Errorf("%s: %s measure interproc: %w", name, s.Label, err)
+			}
+			if baseRes.RetInt != p.RefInt || interRes.RetInt != p.RefInt {
+				return fmt.Errorf("%s: %s returned %d/%d, reference %d",
+					name, s.Label, baseRes.RetInt, interRes.RetInt, p.RefInt)
+			}
+			row.Static = append(row.Static, baseOv.Total())
+			row.Interproc = append(row.Interproc, interOv.Total())
+			if si == 0 {
+				row.SummaryHits, row.SummaryMisses = bs.SummaryHits, bs.SummaryMisses
+				row.SCCs, row.Waves = bs.SCCs, bs.Waves
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// interprocDelta formats the percentage reduction of v relative to
+// base (0 when base is 0).
+func interprocDelta(base, v float64) string {
+	if base == 0 {
+		return "   -  "
+	}
+	return fmt.Sprintf("%5.1f%%", 100*(base-v)/base)
+}
+
+func init() {
+	register(&Experiment{
+		ID: "interproc",
+		Title: "Interprocedural callee-save costs: measured overhead of the " +
+			"whole-program batch allocation (callees first, callers consume " +
+			"realized clobber summaries) against the paper's static per-site " +
+			"estimate, for improved, linear-scan, and hybrid allocators",
+		Run: func(env *Env, w io.Writer) error {
+			cfg := callcost.NewConfig(8, 6, 4, 4)
+			header(w, fmt.Sprintf("Interprocedural vs static call-site costs at %s (measured overhead, dynamic weights)", cfg))
+			rows, err := InterprocSweep(env, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s", "program")
+			for _, s := range InterprocStrategies {
+				fmt.Fprintf(w, " %10s %10s %6s", s.Label, "interproc", "Δ")
+			}
+			fmt.Fprintf(w, "  %11s %5s %5s\n", "hits/sites", "sccs", "waves")
+			improved := 0
+			for _, r := range rows {
+				fmt.Fprintf(w, "%-10s", r.Program)
+				for i := range InterprocStrategies {
+					fmt.Fprintf(w, " %10.0f %10.0f %s", r.Static[i], r.Interproc[i],
+						interprocDelta(r.Static[i], r.Interproc[i]))
+				}
+				sites := r.SummaryHits + r.SummaryMisses
+				fmt.Fprintf(w, "  %5d/%-5d %5d %5d\n", r.SummaryHits, sites, r.SCCs, r.Waves)
+				if r.Interproc[0] < r.Static[0] {
+					improved++
+				}
+			}
+			fmt.Fprintf(w, "\nimproved strategy: interprocedural costs reduced measured overhead on %d of %d programs\n",
+				improved, len(rows))
+			return nil
+		},
+	})
+}

@@ -57,22 +57,19 @@ func BuildFused(fn *ir.Func, g *cfg.Graph, live *liveness.Info, class ir.Class) 
 	}
 	// Parameters are defined simultaneously at entry; the entry block
 	// belongs to some region, but the parameter clique is a
-	// whole-function property, added at the final fuse like Build does.
+	// whole-function property, added at the final fuse like Build does
+	// — over every occurring parameter, dead-on-entry ones included,
+	// because the receive sequence writes all of their registers.
 	mine := func(r ir.Reg) bool { return fn.RegClass(r) == class }
 	params := make([]ir.Reg, 0, len(fn.Params))
 	for _, p := range fn.Params {
-		if mine(p) {
+		if mine(p) && fused.occurs[p] {
 			params = append(params, p)
-			if live.In[0].Has(int(p)) {
-				fused.setOccurs(p)
-			}
 		}
 	}
 	for i, p := range params {
 		for _, q := range params[i+1:] {
-			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
-				fused.addEdge(p, q)
-			}
+			fused.addEdge(p, q)
 		}
 	}
 	return fused

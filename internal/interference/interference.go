@@ -138,21 +138,22 @@ func Build(fn *ir.Func, live *liveness.Info, class ir.Class) *Graph {
 		})
 	}
 
-	// Parameters are defined together at function entry.
+	// Parameters are defined together at function entry: the receive
+	// sequence writes every colored parameter's register, so any two
+	// parameters that occur anywhere in the function interfere — even
+	// one whose incoming value is dead on arrival. Its register is
+	// still written by the receive, which would clobber a neighbor
+	// sharing it (the executors and codegen all receive uncondition-
+	// ally), so dead-on-entry parameters cannot share with live ones.
 	params := make([]ir.Reg, 0, len(fn.Params))
 	for _, p := range fn.Params {
-		if mine(p) {
+		if mine(p) && g.occurs[p] {
 			params = append(params, p)
-			if live.In[0].Has(int(p)) {
-				g.setOccurs(p)
-			}
 		}
 	}
 	for i, p := range params {
 		for _, q := range params[i+1:] {
-			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
-				g.addEdge(p, q)
-			}
+			g.addEdge(p, q)
 		}
 	}
 	return g

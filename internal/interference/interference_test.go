@@ -72,6 +72,18 @@ func TestParamsInterfere(t *testing.T) {
 	}
 }
 
+// TestDeadParamInterferes: b's incoming value is overwritten before any
+// read, but the entry receive still writes b's register, so b must
+// interfere with the other parameters all the same — sharing a register
+// with a would let the receive clobber a's live value.
+func TestDeadParamInterferes(t *testing.T) {
+	f, g := build(t, `int f(int a, int b) { b = a; return b * 10 + a; }`, "f", ir.ClassInt)
+	a, b := regByName(f, "a"), regByName(f, "b")
+	if !g.Interfere(a, b) {
+		t.Error("dead-on-entry param b must interfere with live param a")
+	}
+}
+
 func TestClassesAreSeparate(t *testing.T) {
 	f, gInt := build(t, `
 int f(int a) {

@@ -139,14 +139,14 @@ func Reconstruct(prev *Graph, fn *ir.Func, live *liveness.Info, spilled map[ir.R
 	}
 
 	// Spilled parameters were replaced with fresh temporaries that are
-	// defined simultaneously with the other parameters at entry.
+	// defined simultaneously with the other parameters at entry. Like
+	// Build, the clique covers every occurring parameter — the entry
+	// receive writes dead-on-entry ones too. Old-old pairs carry over
+	// from the previous graph.
 	params := make([]ir.Reg, 0, len(fn.Params))
 	for _, p := range fn.Params {
-		if mine(p) {
+		if mine(p) && g.occurs[p] {
 			params = append(params, p)
-			if isNew(p) && live.In[0].Has(int(p)) {
-				g.setOccurs(p)
-			}
 		}
 	}
 	for i, p := range params {
@@ -154,9 +154,7 @@ func Reconstruct(prev *Graph, fn *ir.Func, live *liveness.Info, spilled map[ir.R
 			if !isNew(p) && !isNew(q) {
 				continue
 			}
-			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
-				g.addEdge(g.Find(p), g.Find(q))
-			}
+			g.addEdge(g.Find(p), g.Find(q))
 		}
 	}
 	return g

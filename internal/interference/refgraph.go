@@ -75,20 +75,17 @@ func BuildRef(fn *ir.Func, live *liveness.Info, class ir.Class) *RefGraph {
 		})
 	}
 
+	// Every occurring parameter interferes with every other: the entry
+	// receive writes all of their registers, dead-on-entry or not.
 	params := make([]ir.Reg, 0, len(fn.Params))
 	for _, p := range fn.Params {
-		if mine(p) {
+		if mine(p) && g.occurs[p] {
 			params = append(params, p)
-			if live.In[0].Has(int(p)) {
-				g.occurs[p] = true
-			}
 		}
 	}
 	for i, p := range params {
 		for _, q := range params[i+1:] {
-			if live.In[0].Has(int(p)) && live.In[0].Has(int(q)) {
-				g.addEdge(p, q)
-			}
+			g.addEdge(p, q)
 		}
 	}
 	return g

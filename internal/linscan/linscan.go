@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/freq"
+	"repro/internal/interproc"
 	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/machine"
@@ -85,7 +86,11 @@ func (fi *funcIntervals) live(r int) bool { return fi.start[r] <= fi.end[r] }
 // the scan sound without a graph — while registers that are never live
 // at once keep disjoint segment sets the scan can pack into one
 // physical register.
-func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine.Config, sb *segBuilder) *funcIntervals {
+// cc, when non-nil, replaces the static 2×freq caller-save charge at
+// call sites whose callee has a published interprocedural summary with
+// the callee's measured clobber factor (0 — the callee preserves the
+// bank — means the site is not a crossing for that bank at all).
+func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine.Config, sb *segBuilder, cc *interproc.Table) *funcIntervals {
 	nr := fn.NumRegs()
 	fi := &funcIntervals{
 		start:       make([]int32, nr),
@@ -133,11 +138,24 @@ func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine
 				if in.HasDst() {
 					dst = in.Dst
 				}
+				var factor [ir.NumClasses]float64
+				for c := range factor {
+					factor[c] = 2
+				}
+				if cc != nil {
+					for c := range factor {
+						factor[c] = cc.CrossFactor(in.Callee, ir.Class(c))
+					}
+				}
 				liveAfter.ForEach(func(r int) {
 					if ir.Reg(r) == dst {
 						return
 					}
-					fi.callerCost[r] += 2 * w
+					f := factor[fn.RegClass(ir.Reg(r))]
+					if f == 0 {
+						return
+					}
+					fi.callerCost[r] += f * w
 					fi.crossesCall[r] = true
 				})
 				// Arguments are consumed in caller-save registers; hint
@@ -180,6 +198,28 @@ func analyze(fn *ir.Func, live *liveness.Info, ff *freq.FuncFreq, config machine
 	}
 
 	fi.segs = sb.finalize()
+
+	// The entry receive writes every colored parameter's register,
+	// dead-on-entry or not, so every occurring parameter occupies the
+	// pre-entry write slot. Without this, a parameter whose incoming
+	// value is dead (overwritten before any read) could share a
+	// register with a live one, and the receive would clobber it.
+	const entrySlot = int32(-1)
+	for _, p := range fn.Params {
+		s := fi.segs[p]
+		if len(s) == 0 || s[0].from <= entrySlot {
+			continue
+		}
+		if s[0].from-entrySlot <= 2 {
+			// Adjacent to the first segment: extend it (the merge
+			// invariant of finalize — gaps of at most two slots are
+			// handoffs, not holes — holds for the entry slot too).
+			s[0].from = entrySlot
+		} else {
+			fi.segs[p] = append(segList{{from: entrySlot, to: entrySlot}}, s...)
+		}
+	}
+
 	for r := 0; r < nr; r++ {
 		if s := fi.segs[r]; len(s) > 0 {
 			fi.start[r] = s[0].from

@@ -97,7 +97,7 @@ func intervalsFor(t *testing.T, src, fname string) (*ir.Func, *liveness.Info, *f
 	live := liveness.Compute(fn, cfg.New(fn))
 	pf := freq.Static(prog)
 	var sb segBuilder
-	fi := analyze(fn, live, pf.ByFunc[fname], machine.NewConfig(8, 6, 4, 4), &sb)
+	fi := analyze(fn, live, pf.ByFunc[fname], machine.NewConfig(8, 6, 4, 4), &sb, nil)
 	return fn, live, fi
 }
 
@@ -293,7 +293,7 @@ func TestSegmentInvariants(t *testing.T) {
 			for _, fn := range prog.Funcs {
 				live := liveness.Compute(fn, cfg.New(fn))
 				var sb segBuilder
-				fi := analyze(fn, live, pf.ByFunc[fn.Name], machine.NewConfig(8, 6, 4, 4), &sb)
+				fi := analyze(fn, live, pf.ByFunc[fn.Name], machine.NewConfig(8, 6, 4, 4), &sb, nil)
 				checkSegmentInvariants(t, fn, live, fi)
 			}
 		})

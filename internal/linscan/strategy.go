@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/interproc"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -40,7 +41,7 @@ func (*Scan) Name() string { return "linscan" }
 func (sc *Scan) BuildPipeline(insertSpills regalloc.SpillInserter, opts regalloc.Options) pipeline.Pipeline {
 	return pipeline.New(
 		regalloc.LivenessPass(opts.Rebuild),
-		scanPass{hulls: sc.ConservativeHulls},
+		scanPass{hulls: sc.ConservativeHulls, cc: opts.Interproc},
 		regalloc.SpillRewritePass(insertSpills),
 	)
 }
@@ -121,7 +122,7 @@ func (sc *Scan) Allocate(ctx *regalloc.ClassContext) *regalloc.ClassResult {
 // runScan performs the analysis walk and the per-bank scans against
 // the pipeline state, without committing anything. hulls selects the
 // conservative hull-overlap ablation.
-func runScan(s *pipeline.State, hulls bool) (*funcIntervals, *scanOutcome, error) {
+func runScan(s *pipeline.State, hulls bool, cc *interproc.Table) (*funcIntervals, *scanOutcome, error) {
 	nr := s.Fn.NumRegs()
 	// The segment arena parks on the state between rounds, so spill
 	// rounds reuse the round-0 allocations.
@@ -130,7 +131,7 @@ func runScan(s *pipeline.State, hulls bool) (*funcIntervals, *scanOutcome, error
 		sb = new(segBuilder)
 		s.Scratch = sb
 	}
-	fi := analyze(s.Fn, s.Live, s.FF, s.Config, sb)
+	fi := analyze(s.Fn, s.Live, s.FF, s.Config, sb, cc)
 	fi.hullOnly = hulls
 	// Recycle the colors backing array across rounds, like the color
 	// pass: only the final round's contents escape into the result.
@@ -229,13 +230,15 @@ func kindName(callee bool) string {
 type scanPass struct {
 	// hulls selects the conservative hull-overlap ablation.
 	hulls bool
+	// cc supplies interprocedural call costs (nil = static estimates).
+	cc *interproc.Table
 }
 
 func (scanPass) Name() string                    { return obs.PhaseScan }
 func (scanPass) Preserves() pipeline.AnalysisSet { return pipeline.PreserveAll }
 
 func (p scanPass) Run(s *pipeline.State) error {
-	fi, out, err := runScan(s, p.hulls)
+	fi, out, err := runScan(s, p.hulls, p.cc)
 	if err != nil {
 		return err
 	}
@@ -303,7 +306,7 @@ func (h *Hybrid) BuildPipeline(insertSpills regalloc.SpillInserter, opts regallo
 	coloring := regalloc.BuildPipeline(h.escalate(), insertSpills, opts)
 	passes := []pipeline.Pass{
 		regalloc.LivenessPass(opts.Rebuild),
-		hybridScanPass{h: h},
+		hybridScanPass{h: h, cc: opts.Interproc},
 	}
 	for _, p := range coloring.Passes() {
 		switch p.Name() {
@@ -322,7 +325,10 @@ func (h *Hybrid) BuildPipeline(insertSpills regalloc.SpillInserter, opts regallo
 
 // hybridScanPass runs the scan tier at round 0 and decides whether to
 // keep the result or escalate.
-type hybridScanPass struct{ h *Hybrid }
+type hybridScanPass struct {
+	h  *Hybrid
+	cc *interproc.Table
+}
 
 func (hybridScanPass) Name() string                    { return obs.PhaseScan }
 func (hybridScanPass) Preserves() pipeline.AnalysisSet { return pipeline.PreserveAll }
@@ -331,7 +337,7 @@ func (hybridScanPass) Preserves() pipeline.AnalysisSet { return pipeline.Preserv
 func (hybridScanPass) Skip(s *pipeline.State) bool { return s.Escalated }
 
 func (p hybridScanPass) Run(s *pipeline.State) error {
-	fi, out, err := runScan(s, false)
+	fi, out, err := runScan(s, false, p.cc)
 	reason := ""
 	switch {
 	case err != nil:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/freq"
 	"repro/internal/interference"
+	"repro/internal/interproc"
 	"repro/internal/ir"
 	"repro/internal/liveness"
 )
@@ -116,6 +117,18 @@ func Analyze(fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interfere
 // the cost computation and can only differ if the block map itself
 // does (pinned by the differential tests).
 func AnalyzeWith(bm *BlockMap, fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interference.Graph, ff *freq.FuncFreq, noSpill func(ir.Reg) bool) *Set {
+	return AnalyzeCosts(bm, fn, live, graphs, ff, noSpill, nil)
+}
+
+// AnalyzeCosts is AnalyzeWith under an interprocedural summary table:
+// at call sites whose callee has a published summary, the static
+// caller_save_cost estimate (2 per crossing) is replaced by the
+// callee's measured clobber factor. A factor of 0 — the callee
+// provably preserves the whole bank — means the site is not a crossing
+// for ranges of that bank at all: no CrossesCall, no CallerCost, no
+// entry in the site's Crossing list (so the §6 preference pass ignores
+// it too). A nil table reproduces AnalyzeWith bit for bit.
+func AnalyzeCosts(bm *BlockMap, fn *ir.Func, live *liveness.Info, graphs *[ir.NumClasses]*interference.Graph, ff *freq.FuncFreq, noSpill func(ir.Reg) bool, cc *interproc.Table) *Set {
 	nr := fn.NumRegs()
 	s := &Set{
 		Fn:        fn,
@@ -220,6 +233,15 @@ func AnalyzeWith(bm *BlockMap, fn *ir.Func, live *liveness.Info, graphs *[ir.Num
 	live.LiveAcrossCalls(func(b *ir.Block, idx int, call *ir.Instr, crossing *bitset.Set) {
 		w := ff.Block[b.ID]
 		site := CallSite{Block: b, Index: idx, Freq: w}
+		var factor [ir.NumClasses]float64
+		for c := range factor {
+			factor[c] = 2
+		}
+		if cc != nil {
+			for c := range factor {
+				factor[c] = cc.CrossFactor(call.Callee, ir.Class(c))
+			}
+		}
 		for _, r := range touched {
 			crossFlag[r] = false
 		}
@@ -237,8 +259,13 @@ func AnalyzeWith(bm *BlockMap, fn *ir.Func, live *liveness.Info, graphs *[ir.Num
 				// unused params); skip.
 				return
 			}
+			if factor[rg.Class] == 0 {
+				// The callee preserves this whole bank: the range does
+				// not cross this call in any cost-relevant sense.
+				return
+			}
 			rg.CrossesCall = true
-			rg.CallerCost += 2 * w
+			rg.CallerCost += factor[rg.Class] * w
 			site.Crossing[rg.Class] = append(site.Crossing[rg.Class], rep)
 		})
 		for c := range site.Crossing {

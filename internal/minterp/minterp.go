@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/interproc"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/rewrite"
@@ -144,6 +145,11 @@ type mach struct {
 	counts   Counts
 	maxSteps int64
 	depth    int
+
+	// clobbers memoizes the transitive caller-save clobber set of every
+	// planned function, computed lazily on the first call return (see
+	// computeClobbers).
+	clobbers map[string][ir.NumClasses]interproc.RegSet
 }
 
 const maxCallDepth = 10_000
@@ -161,16 +167,105 @@ func truncToInt(f float64) int64 {
 	return int64(f)
 }
 
-// scrambleCallerSaves simulates the callee's freedom to clobber every
-// caller-save register: any value the caller left there unsaved is
-// destroyed deterministically.
-func (m *mach) scrambleCallerSaves() {
+// scramble simulates the named callee's freedom to clobber caller-save
+// registers: every register in its transitive clobber set is destroyed
+// deterministically, so any value the caller left there unsaved
+// produces a wrong answer instead of accidentally passing. Registers
+// outside the set genuinely survive the call on this machine — that is
+// exactly the fact the batch driver's interprocedural save pruning
+// relies on, and the clobber sets here are recomputed from the plans
+// independently of the allocator's summary table, so a summary that
+// under-approximates what a callee writes is caught by the
+// interp-vs-minterp differentials rather than silently tolerated.
+func (m *mach) scramble(callee string) {
+	if m.clobbers == nil {
+		m.clobbers = computeClobbers(m.plans, m.config)
+	}
+	clob, ok := m.clobbers[callee]
+	if !ok {
+		for c := range clob {
+			clob[c] = interproc.CallerSaveSet(m.config, ir.Class(c))
+		}
+	}
 	for i := 0; i < m.config.Caller[ir.ClassInt]; i++ {
-		m.intRegs[i] = -0x5ead0000 - int64(i)
+		if clob[ir.ClassInt].Has(machine.PhysReg(i)) {
+			m.intRegs[i] = -0x5ead0000 - int64(i)
+		}
 	}
 	for i := 0; i < m.config.Caller[ir.ClassFloat]; i++ {
-		m.fltRegs[i] = -1.0e100 - float64(i)
+		if clob[ir.ClassFloat].Has(machine.PhysReg(i)) {
+			m.fltRegs[i] = -1.0e100 - float64(i)
+		}
 	}
+}
+
+// computeClobbers derives the transitive caller-save clobber set of
+// every planned function: the colors of its occurring virtual
+// registers and parameters (argument marshaling writes those), unioned
+// with the sets of its callees, iterated to a fixed point so recursive
+// components converge to their joint set. Calls to unplanned functions
+// contribute the full caller-save file.
+func computeClobbers(plans map[string]*rewrite.FuncPlan, config machine.Config) map[string][ir.NumClasses]interproc.RegSet {
+	sets := make(map[string][ir.NumClasses]interproc.RegSet, len(plans))
+	for name, plan := range plans {
+		fn := plan.Alloc.Fn
+		var s [ir.NumClasses]interproc.RegSet
+		add := func(r ir.Reg) {
+			col := plan.Alloc.Colors[r]
+			if col == machine.NoPhysReg {
+				return
+			}
+			if c := fn.RegClass(r); config.IsCallerSave(c, col) {
+				s[c].Add(col)
+			}
+		}
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.HasDst() {
+					add(in.Dst)
+				}
+				for _, a := range in.Args {
+					add(a)
+				}
+			}
+		}
+		for _, p := range fn.Params {
+			add(p)
+		}
+		sets[name] = s
+	}
+	var full [ir.NumClasses]interproc.RegSet
+	for c := range full {
+		full[c] = interproc.CallerSaveSet(config, ir.Class(c))
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, plan := range plans {
+			s := sets[name]
+			fn := plan.Alloc.Fn
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if in.Op != ir.OpCall {
+						continue
+					}
+					sub, ok := sets[in.Callee]
+					if !ok {
+						sub = full
+					}
+					for c := range s {
+						if u := s[c].Union(sub[c]); u != s[c] {
+							s[c] = u
+							changed = true
+						}
+					}
+				}
+			}
+			sets[name] = s
+		}
+	}
+	return sets
 }
 
 func (m *mach) step(cycles float64) error {
@@ -461,9 +556,9 @@ func (m *mach) call(plan *rewrite.FuncPlan, argsI []int64, argsF []float64) (int
 				if err != nil {
 					return 0, 0, err
 				}
-				// The callee may have clobbered every caller-save
-				// register.
-				m.scrambleCallerSaves()
+				// The callee may have clobbered any caller-save register
+				// in its transitive clobber set.
+				m.scramble(in.Callee)
 				if cs != nil {
 					for k, pr := range cs.Regs[ir.ClassInt] {
 						m.intRegs[pr] = savedI[k]

@@ -1,0 +1,157 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrDAGCycle reports that RunDAG's dependency lists contain a cycle,
+// so some tasks could never become ready.
+var ErrDAGCycle = errors.New("par: dependency cycle")
+
+// DAGStats reports scheduling facts of one RunDAG execution.
+type DAGStats struct {
+	// ReadyPeak is the maximum number of tasks that were
+	// simultaneously ready — dependencies satisfied, not yet started.
+	// It bounds the parallelism the DAG's shape made available: a
+	// chain peaks at 1 regardless of workers, a wide independent set
+	// peaks near its width.
+	ReadyPeak int
+}
+
+// RunDAG executes tasks 0..len(deps)-1 on a bounded worker pool,
+// honoring the dependency lists: task i starts only after every task
+// in deps[i] finished. Ready tasks are dispatched the moment their
+// last dependency completes — no wave barriers — so independent
+// subtrees of the DAG run concurrently. deps must be acyclic;
+// RunDAG returns ErrDAGCycle without running anything otherwise.
+//
+// workers <= 0 selects GOMAXPROCS via the underlying pool sizing;
+// workers == 1 executes ready tasks one at a time on one goroutine.
+// The first task error (lowest index among failures) is returned;
+// after any failure — or once ctx is done — remaining tasks are
+// released without running f, so the call always terminates promptly
+// and ctx.Err() is reported when no task failed first.
+//
+// Determinism contract (same as ForEachIndexed): f writes its result
+// into an index-addressed slot, so outputs are independent of the
+// schedule; only wall time changes.
+func RunDAG(ctx context.Context, deps [][]int, workers int, f func(i int) error) (DAGStats, error) {
+	n := len(deps)
+	if n == 0 {
+		return DAGStats{}, nil
+	}
+
+	indeg := make([]int32, n)
+	dependents := make([][]int, n)
+	for i, ds := range deps {
+		indeg[i] = int32(len(ds))
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	// Kahn pre-pass on a scratch copy: a cycle would leave the worker
+	// loop below waiting forever for tasks that can never become ready.
+	{
+		scratch := make([]int32, n)
+		copy(scratch, indeg)
+		queue := make([]int, 0, n)
+		for i, d := range scratch {
+			if d == 0 {
+				queue = append(queue, i)
+			}
+		}
+		processed := 0
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			processed++
+			for _, dep := range dependents[i] {
+				if scratch[dep]--; scratch[dep] == 0 {
+					queue = append(queue, dep)
+				}
+			}
+		}
+		if processed != n {
+			return DAGStats{}, ErrDAGCycle
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ready := make(chan int, n)
+	var mu sync.Mutex
+	readyNow, readyPeak := 0, 0
+	enqueue := func(i int) {
+		mu.Lock()
+		readyNow++
+		if readyNow > readyPeak {
+			readyPeak = readyNow
+		}
+		mu.Unlock()
+		ready <- i
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			enqueue(i)
+		}
+	}
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var completed int32
+	done := ctx.Done()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				mu.Lock()
+				readyNow--
+				mu.Unlock()
+				canceled := false
+				select {
+				case <-done:
+					canceled = true
+				default:
+				}
+				if !canceled && !failed.Load() {
+					if errs[i] = f(i); errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+				// Complete the task even when it was skipped or failed:
+				// dependents must flow through so every worker's range
+				// loop terminates.
+				for _, dep := range dependents[i] {
+					if atomic.AddInt32(&indeg[dep], -1) == 0 {
+						enqueue(dep)
+					}
+				}
+				if atomic.AddInt32(&completed, 1) == int32(n) {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := DAGStats{ReadyPeak: readyPeak}
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, ctx.Err()
+}

@@ -1,0 +1,196 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunDAGTopologicalOrder(t *testing.T) {
+	// Diamond over 4 tasks plus a chain hanging off the join.
+	deps := [][]int{
+		0: {},
+		1: {0},
+		2: {0},
+		3: {1, 2},
+		4: {3},
+	}
+	var mu sync.Mutex
+	finished := make([]bool, len(deps))
+	stats, err := RunDAG(context.Background(), deps, 4, func(i int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, d := range deps[i] {
+			if !finished[d] {
+				return fmt.Errorf("task %d started before dependency %d finished", i, d)
+			}
+		}
+		finished[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range finished {
+		if !f {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+	if stats.ReadyPeak < 1 || stats.ReadyPeak > 2 {
+		t.Fatalf("ReadyPeak = %d, want 1..2 (diamond width)", stats.ReadyPeak)
+	}
+}
+
+func TestRunDAGWideParallelism(t *testing.T) {
+	// 32 independent tasks behind one root: the scheduler must expose
+	// the width (ready peak = 32) and actually overlap execution.
+	n := 33
+	deps := make([][]int, n)
+	for i := 1; i < n; i++ {
+		deps[i] = []int{0}
+	}
+	var running, maxRunning atomic.Int32
+	gate := make(chan struct{})
+	var once sync.Once
+	stats, err := RunDAG(context.Background(), deps, 8, func(i int) error {
+		if i == 0 {
+			return nil
+		}
+		cur := running.Add(1)
+		for {
+			old := maxRunning.Load()
+			if cur <= old || maxRunning.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		// Block the first arrivals until a second worker shows up, so
+		// the overlap assertion cannot race to a false negative.
+		if cur >= 2 {
+			once.Do(func() { close(gate) })
+		}
+		<-gate
+		running.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadyPeak != 32 {
+		t.Fatalf("ReadyPeak = %d, want 32", stats.ReadyPeak)
+	}
+	if maxRunning.Load() < 2 {
+		t.Fatalf("maxRunning = %d, want >= 2", maxRunning.Load())
+	}
+}
+
+func TestRunDAGChainPeak(t *testing.T) {
+	deps := [][]int{0: {}, 1: {0}, 2: {1}, 3: {2}}
+	stats, err := RunDAG(context.Background(), deps, 4, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadyPeak != 1 {
+		t.Fatalf("chain ReadyPeak = %d, want 1", stats.ReadyPeak)
+	}
+}
+
+func TestRunDAGErrorPriorityAndSkip(t *testing.T) {
+	boom := errors.New("boom")
+	deps := [][]int{0: {}, 1: {0}, 2: {1}}
+	var ran atomic.Int32
+	_, err := RunDAG(context.Background(), deps, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("ran = %d tasks after root failure, want 1", ran.Load())
+	}
+}
+
+func TestRunDAGCycle(t *testing.T) {
+	deps := [][]int{0: {1}, 1: {0}}
+	if _, err := RunDAG(context.Background(), deps, 2, func(i int) error {
+		t.Error("task ran despite cycle")
+		return nil
+	}); !errors.Is(err, ErrDAGCycle) {
+		t.Fatalf("err = %v, want ErrDAGCycle", err)
+	}
+}
+
+func TestRunDAGCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 64
+	deps := make([][]int, n)
+	for i := 1; i < n; i++ {
+		deps[i] = []int{i - 1}
+	}
+	var ran atomic.Int32
+	_, err := RunDAG(ctx, deps, 2, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= int32(n) {
+		t.Fatal("cancellation did not skip any tasks")
+	}
+}
+
+// TestRunDAGStress exercises the scheduler under -race with a layered
+// random-ish DAG and many workers: every task checks its dependencies
+// completed, via an index-addressed slice (the determinism contract).
+func TestRunDAGStress(t *testing.T) {
+	const layers, width = 16, 12
+	n := layers * width
+	deps := make([][]int, n)
+	for l := 1; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			i := l*width + w
+			// Depend on a spread of the previous layer.
+			deps[i] = []int{(l-1)*width + w, (l-1)*width + (w+5)%width}
+		}
+	}
+	state := make([]int32, n)
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Concurrent unrelated RunDAGs must not interfere.
+			small := [][]int{0: {}, 1: {0}}
+			if _, err := RunDAG(context.Background(), small, 2, func(i int) error { return nil }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	_, err := RunDAG(context.Background(), deps, 16, func(i int) error {
+		for _, d := range deps[i] {
+			if atomic.LoadInt32(&state[d]) != 1 {
+				return fmt.Errorf("task %d saw incomplete dependency %d", i, d)
+			}
+		}
+		atomic.StoreInt32(&state[i], 1)
+		return nil
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range state {
+		if state[i] != 1 {
+			t.Fatalf("task %d never completed", i)
+		}
+	}
+}

@@ -145,7 +145,11 @@ var ErrPoolClosed = errors.New("par: pool closed")
 // finish — the daemon's graceful-shutdown path.
 type Pool struct {
 	queue chan task
-	wg    sync.WaitGroup
+	// assist is the unbuffered side door of Assist: a send succeeds
+	// only while some worker is idle in its select, so assisted tasks
+	// never consume admission-queue capacity and never wait.
+	assist chan task
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -173,25 +177,37 @@ func NewPool(workers, queueSize int) *Pool {
 	if queueSize < 0 {
 		queueSize = 0
 	}
-	p := &Pool{queue: make(chan task, queueSize)}
+	p := &Pool{queue: make(chan task, queueSize), assist: make(chan task)}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer p.wg.Done()
-			for t := range p.queue {
-				p.QueueDepth.Add(-1)
-				// A task whose request died while queued is not worth
-				// starting.
-				if t.ctx.Err() != nil {
-					continue
+			for {
+				select {
+				case t, ok := <-p.queue:
+					if !ok {
+						return
+					}
+					p.QueueDepth.Add(-1)
+					p.exec(t)
+				case t := <-p.assist:
+					p.exec(t)
 				}
-				p.Busy.Add(1)
-				t.run(t.ctx)
-				p.Busy.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// exec runs one task on the calling worker goroutine.
+func (p *Pool) exec(t task) {
+	// A task whose request died while queued is not worth starting.
+	if t.ctx.Err() != nil {
+		return
+	}
+	p.Busy.Add(1)
+	t.run(t.ctx)
+	p.Busy.Add(-1)
 }
 
 // Submit offers run to the pool. It returns nil when the task was
@@ -211,6 +227,28 @@ func (p *Pool) Submit(ctx context.Context, run func(ctx context.Context)) error 
 		return nil
 	default:
 		return ErrQueueFull
+	}
+}
+
+// Assist offers run to an idle worker, bypassing the admission queue:
+// it succeeds only when some worker is waiting for work at this
+// instant, and reports whether the task was taken. Admitted units use
+// it to fan their internal items out over spare capacity — a batch
+// occupies one admission slot, and Assist lends it whatever workers
+// happen to be free — without ever displacing or delaying admission
+// of other requests. Callers must be prepared to run the work
+// themselves when Assist returns false.
+func (p *Pool) Assist(ctx context.Context, run func(ctx context.Context)) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.assist <- task{ctx: ctx, run: run}:
+		return true
+	default:
+		return false
 	}
 }
 

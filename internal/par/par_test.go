@@ -156,3 +156,49 @@ func TestPoolSkipsDeadRequests(t *testing.T) {
 		t.Fatal("task with a dead context was started")
 	}
 }
+
+// TestPoolAssist: Assist hands work to an idle worker without touching
+// the admission queue, and reports false the instant no worker is
+// free — the caller's cue to run the work itself.
+func TestPoolAssist(t *testing.T) {
+	p := NewPool(2, 4)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(context.Background(), func(context.Context) {
+		close(running)
+		<-gate
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	// One worker busy, one idle: Assist must land (the idle worker may
+	// take a beat to reach its select, so poll briefly).
+	assisted := make(chan struct{})
+	ok := false
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		if p.Assist(context.Background(), func(context.Context) {
+			close(assisted)
+			<-gate
+		}) {
+			ok = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("Assist never reached the idle worker")
+	}
+	<-assisted
+
+	// Both workers busy: Assist must refuse immediately.
+	if p.Assist(context.Background(), func(context.Context) {}) {
+		t.Fatal("Assist accepted work with every worker busy")
+	}
+
+	close(gate)
+	p.Drain()
+	if p.Assist(context.Background(), func(context.Context) {}) {
+		t.Fatal("Assist accepted work after Drain")
+	}
+}

@@ -16,9 +16,9 @@ import (
 // explores seeds indefinitely; the corpus seeds below run in normal
 // test mode.
 func FuzzDifferential(f *testing.F) {
-	// Seeds map onto shape profiles via randprog.ForSeed (seed mod 4:
-	// balanced, EBB-heavy, critical-edge, hole-heavy), so the corpus
-	// covers every profile several times over.
+	// Seeds map onto shape profiles via randprog.ForSeed (seed mod 5:
+	// balanced, EBB-heavy, critical-edge, hole-heavy, call-DAG), so the
+	// corpus covers every profile several times over.
 	for seed := int64(0); seed < 21; seed++ {
 		f.Add(seed)
 	}

@@ -38,6 +38,14 @@ const (
 	// and long cold gaps inside hot blocks — the structure the
 	// hole-aware linear scan binpacks into.
 	ShapeHoleHeavy
+	// ShapeCallDAG is call-graph-heavy: a fixed structured topology —
+	// a diamond (two helpers sharing a leaf, joined by a common
+	// caller), chain layers on top of it, and a guarded mutually
+	// recursive pair — so the condensed call graph always has
+	// multi-node waves, a nontrivial critical path, and a multi-member
+	// SCC. This is the shape that fuzzes the whole-program batch
+	// scheduler and its interprocedural summary propagation.
+	ShapeCallDAG
 )
 
 // Options bound the generated program.
@@ -78,18 +86,27 @@ func HoleHeavyOptions() Options {
 	return Options{Funcs: 4, MaxStmts: 9, MaxDepth: 2, MaxLoopTrip: 6, Shape: ShapeHoleHeavy}
 }
 
-// ForSeed maps a fuzz seed onto one of the four shape profiles, so a
+// CallDAGOptions returns bounds tuned for the call-DAG shape: more
+// helper functions arranged into the structured topology, small bodies
+// and tight loops so layered call-in-loop chains stay cheap to run.
+func CallDAGOptions() Options {
+	return Options{Funcs: 8, MaxStmts: 5, MaxDepth: 2, MaxLoopTrip: 4, Shape: ShapeCallDAG}
+}
+
+// ForSeed maps a fuzz seed onto one of the five shape profiles, so a
 // single int64-seeded fuzz target explores all of them: seeds ≡ 1
-// (mod 4) generate EBB-heavy programs, seeds ≡ 2 critical-edge ones,
-// and seeds ≡ 3 hole-heavy ones.
+// (mod 5) generate EBB-heavy programs, seeds ≡ 2 critical-edge ones,
+// seeds ≡ 3 hole-heavy ones, and seeds ≡ 4 call-DAG ones.
 func ForSeed(seed int64) Options {
-	switch ((seed % 4) + 4) % 4 {
+	switch ((seed % 5) + 5) % 5 {
 	case 1:
 		return EBBHeavyOptions()
 	case 2:
 		return CriticalEdgeOptions()
 	case 3:
 		return HoleHeavyOptions()
+	case 4:
+		return CallDAGOptions()
 	default:
 		return DefaultOptions()
 	}
@@ -168,23 +185,119 @@ func (g *gen) program() string {
 		MaxLoopTrip: min(mainOpts.MaxLoopTrip, 4),
 		Shape:       mainOpts.Shape,
 	}
-	for i := 0; i < g.opts.Funcs; i++ {
-		sig := funcSig{
-			name:      fmt.Sprintf("f%d", i),
-			intParams: 1 + g.pick(3),
-			fltParams: g.pick(3),
-			retFloat:  g.chance(0.3),
-			recursive: g.chance(0.25),
+	if mainOpts.Shape == ShapeCallDAG {
+		sigs = g.emitCallDAG()
+	} else {
+		for i := 0; i < g.opts.Funcs; i++ {
+			sig := funcSig{
+				name:      fmt.Sprintf("f%d", i),
+				intParams: 1 + g.pick(3),
+				fltParams: g.pick(3),
+				retFloat:  g.chance(0.3),
+				recursive: g.chance(0.25),
+			}
+			g.emitFunc(sig, sigs)
+			sigs = append(sigs, sig)
 		}
-		g.emitFunc(sig, sigs)
-		sigs = append(sigs, sig)
 	}
 	g.opts = mainOpts
 	g.emitMain(sigs)
 	return g.buf.String()
 }
 
-func (g *gen) emitFunc(sig funcSig, callable []funcSig) {
+// emitCallDAG emits the structured call topology of ShapeCallDAG:
+//
+//	f0        — shared leaf
+//	f1, f2    — both call f0 (the diamond's two waists)
+//	f3        — calls f1 and f2 (the diamond's join)
+//	f4..fN-1  — a chain layer: each calls f3 plus one of f0..f2
+//	r0 ⇄ r1   — a guarded mutually recursive pair (one two-member SCC)
+//
+// Helpers may still be self-recursive (guarded), adding single-node
+// SCC self-loops on top of the fixed skeleton. main sees the diamond
+// join, the chain layer, and the recursive pair. The returned sigs are
+// what main may call.
+func (g *gen) emitCallDAG() []funcSig {
+	newSig := func(name string) funcSig {
+		return funcSig{
+			name:      name,
+			intParams: 1 + g.pick(3),
+			fltParams: g.pick(3),
+			retFloat:  g.chance(0.3),
+			recursive: g.chance(0.25),
+		}
+	}
+	f0 := newSig("f0")
+	g.emitFunc(f0, nil)
+	f1 := newSig("f1")
+	g.emitFunc(f1, []funcSig{f0}, f0)
+	f2 := newSig("f2")
+	g.emitFunc(f2, []funcSig{f0}, f0)
+	f3 := newSig("f3")
+	g.emitFunc(f3, []funcSig{f1, f2}, f1, f2)
+	waist := []funcSig{f0, f1, f2}
+	mains := []funcSig{f3}
+	for i := 4; i < g.opts.Funcs; i++ {
+		s := newSig(fmt.Sprintf("f%d", i))
+		g.emitFunc(s, []funcSig{f3, waist[g.pick(len(waist))]}, f3)
+		mains = append(mains, s)
+	}
+	r0 := funcSig{name: "r0", intParams: 1 + g.pick(2), fltParams: g.pick(2)}
+	r1 := funcSig{name: "r1", intParams: 1 + g.pick(2), fltParams: g.pick(2)}
+	g.emitMutualFunc(r0, r1, []funcSig{f0})
+	g.emitMutualFunc(r1, r0, []funcSig{f1})
+	return append(mains, r0, r1)
+}
+
+// emitMutualFunc emits one half of a guarded mutually recursive pair:
+// the body runs a normal statement block (which may call the given
+// non-recursive helpers), and the return expression calls the partner
+// with a strictly smaller first argument under the same depth guard
+// self-recursion uses, so the pair's joint recursion is linear and
+// bounded regardless of the caller's argument.
+func (g *gen) emitMutualFunc(sig, partner funcSig, callable []funcSig) {
+	g.intVars = g.intVars[:0]
+	g.floatVars = g.floatVars[:0]
+	g.protected = map[string]bool{}
+	g.callable = callable
+	g.depth = 0
+	g.selfCalls = 0
+	g.self = nil
+
+	g.printf("int %s(", sig.name)
+	sep := ""
+	for i := 0; i < sig.intParams; i++ {
+		p := fmt.Sprintf("p%d", i)
+		g.printf("%sint %s", sep, p)
+		g.intVars = append(g.intVars, p)
+		sep = ", "
+	}
+	for i := 0; i < sig.fltParams; i++ {
+		p := fmt.Sprintf("q%d", i)
+		g.printf("%sfloat %s", sep, p)
+		g.floatVars = append(g.floatVars, p)
+		sep = ", "
+	}
+	g.printf(") {\n")
+	g.printf("\tif (p0 <= 0 || p0 > 12) { return %s; }\n", g.literal(false))
+	g.protected["p0"] = true
+	g.block(1)
+	args := []string{"(p0 - 1)"}
+	for i := 1; i < partner.intParams; i++ {
+		args = append(args, g.expr(false, 1))
+	}
+	for i := 0; i < partner.fltParams; i++ {
+		args = append(args, g.expr(true, 1))
+	}
+	g.printf("\treturn (%s(%s) + %s);\n}\n\n", partner.name, strings.Join(args, ", "), g.expr(false, 1))
+}
+
+// emitFunc emits one function. Functions in `callable` may be called
+// anywhere the statement/expression mix decides to; functions in
+// `required` are each called exactly once in the return expression, so
+// the call-graph edge is guaranteed rather than probabilistic (the
+// call-DAG shape's skeleton depends on this).
+func (g *gen) emitFunc(sig funcSig, callable []funcSig, required ...funcSig) {
 	ret := "int"
 	if sig.retFloat {
 		ret = "float"
@@ -225,7 +338,12 @@ func (g *gen) emitFunc(sig funcSig, callable []funcSig) {
 		g.protected["p0"] = true
 	}
 	g.block(1)
-	g.printf("\treturn %s;\n}\n\n", g.expr(sig.retFloat, 2))
+	retExpr := g.expr(sig.retFloat, 2)
+	for i := range required {
+		r := required[i]
+		retExpr = fmt.Sprintf("(%s + %s)", g.coerce(g.call(&r), r.retFloat, sig.retFloat), retExpr)
+	}
+	g.printf("\treturn %s;\n}\n\n", retExpr)
 }
 
 func (g *gen) emitMain(sigs []funcSig) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/callgraph"
 	"repro/internal/freq"
 	"repro/internal/interp"
 	"repro/internal/randprog"
@@ -58,6 +59,7 @@ func TestShapeProfiles(t *testing.T) {
 		"ebb-heavy":     randprog.EBBHeavyOptions(),
 		"critical-edge": randprog.CriticalEdgeOptions(),
 		"hole-heavy":    randprog.HoleHeavyOptions(),
+		"call-dag":      randprog.CallDAGOptions(),
 	}
 	loops := map[string]int{}
 	branches := map[string]int{}
@@ -202,5 +204,43 @@ func TestDeterminism(t *testing.T) {
 	}
 	if o1, o2 := a1.Overhead(pf1), a2.Overhead(pf2); o1 != o2 {
 		t.Fatalf("allocation not deterministic: %v vs %v", o1, o2)
+	}
+}
+
+// TestCallDAGShape checks the structural guarantees of ShapeCallDAG:
+// every generated program's condensed call graph contains the diamond
+// (f1 and f2 both reached from f3, both reaching f0) and the mutually
+// recursive pair as one two-member component — the skeleton the batch
+// scheduler's SCC handling and wave depth are fuzzed against.
+func TestCallDAGShape(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := randprog.Generate(seed, randprog.CallDAGOptions())
+		prog, err := callcost.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, src)
+		}
+		g := callgraph.Build(prog.IR)
+		r0, r1 := g.SCCOf("r0"), g.SCCOf("r1")
+		if r0 < 0 || r0 != r1 {
+			t.Fatalf("seed %d: r0/r1 components %d/%d, want one shared SCC", seed, r0, r1)
+		}
+		if !g.Recursive(r0) {
+			t.Fatalf("seed %d: the r0/r1 component is not marked recursive", seed)
+		}
+		for _, pair := range [][2]string{{"f1", "f0"}, {"f2", "f0"}, {"f3", "f1"}, {"f3", "f2"}} {
+			callees, _ := g.Callees(pair[0])
+			found := false
+			for _, c := range callees {
+				if c.Name == pair[1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: diamond edge %s→%s missing", seed, pair[0], pair[1])
+			}
+		}
+		if _, err := interp.Run(prog.IR, interp.Options{MaxSteps: 3_000_000}); err != nil && err != interp.ErrStepLimit {
+			t.Fatalf("seed %d failed to run: %v", seed, err)
+		}
 	}
 }

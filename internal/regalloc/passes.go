@@ -3,6 +3,7 @@ package regalloc
 import (
 	"fmt"
 
+	"repro/internal/interproc"
 	"repro/internal/ir"
 	"repro/internal/liverange"
 	"repro/internal/machine"
@@ -160,16 +161,25 @@ func (p coalescePass) Run(s *pipeline.State) error {
 // cache as well.
 func RangesPass() pipeline.Pass { return rangesPass{} }
 
-type rangesPass struct{}
+// RangesCostPass is RangesPass under an interprocedural summary table:
+// call-site caller-save costs come from the callees' published clobber
+// summaries instead of the paper's static estimate. A non-nil table
+// also bypasses the shared per-frequency range cache — the cached
+// analysis was computed with static costs, and summary tables are
+// per-batch-run state that must not leak between programs. Nil is
+// exactly RangesPass.
+func RangesCostPass(cc *interproc.Table) pipeline.Pass { return rangesPass{cc: cc} }
+
+type rangesPass struct{ cc *interproc.Table }
 
 func (rangesPass) Name() string                    { return obs.PhaseRanges }
 func (rangesPass) Preserves() pipeline.AnalysisSet { return pipeline.PreserveAll }
 
-func (rangesPass) Run(s *pipeline.State) error {
-	if s.SharedRound0 {
+func (p rangesPass) Run(s *pipeline.State) error {
+	if s.SharedRound0 && p.cc == nil {
 		s.Ranges = s.AM.CachedRanges(s.FF)
 	} else {
-		s.Ranges = liverange.AnalyzeWith(s.AM.BlockMap(), s.Fn, s.Live, s.WorkGraphs(), s.FF, s.IsNoSpill)
+		s.Ranges = liverange.AnalyzeCosts(s.AM.BlockMap(), s.Fn, s.Live, s.WorkGraphs(), s.FF, s.IsNoSpill, p.cc)
 	}
 	s.AM.MarkValid(pipeline.AnalysisLiveRanges)
 	return nil
@@ -303,7 +313,7 @@ func BuildPipeline(strat Strategy, insertSpills SpillInserter, opts Options) pip
 		LivenessPass(opts.Rebuild),
 		BuildGraphPass(opts.Rebuild),
 		CoalescePass(mode),
-		RangesPass(),
+		RangesCostPass(opts.Interproc),
 		ColorPass(strat),
 		SpillRewritePass(insertSpills),
 	)

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/freq"
 	"repro/internal/interference"
+	"repro/internal/interproc"
 	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/liverange"
@@ -727,6 +728,15 @@ type Options struct {
 	// artifacts (CFG, liveness, base interference graphs): every
 	// allocation rebuilds from scratch. Exists for A/B benchmarking.
 	NoPrepCache bool
+	// Interproc attaches a whole-program interprocedural summary table
+	// (package interproc): the liverange cost analysis replaces the
+	// paper's static caller_save_cost estimate at call sites whose
+	// callee has a published summary, and the save/restore plan prunes
+	// saves the callee provably does not need. Nil — the default —
+	// keeps the paper's intraprocedural model exactly. Set by the
+	// whole-program batch driver; a non-nil table bypasses the shared
+	// round-0 range cache (the cached analysis assumes static costs).
+	Interproc *interproc.Table
 	// Pipeline overrides the pass pipeline. Nil — the default — runs
 	// BuildPipeline(strat, insertSpills, opts), i.e. the standard
 	// liveness → build-graph → coalesce → liverange → color →

@@ -1,0 +1,111 @@
+package rewrite
+
+import (
+	"repro/internal/interproc"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+)
+
+// BuildPlanInterproc is BuildPlan under an interprocedural summary
+// table: at each call site, a crossing caller-save register is saved
+// only when the callee's published clobber summary says the callee may
+// actually write it. Callees without a summary (external, same
+// recursive component, or a nil table) keep the static behavior —
+// every crossing caller-save register is saved — so
+// BuildPlanInterproc(fa, nil) is BuildPlan exactly.
+func BuildPlanInterproc(fa *regalloc.FuncAlloc, cc *interproc.Table) *FuncPlan {
+	plan := BuildPlan(fa)
+	if cc == nil {
+		return plan
+	}
+	fn := fa.Fn
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			cs := plan.CallSaves[[2]int{b.ID, i}]
+			if cs == nil {
+				continue
+			}
+			for c := range cs.Regs {
+				kept := cs.Regs[c][:0]
+				for _, col := range cs.Regs[c] {
+					if cc.Clobbers(in.Callee, ir.Class(c), col) {
+						kept = append(kept, col)
+					}
+				}
+				cs.Regs[c] = kept
+			}
+		}
+	}
+	return plan
+}
+
+// Summarize derives the interprocedural clobber summary of one
+// allocated function: the caller-save registers its own code writes —
+// the colors of every occurring virtual register, plus parameter
+// registers (the caller's argument marshaling writes those) — unioned
+// with the published clobber sets of its callees (the full caller-save
+// set for a callee without a summary).
+//
+// local, when non-nil, names the callees whose contribution the caller
+// will add separately: the batch driver summarizes the members of a
+// recursive component individually with local = component membership,
+// then publishes the member-wise union — exact, because every member
+// reaches every other, so the component shares one transitive clobber
+// set. A nil local treats every callee through cc.
+func Summarize(plan *FuncPlan, cc *interproc.Table, local func(callee string) bool) *interproc.Summary {
+	fa := plan.Alloc
+	fn := fa.Fn
+	s := &interproc.Summary{}
+	add := func(r ir.Reg) {
+		col := fa.Colors[r]
+		if col == machine.NoPhysReg {
+			return
+		}
+		c := fn.RegClass(r)
+		if fa.Config.IsCallerSave(c, col) {
+			s.Clobbered[c].Add(col)
+		}
+	}
+	occurs := occurrence(fn)
+	for r := 0; r < fn.NumRegs(); r++ {
+		if occurs[r] {
+			add(ir.Reg(r))
+		}
+	}
+	for _, p := range fn.Params {
+		add(p)
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			if local != nil && local(in.Callee) {
+				continue
+			}
+			for c := ir.Class(0); c < ir.NumClasses; c++ {
+				s.Clobbered[c] = s.Clobbered[c].Union(cc.Clobbered(in.Callee, c))
+			}
+		}
+	}
+	return s
+}
+
+// UnionSummaries returns the register-wise union of the given
+// summaries — the joint clobber set a recursive component publishes
+// for each of its members.
+func UnionSummaries(ss ...*interproc.Summary) *interproc.Summary {
+	u := &interproc.Summary{}
+	for _, s := range ss {
+		for c := range u.Clobbered {
+			u.Clobbered[c] = u.Clobbered[c].Union(s.Clobbered[c])
+		}
+	}
+	return u
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// wideBatch builds a batch of identical-cost allocation requests that
+// bypass the result cache, so every item pays the full path.
+func wideBatch(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Source:   testSource,
+			Config:   ConfigRequest{RI: 8, RF: 6, EI: 4, EF: 4},
+			Strategy: "improved",
+			NoCache:  true,
+		}
+	}
+	return reqs
+}
+
+// timeBatch posts one /batch and returns its wall time and body.
+func timeBatch(t *testing.T, url string, reqs []Request) (time.Duration, []byte) {
+	t.Helper()
+	t0 := time.Now()
+	code, body := post(t, url+"/batch", reqs)
+	elapsed := time.Since(t0)
+	if code != 200 {
+		t.Fatalf("batch status %d: %s", code, body)
+	}
+	return elapsed, body
+}
+
+// TestBatchUsesFreeWorkers is the regression gate for batch
+// parallelism: a /batch on a 2-worker pool must finish a wide batch of
+// uniform items roughly twice as fast as on a 1-worker pool, because
+// the batch's own worker enlists the idle one through the pool's
+// assist side door. The serialization bug this guards against — every
+// item queuing behind the batch's single admission slot — shows up as
+// a ratio near 1.
+//
+// Per-item cost is pinned by the batchItemHook test seam (a sleep), so
+// the overlap is visible on any runner, including single-CPU machines
+// where CPU-bound work cannot speed up no matter how many workers run.
+// The two responses must also be byte-identical: helpers change wall
+// time, never bytes.
+func TestBatchUsesFreeWorkers(t *testing.T) {
+	const itemCost = 40 * time.Millisecond
+	batchItemHook = func() { time.Sleep(itemCost) }
+	defer func() { batchItemHook = nil }()
+
+	reqs := wideBatch(8)
+	_, one := newTestServer(t, Options{Workers: 1})
+	_, two := newTestServer(t, Options{Workers: 2})
+
+	seqElapsed, seqBody := timeBatch(t, one.URL, reqs)
+	parElapsed, parBody := timeBatch(t, two.URL, reqs)
+
+	if !bytes.Equal(seqBody, parBody) {
+		t.Fatalf("batch response differs between 1-worker and 2-worker pools")
+	}
+	var items []BatchItem
+	if err := json.Unmarshal(parBody, &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(reqs) {
+		t.Fatalf("got %d items, want %d", len(items), len(reqs))
+	}
+	for i, it := range items {
+		if it.Status != 200 {
+			t.Fatalf("item %d: status %d (%s)", i, it.Status, it.Error)
+		}
+	}
+
+	speedup := float64(seqElapsed) / float64(parElapsed)
+	t.Logf("wide batch: 1 worker %v, 2 workers %v, speedup %.2fx", seqElapsed, parElapsed, speedup)
+	if speedup < 1.5 {
+		t.Errorf("2-worker batch speedup %.2fx, want >= 1.5x (batch items serializing on one worker?)", speedup)
+	}
+	// The single-worker pool must NOT overlap items: its only worker is
+	// the batch itself, so wall time is at least the serial item cost.
+	if seqElapsed < time.Duration(len(reqs))*itemCost {
+		t.Errorf("1-worker batch finished in %v, below the serial floor %v — admission unit leaked extra workers",
+			seqElapsed, time.Duration(len(reqs))*itemCost)
+	}
+}

@@ -166,6 +166,172 @@ func RunLoad(baseURL string, bodies [][]byte, concurrency, verifyEvery int) (*Lo
 	return stats, nil
 }
 
+// RunBatchLoad drives the same corpus through the /batch endpoint:
+// the bodies are grouped into arrays of batchSize and each group is
+// POSTed as one batch from concurrency goroutines. Per-item outcomes
+// tally into the same LoadStats shape (Requests counts items, not
+// HTTP posts; a shed batch sheds all of its items). Every
+// verifyEvery-th item of the corpus — by its global index, so the
+// sample is independent of the grouping — is byte-compared against
+// the in-process oracle, exactly like RunLoad's sampling.
+func RunBatchLoad(baseURL string, bodies [][]byte, batchSize, concurrency, verifyEvery int) (*LoadStats, error) {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	type group struct {
+		start int
+		body  []byte
+	}
+	var groups []group
+	for start := 0; start < len(bodies); start += batchSize {
+		end := start + batchSize
+		if end > len(bodies) {
+			end = len(bodies)
+		}
+		// Each corpus body is a JSON object; a batch request is the
+		// JSON array of them.
+		var buf bytes.Buffer
+		buf.WriteByte('[')
+		for i := start; i < end; i++ {
+			if i > start {
+				buf.WriteByte(',')
+			}
+			buf.Write(bodies[i])
+		}
+		buf.WriteByte(']')
+		groups = append(groups, group{start: start, body: buf.Bytes()})
+	}
+
+	client := &http.Client{
+		Timeout: 120 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency,
+			MaxIdleConnsPerHost: concurrency,
+		},
+	}
+	stats := &LoadStats{Other: make(map[int]int)}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var next int64
+	var nextMu sync.Mutex
+	claim := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		i := int(next)
+		next++
+		if i >= len(groups) {
+			return -1
+		}
+		return i
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					return
+				}
+				gi := claim()
+				if gi < 0 {
+					return
+				}
+				g := groups[gi]
+				nItems := len(bodies) - g.start
+				if nItems > batchSize {
+					nItems = batchSize
+				}
+				resp, err := client.Post(baseURL+"/batch", "application/json", bytes.NewReader(g.body))
+				if err != nil {
+					fail(fmt.Errorf("batch %d: %w", gi, err))
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					fail(fmt.Errorf("batch %d: read response: %w", gi, err))
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					// The whole batch was refused at the edge (shed or
+					// error) — every item shares the outcome.
+					mu.Lock()
+					stats.Requests += nItems
+					if resp.StatusCode == http.StatusTooManyRequests {
+						stats.Shed += nItems
+					} else {
+						stats.Other[resp.StatusCode] += nItems
+					}
+					mu.Unlock()
+					continue
+				}
+				var items []BatchItem
+				if err := json.Unmarshal(raw, &items); err != nil {
+					fail(fmt.Errorf("batch %d: bad response JSON: %w", gi, err))
+					return
+				}
+				if len(items) != nItems {
+					fail(fmt.Errorf("batch %d: %d items for %d requests", gi, len(items), nItems))
+					return
+				}
+				for j, item := range items {
+					idx := g.start + j
+					mu.Lock()
+					stats.Requests++
+					switch item.Status {
+					case http.StatusOK:
+						stats.OK++
+					case http.StatusTooManyRequests:
+						stats.Shed++
+					default:
+						stats.Other[item.Status]++
+					}
+					mu.Unlock()
+					if item.Status != http.StatusOK || item.Response == nil {
+						continue
+					}
+					mu.Lock()
+					stats.CacheHits += item.Response.CacheHits
+					stats.CacheMisses += item.Response.CacheMisses
+					verify := verifyEvery > 0 && idx%verifyEvery == 0
+					mu.Unlock()
+					if verify {
+						if err := verifyAgainstOracle(bodies[idx], item.Response); err != nil {
+							fail(fmt.Errorf("batch %d item %d: %w", gi, j, err))
+							return
+						}
+						mu.Lock()
+						stats.Verified++
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(t0)
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, nil
+}
+
 // verifyAgainstOracle byte-compares a served result against the
 // in-process reference for the same request body.
 func verifyAgainstOracle(body []byte, got *Response) error {

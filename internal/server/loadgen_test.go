@@ -48,3 +48,29 @@ func TestRunLoadSmoke(t *testing.T) {
 		t.Fatalf("repeated corpus produced no cache hits: %v", stats)
 	}
 }
+
+// TestRunBatchLoadSmoke drives the corpus through /batch — grouped
+// requests over the batch fan-out path — with per-item tallies and
+// the same sampled oracle verification as the /allocate path. A group
+// size that does not divide the corpus exercises the short last batch.
+func TestRunBatchLoadSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueSize: 256})
+	bodies := randprog.Corpus(11, 16)
+	bodies = append(bodies, randprog.Corpus(11, 16)...)
+	stats, err := RunBatchLoad(ts.URL, bodies, 5, 4, 4)
+	if err != nil {
+		t.Fatalf("batch load run failed: %v (stats: %v)", err, stats)
+	}
+	if stats.Requests != len(bodies) {
+		t.Fatalf("tallied %d items of %d: %v", stats.Requests, len(bodies), stats)
+	}
+	if stats.OK != len(bodies) {
+		t.Fatalf("ok=%d of %d: %v", stats.OK, len(bodies), stats)
+	}
+	if want := (len(bodies) + 3) / 4; stats.Verified != want {
+		t.Fatalf("verified %d, want %d: %v", stats.Verified, want, stats)
+	}
+	if stats.CacheHits == 0 {
+		t.Fatalf("repeated corpus produced no cache hits: %v", stats)
+	}
+}

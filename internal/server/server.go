@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -252,17 +254,48 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	}
 	ctx, cancel := s.requestContext(r.Context(), 0)
 	defer cancel()
-	// The batch is one unit of admission: it occupies one worker slot
-	// and its items run sequentially on it, so a batch can never
-	// deadlock the pool against itself.
+	// The batch is one unit of admission: it occupies one worker slot,
+	// which alone runs every item, so a batch can never deadlock the
+	// pool against itself. On top of that floor, idle workers are
+	// enlisted through the pool's assist side door — items fan out over
+	// whatever capacity is spare at this instant, without consuming
+	// admission-queue slots or delaying other requests.
 	v, err := s.dispatch(ctx, func(ctx context.Context) (any, error) {
-		items := make([]BatchItem, len(reqs))
-		for i := range reqs {
+		return s.runBatch(ctx, reqs), nil
+	})
+	if err != nil {
+		return writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
+	}
+	return writeJSON(w, http.StatusOK, v)
+}
+
+// batchItemHook, when non-nil, runs as each batch item is claimed — a
+// test seam that makes per-item wall time controllable, so the batch
+// fan-out regression test can observe item overlap on any machine,
+// including single-CPU runners where CPU-bound work cannot speed up.
+var batchItemHook func()
+
+// runBatch executes a batch's items on the calling pool worker plus
+// any idle workers Assist can enlist — at most one helper per
+// remaining item. All participants drain one shared atomic item
+// counter, and every result lands in an index-addressed slot, so the
+// response is identical to the sequential path regardless of how many
+// helpers joined.
+func (s *Server) runBatch(ctx context.Context, reqs []Request) []BatchItem {
+	items := make([]BatchItem, len(reqs))
+	var next atomic.Int64
+	drain := func(ctx context.Context) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(reqs) {
+				return
+			}
+			if batchItemHook != nil {
+				batchItemHook()
+			}
 			if cerr := ctx.Err(); cerr != nil {
-				for j := i; j < len(reqs); j++ {
-					items[j] = BatchItem{Status: statusOf(cerr), Error: cerr.Error()}
-				}
-				break
+				items[i] = BatchItem{Status: statusOf(cerr), Error: cerr.Error()}
+				continue
 			}
 			resp, rerr := s.run(ctx, &reqs[i])
 			if rerr != nil {
@@ -271,12 +304,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				items[i] = BatchItem{Status: http.StatusOK, Response: resp}
 			}
 		}
-		return items, nil
-	})
-	if err != nil {
-		return writeJSON(w, statusOf(err), errorBody{Error: err.Error()})
 	}
-	return writeJSON(w, http.StatusOK, v)
+	var wg sync.WaitGroup
+	for h := 1; h < len(reqs); h++ {
+		wg.Add(1)
+		if !s.pool.Assist(ctx, func(ctx context.Context) {
+			defer wg.Done()
+			drain(ctx)
+		}) {
+			wg.Done()
+			break
+		}
+	}
+	drain(ctx)
+	wg.Wait()
+	return items
 }
 
 // requestContext applies the per-request deadline: the request

@@ -106,6 +106,21 @@ type Builtin struct {
 	// Together they expose utilization during a sweep.
 	ParQueueDepth, ParBusyWorkers *Gauge
 
+	// Whole-program batch driver (callcost.AllocateProgramBatch).
+
+	// BatchWaves counts call-graph scheduling waves across batch runs
+	// (batch_waves_total): one wave per lock-step level of the condensed
+	// call graph, so waves/batches is the mean call-chain depth.
+	BatchWaves *Counter
+	// InterprocSummaryHits counts call sites whose caller consumed a
+	// published callee clobber summary instead of the paper's static
+	// estimate (interproc_summary_hits_total).
+	InterprocSummaryHits *Counter
+	// BatchReadyPeak is the peak number of simultaneously ready
+	// components in the most recent batch DAG run (batch_dag_ready_peak)
+	// — the parallelism the program's call-graph shape exposed.
+	BatchReadyPeak *Gauge
+
 	// phase maps the standard pipeline phase names to their wall-time
 	// histograms; built once at Enable and read-only afterwards.
 	phase map[string]*Histogram
@@ -142,34 +157,37 @@ func phaseMetricName(phase string) string {
 // newBuiltin registers the well-known instruments on r.
 func newBuiltin(r *Registry) *Builtin {
 	b := &Builtin{
-		Reg:                r,
-		AllocFuncs:         r.Counter("alloc_funcs_total"),
-		AllocRounds:        r.Counter("alloc_rounds_total"),
-		SpilledRegs:        r.Counter("alloc_spilled_regs_total"),
-		Rounds:             r.Histogram("alloc_rounds", RoundsBuckets),
-		PassRuns:           r.Counter("pass_runs_total"),
-		ScanRounds:         r.Counter("alloc_scan_rounds_total"),
-		ScanHoleAssigns:    r.Counter("alloc_scan_hole_assigns_total"),
-		ScanSecondChance:   r.Counter("alloc_scan_second_chance_total"),
-		ColorRounds:        r.Counter("alloc_color_rounds_total"),
-		HybridEscalations:  r.Counter("hybrid_escalations_total"),
-		PrepLiveHits:       r.Counter("prep_live_hits_total"),
-		PrepLiveMisses:     r.Counter("prep_live_misses_total"),
-		PrepGraphHits:      r.Counter("prep_graph_hits_total"),
-		PrepGraphMisses:    r.Counter("prep_graph_misses_total"),
-		Snapshots:          r.Counter("cow_snapshots_total"),
-		SnapshotPrivatized: r.Counter("cow_privatized_total"),
-		PoolGets:           r.Counter("pool_simplifier_gets_total"),
-		PoolNews:           r.Counter("pool_simplifier_news_total"),
-		ResultHits:         r.Counter("result_cache_hits_total"),
-		ResultMisses:       r.Counter("result_cache_misses_total"),
-		ResultEvictions:    r.Counter("result_cache_evictions_total"),
-		ResultEntries:      r.Gauge("result_cache_entries"),
-		ParLoops:           r.Counter("par_loops_total"),
-		ParTasks:           r.Counter("par_tasks_total"),
-		ParQueueDepth:      r.Gauge("par_queue_depth"),
-		ParBusyWorkers:     r.Gauge("par_busy_workers"),
-		phase:              make(map[string]*Histogram),
+		Reg:                  r,
+		AllocFuncs:           r.Counter("alloc_funcs_total"),
+		AllocRounds:          r.Counter("alloc_rounds_total"),
+		SpilledRegs:          r.Counter("alloc_spilled_regs_total"),
+		Rounds:               r.Histogram("alloc_rounds", RoundsBuckets),
+		PassRuns:             r.Counter("pass_runs_total"),
+		ScanRounds:           r.Counter("alloc_scan_rounds_total"),
+		ScanHoleAssigns:      r.Counter("alloc_scan_hole_assigns_total"),
+		ScanSecondChance:     r.Counter("alloc_scan_second_chance_total"),
+		ColorRounds:          r.Counter("alloc_color_rounds_total"),
+		HybridEscalations:    r.Counter("hybrid_escalations_total"),
+		PrepLiveHits:         r.Counter("prep_live_hits_total"),
+		PrepLiveMisses:       r.Counter("prep_live_misses_total"),
+		PrepGraphHits:        r.Counter("prep_graph_hits_total"),
+		PrepGraphMisses:      r.Counter("prep_graph_misses_total"),
+		Snapshots:            r.Counter("cow_snapshots_total"),
+		SnapshotPrivatized:   r.Counter("cow_privatized_total"),
+		PoolGets:             r.Counter("pool_simplifier_gets_total"),
+		PoolNews:             r.Counter("pool_simplifier_news_total"),
+		ResultHits:           r.Counter("result_cache_hits_total"),
+		ResultMisses:         r.Counter("result_cache_misses_total"),
+		ResultEvictions:      r.Counter("result_cache_evictions_total"),
+		ResultEntries:        r.Gauge("result_cache_entries"),
+		ParLoops:             r.Counter("par_loops_total"),
+		ParTasks:             r.Counter("par_tasks_total"),
+		ParQueueDepth:        r.Gauge("par_queue_depth"),
+		ParBusyWorkers:       r.Gauge("par_busy_workers"),
+		BatchWaves:           r.Counter("batch_waves_total"),
+		InterprocSummaryHits: r.Counter("interproc_summary_hits_total"),
+		BatchReadyPeak:       r.Gauge("batch_dag_ready_peak"),
+		phase:                make(map[string]*Histogram),
 	}
 	for _, p := range []string{obs.PhaseLiveness, obs.PhaseBuild, obs.PhaseCoalesce,
 		obs.PhaseRanges, obs.PhaseColor, obs.PhaseRewrite, obs.PhaseScan} {
